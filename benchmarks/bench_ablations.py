@@ -1,0 +1,56 @@
+"""Ablation benches (DESIGN.md A1/A2): the design choices behind
+CHEF-FP's performance claims, isolated.
+
+A1 — optimization pipeline on the generated adjoint+EE code (the
+paper's "generated code ... becomes a candidate for better compiler
+optimizations").
+
+A2 — TBR tape minimization (push only backward-needed values) versus
+push-everything.
+"""
+
+import pytest
+
+from repro.apps import arclength, simpsons
+from repro.core.api import estimate_error
+from repro.core.models import AdaptModel
+
+
+@pytest.mark.parametrize("level", [0, 2], ids=["O0", "O2"])
+@pytest.mark.parametrize(
+    "app", [arclength, simpsons], ids=lambda a: a.NAME
+)
+def test_ablation_opt_pipeline(benchmark, app, level, bench_sizes):
+    est = estimate_error(
+        app.INSTRUMENTED, model=AdaptModel(), opt_level=level
+    )
+    args = app.make_workload(bench_sizes[app.NAME])
+    benchmark.group = f"ablation-opt:{app.NAME}"
+    rep = benchmark(lambda: est.execute(*args))
+    assert rep.total_error >= 0
+
+
+@pytest.mark.parametrize(
+    "minimal", [False, True], ids=["push-all", "tbr-minimal"]
+)
+@pytest.mark.parametrize(
+    "app", [arclength, simpsons], ids=lambda a: a.NAME
+)
+def test_ablation_tbr(benchmark, app, minimal, bench_sizes):
+    est = estimate_error(
+        app.INSTRUMENTED, model=AdaptModel(), minimal_pushes=minimal
+    )
+    args = app.make_workload(bench_sizes[app.NAME])
+    benchmark.group = f"ablation-tbr:{app.NAME}"
+    rep = benchmark(lambda: est.execute(*args))
+    assert rep.total_error >= 0
+
+
+def test_tbr_reduces_pushes_statically(bench_sizes):
+    full = estimate_error(
+        simpsons.INSTRUMENTED, model=AdaptModel(), minimal_pushes=False
+    )
+    mini = estimate_error(
+        simpsons.INSTRUMENTED, model=AdaptModel(), minimal_pushes=True
+    )
+    assert mini.source.count(".append(") <= full.source.count(".append(")

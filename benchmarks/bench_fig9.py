@@ -1,0 +1,42 @@
+"""Figure 9 bench: the HPCCG tracked sensitivity analysis.
+
+Benchmarks the error-estimation run with sensitivity tracing enabled
+(the Fig. 9 data source) and pins the qualitative result: per-iteration
+sensitivity of r/p/Ap decays, yielding a proper loop-split point.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import hpccg_sensitivity
+
+
+def test_fig9_sensitivity_analysis(benchmark, bench_sizes):
+    nz = bench_sizes["hpccg_nz"]
+    split, series, report = benchmark.pedantic(
+        lambda: hpccg_sensitivity(nz=nz, max_iter=30),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(series) == {"r", "p", "x", "Ap"}
+    # residual-driven series decay toward the tail (the Fig. 9 shape)
+    for var in ("r", "p", "Ap"):
+        s = series[var]
+        assert s[:5].sum() > s[-5:].sum()
+    assert 0 < split <= 30
+
+
+def test_fig9_split_speedup_model(bench_sizes):
+    from repro.experiments.tables import _counting_cost
+    from repro.apps import hpccg
+
+    nz = bench_sizes["hpccg_nz"]
+    split, _, _ = hpccg_sensitivity(nz=nz, max_iter=25)
+    cost_full = _counting_cost(
+        hpccg.hpccg_cg.ir, hpccg.make_workload(nz, max_iter=25)
+    )
+    cost_split = _counting_cost(
+        hpccg.hpccg_cg_split.ir,
+        hpccg.make_split_workload(nz, split, max_iter=25),
+    )
+    if split < 25:
+        assert cost_split < cost_full  # the paper's 8%-style win

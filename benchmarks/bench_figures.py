@@ -1,0 +1,74 @@
+"""Figures 4–8 bench: per-benchmark analysis time for the three series.
+
+One benchmark case per (figure, tool) pair at the suite's default size.
+pytest-benchmark's grouped report reproduces each figure's bars; the
+memory lines are asserted through tape/stack sizes (see
+``test_memory_shape``).  The full multi-size sweeps are produced by
+``python -m repro.experiments.run_all --figure N``.
+"""
+
+import pytest
+
+from repro.adapt import AdaptAnalysis
+from repro.apps import ALL_APPS, hpccg
+from repro.codegen.compile import compile_primal
+from repro.core.api import estimate_error
+from repro.core.models import AdaptModel
+from repro.experiments.measure import measure_adapt, measure_chef
+
+_FIG_OF = {
+    "arclength": 4,
+    "simpsons": 5,
+    "kmeans": 6,
+    "blackscholes": 8,
+}
+
+
+def _args(name, bench_sizes):
+    if name == "hpccg":
+        return hpccg.make_workload(bench_sizes["hpccg_nz"], max_iter=15)
+    app = ALL_APPS[name]
+    return app.make_workload(bench_sizes[name])
+
+
+def _kernel(name):
+    return ALL_APPS[name].INSTRUMENTED
+
+
+_ALL = ["arclength", "simpsons", "kmeans", "hpccg", "blackscholes"]
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_fig_chef_series(benchmark, name, bench_sizes):
+    est = estimate_error(_kernel(name), model=AdaptModel())
+    args = _args(name, bench_sizes)
+    benchmark.group = f"fig{_FIG_OF.get(name, 7)}:{name}"
+    benchmark(lambda: est.execute(*args))
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_fig_adapt_series(benchmark, name, bench_sizes):
+    analysis = AdaptAnalysis(_kernel(name))
+    args = _args(name, bench_sizes)
+    benchmark.group = f"fig{_FIG_OF.get(name, 7)}:{name}"
+    benchmark(lambda: analysis.execute(*args))
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_fig_app_series(benchmark, name, bench_sizes):
+    compiled = compile_primal(_kernel(name).ir)
+    args = _args(name, bench_sizes)
+    benchmark.group = f"fig{_FIG_OF.get(name, 7)}:{name}"
+    benchmark(lambda: compiled(*args))
+
+
+@pytest.mark.parametrize("name", ["arclength", "simpsons"])
+def test_memory_shape(name, bench_sizes):
+    """The figures' memory lines: ADAPT's peak dominates CHEF-FP's."""
+    app = ALL_APPS[name]
+    args = app.make_workload(bench_sizes[name])
+    chef = measure_chef(app.INSTRUMENTED, args)
+    adapt = measure_adapt(
+        app.INSTRUMENTED, app.make_workload(bench_sizes[name])
+    )
+    assert adapt.peak_bytes > chef.peak_bytes

@@ -1,0 +1,56 @@
+"""Table II bench: CHEF-FP analysis versus ADAPT analysis per benchmark.
+
+Benchmarks both tools' *analysis time* on the same workloads (grouped
+per benchmark so pytest-benchmark's report shows the ratio — the paper's
+'times improved' column).  Memory shape is asserted via the tape/stack
+byte counts.
+"""
+
+import pytest
+
+from repro.adapt import AdaptAnalysis
+from repro.apps import ALL_APPS, hpccg
+from repro.core.api import estimate_error
+from repro.core.models import AdaptModel
+
+_CASES = ["arclength", "simpsons", "kmeans", "blackscholes"]
+
+
+def _workload(name, bench_sizes):
+    app = ALL_APPS[name]
+    return app, app.make_workload(bench_sizes[name])
+
+
+@pytest.mark.parametrize("name", _CASES)
+def test_chef_analysis(benchmark, name, bench_sizes):
+    app, args = _workload(name, bench_sizes)
+    est = estimate_error(app.INSTRUMENTED, model=AdaptModel())
+    benchmark.group = f"table2:{name}"
+    rep = benchmark(lambda: est.execute(*args))
+    assert rep.total_error >= 0
+
+
+@pytest.mark.parametrize("name", _CASES)
+def test_adapt_analysis(benchmark, name, bench_sizes):
+    app, args = _workload(name, bench_sizes)
+    analysis = AdaptAnalysis(app.INSTRUMENTED)
+    benchmark.group = f"table2:{name}"
+    rep = benchmark(lambda: analysis.execute(*args))
+    assert rep.tape_nodes > 0
+
+
+def test_chef_analysis_hpccg(benchmark, bench_sizes):
+    args = hpccg.make_workload(bench_sizes["hpccg_nz"], max_iter=15)
+    est = estimate_error(hpccg.INSTRUMENTED, model=AdaptModel())
+    benchmark.group = "table2:hpccg"
+    benchmark(lambda: est.execute(*args))
+
+
+def test_adapt_analysis_hpccg(benchmark, bench_sizes):
+    analysis = AdaptAnalysis(hpccg.INSTRUMENTED)
+    benchmark.group = "table2:hpccg"
+    benchmark(
+        lambda: analysis.execute(
+            *hpccg.make_workload(bench_sizes["hpccg_nz"], max_iter=15)
+        )
+    )

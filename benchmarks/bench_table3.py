@@ -1,0 +1,51 @@
+"""Table III bench: k-Means per-configuration error measurement.
+
+Regenerates the demote-one-variable-at-a-time experiment and pins the
+paper's qualitative rows: attributes contribute exactly zero (dyadic
+inputs), clusters and sum do not, and estimates bound actuals.
+"""
+
+import pytest
+
+from repro.apps import kmeans
+from repro.core.api import estimate_error
+from repro.core.models import AdaptModel
+from repro.tuning import PrecisionConfig, validate_config
+from repro.tuning.config import matches_inlined
+
+CONFIGS = [
+    ("attributes",),
+    ("clusters",),
+    ("sum",),
+    ("attributes", "clusters", "sum"),
+]
+
+
+@pytest.mark.parametrize(
+    "config_vars", CONFIGS, ids=lambda c: "+".join(c)
+)
+def test_table3_config(benchmark, config_vars, bench_sizes):
+    npoints = bench_sizes["kmeans"]
+    args = kmeans.make_workload(npoints)
+    report = estimate_error(
+        kmeans.INSTRUMENTED, model=AdaptModel()
+    ).execute(*args)
+    estimated = sum(
+        e
+        for v, e in report.per_variable.items()
+        if any(matches_inlined(v, key) for key in config_vars)
+    )
+    validation = benchmark(
+        lambda: validate_config(
+            kmeans.INSTRUMENTED,
+            PrecisionConfig.demote(config_vars),
+            kmeans.make_workload(npoints),
+        )
+    )
+    if config_vars == ("attributes",):
+        assert estimated == 0.0
+        assert validation.actual_error == 0.0
+    else:
+        assert estimated > 0.0
+        # first-order estimate bounds the measured error (with slack)
+        assert validation.actual_error <= 10.0 * estimated

@@ -1,0 +1,69 @@
+"""Table IV bench: Black-Scholes FastApprox error analysis.
+
+Regenerates both approximate configurations (fast log+sqrt, plus fast
+exp) with the Algorithm 2 custom model and pins the paper's shape: both
+configurations introduce measurable error, the with-exp configuration
+is faster, and the modelled speedups order as in the paper (1.14 vs
+1.65).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import blackscholes as bs
+from repro.codegen.compile import compile_primal, compile_raw
+from repro.core.api import estimate_error
+from repro.core.models import ApproxModel
+
+_MAPS = {
+    bs.CONFIG_WITHOUT_EXP: {"login": "log", "sqrtin": "sqrt"},
+    bs.CONFIG_WITH_EXP: dict(bs.APPROX_VARIABLE_MAP),
+}
+
+
+@pytest.mark.parametrize(
+    "config",
+    [bs.CONFIG_WITHOUT_EXP, bs.CONFIG_WITH_EXP],
+    ids=["wo_fast_exp", "w_fast_exp"],
+)
+def test_table4_error_analysis(benchmark, config, bench_sizes):
+    n = bench_sizes["blackscholes"]
+    wl = bs.make_workload(n)
+    exact = compile_primal(bs.bs_price.ir)
+    approx = compile_primal(bs.bs_price.ir, approx=config)
+    estimator = estimate_error(
+        bs.bs_price, model=ApproxModel(_MAPS[config])
+    )
+
+    def analyse():
+        actual, estimated = [], []
+        for i in range(n):
+            pa = bs.point_args(wl, i)
+            actual.append(abs(float(exact(*pa)) - float(approx(*pa))))
+            estimated.append(estimator.execute(*pa).total_error)
+        return np.array(actual), np.array(estimated)
+
+    actual, estimated = benchmark.pedantic(
+        analyse, rounds=1, iterations=1
+    )
+    assert actual.mean() > 0 and estimated.mean() > 0
+    # estimates and actuals within the paper's order-of-magnitude band
+    ratio = estimated.sum() / actual.sum()
+    assert 0.05 < ratio < 20.0
+
+
+def test_table4_speedups_ordered(bench_sizes):
+    n = bench_sizes["blackscholes"]
+    wl = bs.make_workload(n)
+
+    def cost(approx=None):
+        compiled = compile_raw(
+            bs.bs_total.ir, counting=True, approx=approx
+        )
+        _, extras = compiled(*wl)
+        return extras["cost"]
+
+    base = cost()
+    wo = base / cost(set(bs.CONFIG_WITHOUT_EXP))
+    w = base / cost(set(bs.CONFIG_WITH_EXP))
+    assert 1.0 < wo < w  # fast exp adds speedup, as in the paper

@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` file regenerates the computation behind one paper
+table/figure at laptop-scaled sizes (see DESIGN.md's per-experiment
+index).  pytest-benchmark groups CHEF-FP / ADAPT / application series so
+the relative shapes — who wins and by what factor — are directly visible
+in the report.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    """Per-benchmark sizes used by the benchmark suite (kept small so a
+    full --benchmark-only run finishes in minutes)."""
+    return {
+        "arclength": 2_000,
+        "simpsons": 2_000,
+        "kmeans": 400,
+        "hpccg_nz": 6,
+        "blackscholes": 400,
+    }

@@ -1,0 +1,61 @@
+"""Approximate-function error analysis — the paper's Black-Scholes +
+FastApprox study (Algorithm 2 / Table IV).
+
+Swap libm calls for FastApprox variants and let CHEF-FP's custom model
+bound the error each substitution introduces, per option and per
+configuration.
+
+Run:  python examples/approximate_functions.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps import blackscholes as bs
+from repro.codegen.compile import compile_primal, compile_raw
+
+N_OPTIONS = 200
+
+
+def analyse(config, label):
+    wl = bs.make_workload(N_OPTIONS)
+    exact = compile_primal(bs.bs_price.ir)
+    approx = compile_primal(bs.bs_price.ir, approx=config)
+    # Algorithm 2: map the variables feeding approximated functions
+    var_map = {
+        v: f for v, f in bs.APPROX_VARIABLE_MAP.items() if f in config
+    }
+    estimator = repro.estimate_error(
+        bs.bs_price, model=repro.ApproxModel(var_map)
+    )
+
+    actual, estimated = [], []
+    for i in range(N_OPTIONS):
+        pa = bs.point_args(wl, i)
+        actual.append(abs(exact(*pa) - approx(*pa)))
+        estimated.append(estimator.execute(*pa).total_error)
+    a, e = np.array(actual), np.array(estimated)
+
+    # modelled speedup of the whole portfolio pricing
+    base = compile_raw(bs.bs_total.ir, counting=True)
+    fast = compile_raw(bs.bs_total.ir, counting=True, approx=set(config))
+    _, cb = base(*bs.make_workload(N_OPTIONS))
+    _, cf = fast(*bs.make_workload(N_OPTIONS))
+    speedup = cb["cost"] / cf["cost"]
+
+    print(f"{label}")
+    print(f"  actual    error: avg={a.mean():.3e} max={a.max():.3e} "
+          f"acc={a.sum():.3e}")
+    print(f"  estimated error: avg={e.mean():.3e} max={e.max():.3e} "
+          f"acc={e.sum():.3e}")
+    print(f"  modelled speedup: {speedup:.3f}x\n")
+
+
+def main() -> None:
+    print(f"Black-Scholes FastApprox analysis over {N_OPTIONS} options\n")
+    analyse(bs.CONFIG_WITHOUT_EXP, "FastApprox w/o fast exp (log, sqrt)")
+    analyse(bs.CONFIG_WITH_EXP, "FastApprox w/  fast exp (log, sqrt, exp)")
+
+
+if __name__ == "__main__":
+    main()

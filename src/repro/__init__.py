@@ -1,0 +1,59 @@
+"""repro — a Python reproduction of CHEF-FP (IPDPS 2023).
+
+Fast, automatic floating-point error analysis via source-transformation
+reverse-mode AD with inline error-estimation code.
+
+Quickstart (paper Listing 1)::
+
+    import repro
+
+    @repro.kernel
+    def func(x: "f32", y: "f32") -> float:
+        z: "f32" = x + y
+        return z
+
+    df = repro.estimate_error(func)
+    report = df.execute(1.95e-5, 1.37e-7)
+    print("Error in func:", report.total_error)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.frontend.registry import kernel, Kernel, get_kernel
+from repro.core.api import estimate_error, gradient, ErrorEstimator, Gradient
+from repro.core.models import (
+    ErrorModel,
+    TaylorModel,
+    AdaptModel,
+    ApproxModel,
+    CenaModel,
+    ExternalModel,
+)
+from repro.core.report import ErrorReport, GradientResult
+from repro.core.forward import forward_derivative, ForwardDerivative
+from repro.ir.types import DType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "kernel",
+    "Kernel",
+    "get_kernel",
+    "estimate_error",
+    "gradient",
+    "ErrorEstimator",
+    "Gradient",
+    "ErrorModel",
+    "TaylorModel",
+    "AdaptModel",
+    "ApproxModel",
+    "CenaModel",
+    "ExternalModel",
+    "ErrorReport",
+    "GradientResult",
+    "forward_derivative",
+    "ForwardDerivative",
+    "DType",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""ADAPT baseline: operator-overloading (tracing) AD with taped error
+estimation.
+
+This reimplements the comparison tool of the paper's evaluation
+(ADAPT-FP, built on the CoDiPack operator-overloading AD library): every
+floating-point operation executed at runtime appends a node to a global
+tape; after the primal run, a reverse sweep over the whole tape computes
+adjoints, and the Eq. 2 error model is applied per node.
+
+Its cost structure is the paper's point of comparison:
+
+* **time** — per-operation dynamic dispatch and node allocation,
+* **memory** — the entire tape is retained until the reverse sweep
+  (O(#ops)), versus CHEF-FP's minimized push/pop stacks.
+
+The baseline runs the *same generated primal code* as CHEF-FP (via the
+dispatchable intrinsic shims), so the comparison isolates exactly the
+tracing-vs-source-transformation difference.
+"""
+
+from repro.adapt.tape import Tape, TapeLimits
+from repro.adapt.advalues import AdFloat
+from repro.adapt.analysis import AdaptAnalysis, AdaptReport
+
+__all__ = ["Tape", "TapeLimits", "AdFloat", "AdaptAnalysis", "AdaptReport"]

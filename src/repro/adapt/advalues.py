@@ -1,0 +1,234 @@
+"""The taping value type of the ADAPT baseline.
+
+``AdFloat`` is the analogue of CoDiPack's active real: arithmetic
+operators and intrinsic applications record nodes on a shared
+:class:`~repro.adapt.tape.Tape` while computing values eagerly.  The
+generated primal code (compiled with dispatch bindings) executes
+unmodified with these flowing through it — runtime tracing, exactly the
+taping approach described in the paper's §II-B.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence, Tuple, Union
+
+from repro.adapt.tape import Tape
+from repro.fp.precision import round_f16, round_f32
+
+Number = Union[int, float, "AdFloat"]
+
+_TWO_OVER_SQRT_PI = 2.0 / math.sqrt(math.pi)
+
+#: Numeric partial-derivative table for intrinsics (ADAPT ships its own
+#: derivative rules; these mirror the registry's symbolic builders).
+_NUMERIC_DERIVS: Dict[str, Callable[..., Tuple[float, ...]]] = {
+    "sin": lambda x: (math.cos(x),),
+    "cos": lambda x: (-math.sin(x),),
+    "tan": lambda x: (1.0 / math.cos(x) ** 2,),
+    "asin": lambda x: (1.0 / math.sqrt(1.0 - x * x),),
+    "acos": lambda x: (-1.0 / math.sqrt(1.0 - x * x),),
+    "atan": lambda x: (1.0 / (1.0 + x * x),),
+    "tanh": lambda x: (1.0 - math.tanh(x) ** 2,),
+    "sinh": lambda x: (math.cosh(x),),
+    "cosh": lambda x: (math.sinh(x),),
+    "erf": lambda x: (_TWO_OVER_SQRT_PI * math.exp(-x * x),),
+    "erfc": lambda x: (-_TWO_OVER_SQRT_PI * math.exp(-x * x),),
+    "exp": lambda x: (math.exp(x),),
+    "log": lambda x: (1.0 / x,),
+    "log2": lambda x: (1.0 / (x * math.log(2.0)),),
+    "exp2": lambda x: (2.0 ** x * math.log(2.0),),
+    "sqrt": lambda x: (0.5 / math.sqrt(x),),
+    "fabs": lambda x: (math.copysign(1.0, x),),
+    "pow": lambda a, b: (
+        b * a ** (b - 1.0),
+        (a ** b) * math.log(a) if a > 0 else 0.0,
+    ),
+    "copysign": lambda a, b: (
+        math.copysign(1.0, a) * math.copysign(1.0, b),
+        0.0,
+    ),
+    "fmax": lambda a, b: (1.0, 0.0) if a >= b else (0.0, 1.0),
+    "fmin": lambda a, b: (1.0, 0.0) if b >= a else (0.0, 1.0),
+    "floor": lambda x: (0.0,),
+    "ceil": lambda x: (0.0,),
+    "step_ge": lambda a, b: (0.0, 0.0),
+}
+
+#: value implementations for intrinsics applied to AdFloats
+_VALUE_IMPLS: Dict[str, Callable[..., float]] = {
+    "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+    "tanh": math.tanh, "sinh": math.sinh, "cosh": math.cosh,
+    "erf": math.erf, "erfc": math.erfc,
+    "exp": math.exp, "log": math.log, "log2": math.log2,
+    "exp2": lambda p: 2.0 ** p, "sqrt": math.sqrt, "fabs": math.fabs,
+    "pow": math.pow, "copysign": math.copysign,
+    "fmax": lambda a, b: max(a, b), "fmin": lambda a, b: min(a, b),
+    "floor": math.floor, "ceil": math.ceil,
+    "step_ge": lambda a, b: 1.0 if a >= b else 0.0,
+}
+
+
+class AdFloat:
+    """An active floating-point value recorded on a tape."""
+
+    __slots__ = ("tape", "idx", "value")
+
+    def __init__(self, tape: Tape, idx: int, value: float) -> None:
+        self.tape = tape
+        self.idx = idx
+        self.value = value
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def input(cls, tape: Tape, value: float) -> "AdFloat":
+        """Register an independent input variable."""
+        idx = tape.add_node(float(value))
+        return cls(tape, idx, float(value))
+
+    def _node(self, value: float, d_self: float) -> "AdFloat":
+        idx = self.tape.add_node(value, self.idx, d_self)
+        return AdFloat(self.tape, idx, value)
+
+    def _node2(
+        self, other: "AdFloat", value: float, d_self: float, d_other: float
+    ) -> "AdFloat":
+        idx = self.tape.add_node(
+            value, self.idx, d_self, other.idx, d_other
+        )
+        return AdFloat(self.tape, idx, value)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: Number) -> "AdFloat":
+        if isinstance(other, AdFloat):
+            return self._node2(other, self.value + other.value, 1.0, 1.0)
+        return self._node(self.value + float(other), 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "AdFloat":
+        if isinstance(other, AdFloat):
+            return self._node2(other, self.value - other.value, 1.0, -1.0)
+        return self._node(self.value - float(other), 1.0)
+
+    def __rsub__(self, other: Number) -> "AdFloat":
+        return self._node(float(other) - self.value, -1.0)
+
+    def __mul__(self, other: Number) -> "AdFloat":
+        if isinstance(other, AdFloat):
+            return self._node2(
+                other,
+                self.value * other.value,
+                other.value,
+                self.value,
+            )
+        o = float(other)
+        return self._node(self.value * o, o)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "AdFloat":
+        if isinstance(other, AdFloat):
+            # value computed as a true division (reciprocal-multiply
+            # would differ by 1 ulp and break bit-exact agreement with
+            # the source-transformed code); partials may use the
+            # reciprocal freely
+            inv = 1.0 / other.value
+            return self._node2(
+                other,
+                self.value / other.value,
+                inv,
+                -self.value * inv * inv,
+            )
+        o = float(other)
+        return self._node(self.value / o, 1.0 / o)
+
+    def __rtruediv__(self, other: Number) -> "AdFloat":
+        o = float(other)
+        return self._node(o / self.value, -o / (self.value * self.value))
+
+    def __neg__(self) -> "AdFloat":
+        return self._node(-self.value, -1.0)
+
+    def __pos__(self) -> "AdFloat":
+        return self
+
+    def __abs__(self) -> "AdFloat":
+        return self._node(abs(self.value), math.copysign(1.0, self.value))
+
+    def __pow__(self, other: Number) -> "AdFloat":
+        return AdFloat.apply_intrinsic("pow", (self, other))
+
+    # -- precision casts -------------------------------------------------------
+    def round32(self) -> "AdFloat":
+        """Demotion to binary32 — recorded with unit derivative, the
+        first-order treatment of rounding."""
+        return self._node(round_f32(self.value), 1.0)
+
+    def round16(self) -> "AdFloat":
+        return self._node(round_f16(self.value), 1.0)
+
+    # -- comparisons (values only; control flow is traced, not recorded) --
+    def _cmp_value(self, other: Number) -> float:
+        return other.value if isinstance(other, AdFloat) else float(other)
+
+    def __lt__(self, other: Number) -> bool:
+        return self.value < self._cmp_value(other)
+
+    def __le__(self, other: Number) -> bool:
+        return self.value <= self._cmp_value(other)
+
+    def __gt__(self, other: Number) -> bool:
+        return self.value > self._cmp_value(other)
+
+    def __ge__(self, other: Number) -> bool:
+        return self.value >= self._cmp_value(other)
+
+    def __eq__(self, other: object) -> bool:  # type: ignore[override]
+        if isinstance(other, (AdFloat, int, float)):
+            return self.value == self._cmp_value(other)  # type: ignore[arg-type]
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:  # type: ignore[override]
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __repr__(self) -> str:
+        return f"AdFloat({self.value!r}@{self.idx})"
+
+    # -- intrinsics ------------------------------------------------------------
+    @staticmethod
+    def apply_intrinsic(name: str, args: Sequence[Number]) -> "AdFloat":
+        """Record an intrinsic application (called by the dispatch shims).
+
+        :raises KeyError: for intrinsics without ADAPT derivative rules.
+        """
+        tape = None
+        for a in args:
+            if isinstance(a, AdFloat):
+                tape = a.tape
+                break
+        assert tape is not None
+        vals = [
+            a.value if isinstance(a, AdFloat) else float(a) for a in args
+        ]
+        value = float(_VALUE_IMPLS[name](*vals))
+        partials = _NUMERIC_DERIVS[name](*vals)
+        p = [-1, -1]
+        d = [0.0, 0.0]
+        for k, a in enumerate(args[:2]):
+            if isinstance(a, AdFloat):
+                p[k] = a.idx
+                d[k] = partials[k]
+        idx = tape.add_node(value, p[0], d[0], p[1], d[1])
+        return AdFloat(tape, idx, value)

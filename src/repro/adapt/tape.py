@@ -1,0 +1,108 @@
+"""The ADAPT tape: a linear record of every FP operation.
+
+Structure-of-arrays storage (parallel Python lists) keeps per-node
+overhead predictable so the memory-budget check can emulate the paper's
+cluster OOM deterministically: when the estimated tape footprint exceeds
+the budget, :class:`~repro.util.errors.AnalysisOutOfMemory` is raised —
+this is what truncates the ADAPT curves in Figs. 4, 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.fp.precision import round_f32
+from repro.util.errors import AnalysisOutOfMemory
+
+#: Estimated bytes per tape node: 5 list slots (8 bytes of pointer each)
+#: plus two boxed floats (~32 bytes each) and the AdFloat wrapper object
+#: amortized.  Deliberately conservative; only ratios matter.
+NODE_BYTES = 120
+
+
+@dataclass
+class TapeLimits:
+    """Resource limits for one analysis run."""
+
+    #: raise :class:`AnalysisOutOfMemory` when the tape's estimated
+    #: footprint exceeds this many bytes (0 disables the check).
+    memory_budget_bytes: int = 512 * 1024 * 1024
+
+
+class Tape:
+    """Linear operation tape with reverse-sweep adjoint accumulation."""
+
+    __slots__ = ("values", "p1", "d1", "p2", "d2", "limits", "_check_mask")
+
+    def __init__(self, limits: Optional[TapeLimits] = None) -> None:
+        self.values: List[float] = []
+        self.p1: List[int] = []
+        self.d1: List[float] = []
+        self.p2: List[int] = []
+        self.d2: List[float] = []
+        self.limits = limits or TapeLimits()
+        self._check_mask = 0x3FF  # budget check every 1024 nodes
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Estimated tape memory footprint."""
+        return len(self.values) * NODE_BYTES
+
+    def add_node(
+        self,
+        value: float,
+        p1: int = -1,
+        d1: float = 0.0,
+        p2: int = -1,
+        d2: float = 0.0,
+    ) -> int:
+        """Record one operation; returns the node index.
+
+        :raises AnalysisOutOfMemory: when the memory budget is exceeded.
+        """
+        idx = len(self.values)
+        self.values.append(value)
+        self.p1.append(p1)
+        self.d1.append(d1)
+        self.p2.append(p2)
+        self.d2.append(d2)
+        budget = self.limits.memory_budget_bytes
+        if budget and (idx & self._check_mask) == 0:
+            est = idx * NODE_BYTES
+            if est > budget:
+                raise AnalysisOutOfMemory(est, budget)
+        return idx
+
+    def reverse(self, output_index: int) -> List[float]:
+        """Reverse sweep: adjoint of every node w.r.t. the output node."""
+        n = len(self.values)
+        adj = [0.0] * n
+        adj[output_index] = 1.0
+        p1, d1, p2, d2 = self.p1, self.d1, self.p2, self.d2
+        for i in range(n - 1, -1, -1):
+            a = adj[i]
+            if a == 0.0:
+                continue
+            j = p1[i]
+            if j >= 0:
+                adj[j] += a * d1[i]
+            j = p2[i]
+            if j >= 0:
+                adj[j] += a * d2[i]
+        return adj
+
+    def eq2_error(self, adjoints: List[float]) -> float:
+        """Total Eq. 2 error: Σ |adj_i · (v_i − (float)v_i)| over all
+        recorded operations (each node is one 'assignment')."""
+        total = 0.0
+        values = self.values
+        for i, a in enumerate(adjoints):
+            if a == 0.0:
+                continue
+            v = values[i]
+            total += abs(a * (v - round_f32(v)))
+        return total

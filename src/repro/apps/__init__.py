@@ -1,0 +1,35 @@
+"""The paper's five benchmark applications, reimplemented in the DSL.
+
+Each module exposes its instrumented kernel(s), a workload generator,
+and the experiment metadata (error threshold, tuning candidates) used
+by :mod:`repro.experiments`:
+
+* :mod:`repro.apps.arclength` — arc-length quadrature (ADAPT's classic
+  multi-harmonic test function),
+* :mod:`repro.apps.simpsons` — Simpson's-rule integration,
+* :mod:`repro.apps.kmeans` — Rodinia-style k-Means with the Euclidean
+  distance hotspot,
+* :mod:`repro.apps.hpccg` — Mantevo HPCCG: a 27-point-stencil conjugate
+  gradient solver on a 3-D chimney domain,
+* :mod:`repro.apps.blackscholes` — PARSEC-style Black-Scholes option
+  pricing with polynomial CNDF (the FastApprox study's target).
+"""
+
+from repro.apps import arclength, simpsons, kmeans, hpccg, blackscholes
+
+ALL_APPS = {
+    "arclength": arclength,
+    "simpsons": simpsons,
+    "kmeans": kmeans,
+    "hpccg": hpccg,
+    "blackscholes": blackscholes,
+}
+
+__all__ = [
+    "arclength",
+    "simpsons",
+    "kmeans",
+    "hpccg",
+    "blackscholes",
+    "ALL_APPS",
+]

@@ -1,0 +1,79 @@
+"""Arc Length benchmark (paper §IV-1).
+
+Approximates the arc length of the multi-harmonic test function
+
+    g(x) = x + Σ_{k=1..6} sin(2^k x) / 2^k      over [0, π]
+
+by summing straight-line segment lengths between ``n`` sample points —
+the same function family used by ADAPT and Precimonious.  The error
+threshold of Table I is 1e-5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.frontend.registry import kernel
+
+NAME = "arclength"
+#: Table I threshold for the mixed-precision experiment
+DEFAULT_THRESHOLD = 1e-5
+#: variables eligible for demotion in the tuning experiment
+TUNING_CANDIDATES = ("s", "t1", "t2", "x", "diff", "d1", "t")
+
+
+@kernel
+def arclength_fun(x: float) -> float:
+    """The multi-harmonic test function g(x)."""
+    d1 = 1.0
+    t = x
+    for k in range(6):
+        d1 = 2.0 * d1
+        t = t + sin(d1 * x) / d1
+    return t
+
+
+@kernel
+def arclength(n: int, h: float) -> float:
+    """Arc length of g over [0, n·h] with ``n`` segments of width ``h``.
+
+    ``h`` is a differentiable input (π/n for the standard [0, π] sweep),
+    so the AD-based tools have an independent variable to seed — the
+    same formulation ADAPT's version of this benchmark uses.
+    """
+    t1 = 0.0
+    s = 0.0
+    for i in range(1, n + 1):
+        x = i * h
+        t2 = arclength_fun(x)
+        diff = t2 - t1
+        s = s + sqrt(h * h + diff * diff)
+        t1 = t2
+    return s
+
+
+def make_workload(size: int) -> Tuple[int, float]:
+    """Arguments for :func:`arclength` at ``size`` iterations."""
+    return (int(size), math.pi / int(size))
+
+
+#: kernel instrumented for error analysis / benchmarking
+INSTRUMENTED = arclength
+
+#: exact arc length for validation, computed by fine-grained reference
+def reference_value(n: int = 1_000_000) -> float:
+    """High-resolution reference arc length (plain Python, f64)."""
+    h = math.pi / n
+    t1 = 0.0
+    s = 0.0
+    for i in range(1, n + 1):
+        x = i * h
+        d1, t = 1.0, x
+        for _ in range(6):
+            d1 *= 2.0
+            t += math.sin(d1 * x) / d1
+        diff = t - t1
+        s += math.sqrt(h * h + diff * diff)
+        t1 = t
+    return s

@@ -1,0 +1,142 @@
+"""Black-Scholes benchmark (paper §IV-5, PARSEC suite).
+
+European option pricing with the polynomial (Abramowitz–Stegun) CNDF —
+the PARSEC formulation.  This is the approximate-computing study of the
+paper: three math functions (``log``, ``sqrt``, ``exp``) have FastApprox
+variants, and CHEF-FP's custom-model hook (Algorithm 2) bounds the
+error each substitution introduces (Table IV).
+
+The variables feeding those functions are made explicit locals
+(``login``, ``sqrtin``, ``expin``, ``expin2``) so the variable→function
+map S of Algorithm 2 is exactly expressible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.frontend.registry import kernel
+
+NAME = "blackscholes"
+#: Table IV configurations: which intrinsics run approximately
+CONFIG_WITHOUT_EXP = frozenset({"log", "sqrt"})
+CONFIG_WITH_EXP = frozenset({"log", "sqrt", "exp"})
+
+#: Algorithm 2's map S: variable of interest → function it feeds
+APPROX_VARIABLE_MAP: Dict[str, str] = {
+    "login": "log",
+    "sqrtin": "sqrt",
+    "expin": "exp",
+    "expin2": "exp",
+}
+
+
+@kernel
+def cndf(x: float) -> float:
+    """Cumulative normal distribution, PARSEC's polynomial expansion."""
+    ax = fabs(x)
+    expin = -0.5 * ax * ax
+    expval = 0.39894228040143270 * exp(expin)
+    k = 1.0 / (1.0 + 0.2316419 * ax)
+    poly = k * (
+        0.319381530
+        + k * (
+            -0.356563782
+            + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))
+        )
+    )
+    one_minus = 1.0 - expval * poly
+    res = one_minus
+    if x < 0.0:
+        res = 1.0 - one_minus
+    return res
+
+
+@kernel
+def bs_price(
+    sptprice: float,
+    strike: float,
+    rate: float,
+    volatility: float,
+    otime: float,
+    otype: int,
+) -> float:
+    """Price one European option (otype 0 = call, 1 = put)."""
+    login = sptprice / strike
+    xlogterm = log(login)
+    sqrtin = otime
+    xsqrtterm = sqrt(sqrtin)
+    xpowerterm = 0.5 * volatility * volatility
+    xden = volatility * xsqrtterm
+    xd1 = ((rate + xpowerterm) * otime + xlogterm) / xden
+    xd2 = xd1 - xden
+    nd1 = cndf(xd1)
+    nd2 = cndf(xd2)
+    expin2 = 0.0 - rate * otime
+    futurevalue = strike * exp(expin2)
+    price = sptprice * nd1 - futurevalue * nd2
+    if otype == 1:
+        price = futurevalue * (1.0 - nd2) - sptprice * (1.0 - nd1)
+    return price
+
+
+@kernel
+def bs_total(
+    n: int,
+    sptprice: "f64[]",
+    strike: "f64[]",
+    rate: "f64[]",
+    volatility: "f64[]",
+    otime: "f64[]",
+    otype: "i64[]",
+) -> float:
+    """Aggregate portfolio value over ``n`` options (the instrumented
+    whole-application objective for the analysis-time benchmarks)."""
+    total = 0.0
+    for i in range(n):
+        pr = bs_price(
+            sptprice[i], strike[i], rate[i], volatility[i], otime[i],
+            otype[i],
+        )
+        total = total + pr
+    return total
+
+
+def make_workload(size: int, seed: int = 404) -> Tuple[object, ...]:
+    """PARSEC-style random option portfolio of ``size`` options."""
+    rng = np.random.default_rng(seed)
+    spt = rng.uniform(25.0, 150.0, size)
+    strike = spt * rng.uniform(0.8, 1.2, size)
+    rate = rng.uniform(0.02, 0.1, size)
+    vol = rng.uniform(0.05, 0.65, size)
+    otime = rng.uniform(0.05, 1.0, size)
+    otype = rng.integers(0, 2, size).astype(np.int64)
+    return (int(size), spt, strike, rate, vol, otime, otype)
+
+
+def point_args(workload: Tuple[object, ...], i: int) -> Tuple[object, ...]:
+    """Arguments for :func:`bs_price` for option ``i`` of a workload."""
+    _, spt, strike, rate, vol, otime, otype = workload
+    return (
+        float(spt[i]),
+        float(strike[i]),
+        float(rate[i]),
+        float(vol[i]),
+        float(otime[i]),
+        int(otype[i]),
+    )
+
+
+INSTRUMENTED = bs_total
+
+
+def closed_form_call(S: float, K: float, r: float, v: float, t: float) -> float:
+    """Exact Black-Scholes call via the error function (test oracle)."""
+    import math
+
+    d1 = (math.log(S / K) + (r + 0.5 * v * v) * t) / (v * math.sqrt(t))
+    d2 = d1 - v * math.sqrt(t)
+    N = lambda z: 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))  # noqa: E731
+    return S * N(d1) - K * math.exp(-r * t) * N(d2)

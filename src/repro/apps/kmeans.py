@@ -1,0 +1,116 @@
+"""k-Means benchmark (paper §IV-3, Rodinia suite).
+
+The paper instruments the Euclidean distance function — the
+computational hotspot — with the three variables of Table III:
+``attributes`` (the input points), ``clusters`` (the centroids), and
+``sum`` (the running squared distance).  The instrumented aggregate
+kernel sums each point's distance to its nearest centroid, the
+assignment-step objective.
+
+The input generator reproduces the paper's observation that the error
+estimated for ``attributes`` is 0: attribute values are drawn on a
+dyadic grid (multiples of 2⁻⁸) that is exactly representable in
+binary32, so the Eq. 2 demotion error vanishes.  Centroids are means of
+such values and are *not* exactly representable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.frontend.registry import kernel
+
+NAME = "kmeans"
+DEFAULT_THRESHOLD = 1e-6
+TUNING_CANDIDATES = ("attributes", "clusters", "sum")
+
+#: problem shape (Rodinia defaults scaled): features per point, clusters
+NFEATURES = 4
+NCLUSTERS = 5
+
+
+@kernel
+def euclid_dist(
+    nfeatures: int,
+    pt: int,
+    cl: int,
+    attributes: "f64[]",
+    clusters: "f64[]",
+) -> float:
+    """Euclidean distance between one point and one centroid.
+
+    The paper's instrumented hotspot: ``sum`` accumulates squared
+    feature differences read from ``attributes`` and ``clusters``.
+    """
+    sum = 0.0
+    for f in range(nfeatures):
+        sum = sum + (
+            attributes[pt * nfeatures + f] - clusters[cl * nfeatures + f]
+        ) * (
+            attributes[pt * nfeatures + f] - clusters[cl * nfeatures + f]
+        )
+    return sqrt(sum)
+
+
+@kernel
+def kmeans_cost(
+    npoints: int,
+    nclusters: int,
+    nfeatures: int,
+    attributes: "f64[]",
+    clusters: "f64[]",
+) -> float:
+    """Sum of nearest-centroid distances over the whole data set."""
+    total = 0.0
+    for p in range(npoints):
+        best = 1e30  # sentinel kept inside binary32 range
+        for c in range(nclusters):
+            d = euclid_dist(nfeatures, p, c, attributes, clusters)
+            best = fmin(best, d)
+        total = total + best
+    return total
+
+
+def make_workload(
+    size: int, seed: int = 2023
+) -> Tuple[int, int, int, np.ndarray, np.ndarray]:
+    """Arguments for :func:`kmeans_cost` with ``size`` data points.
+
+    Attributes are multiples of 2⁻⁸ in [0, 1) — exactly representable
+    in binary32 (zero demotion error, matching the paper).  Centroids
+    are k-means-style means of random subsets, generically inexact in
+    binary32.
+    """
+    rng = np.random.default_rng(seed)
+    attrs = rng.integers(0, 256, size=size * NFEATURES) / 256.0
+    # centroids: means of random point subsets (like one Lloyd update)
+    cl = np.empty(NCLUSTERS * NFEATURES, dtype=np.float64)
+    for c in range(NCLUSTERS):
+        members = rng.integers(0, size, size=max(3, size // NCLUSTERS))
+        pts = attrs.reshape(size, NFEATURES)[members]
+        cl[c * NFEATURES:(c + 1) * NFEATURES] = pts.mean(axis=0)
+    return (size, NCLUSTERS, NFEATURES, attrs.astype(np.float64), cl)
+
+
+INSTRUMENTED = kmeans_cost
+
+
+def lloyd_iterations(
+    attrs: np.ndarray, k: int, iters: int = 5, seed: int = 7
+) -> np.ndarray:
+    """Reference numpy k-means (Lloyd) — used by tests to confirm the
+    DSL objective matches a conventional implementation's assignment
+    cost."""
+    pts = attrs.reshape(-1, NFEATURES)
+    rng = np.random.default_rng(seed)
+    centroids = pts[rng.choice(len(pts), size=k, replace=False)].copy()
+    for _ in range(iters):
+        d = np.linalg.norm(pts[:, None, :] - centroids[None, :, :], axis=2)
+        assign = d.argmin(axis=1)
+        for c in range(k):
+            sel = pts[assign == c]
+            if len(sel):
+                centroids[c] = sel.mean(axis=0)
+    return centroids.reshape(-1)

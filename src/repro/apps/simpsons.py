@@ -1,0 +1,51 @@
+"""Simpsons benchmark (paper §IV-2).
+
+Composite Simpson's-rule approximation of ∫ₐᵇ f(x) dx with
+f(x) = x·sin(x) over [0, π] (exact value π), using the paper's
+formulation: interior odd points weighted 4, even points weighted 2.
+The Table I threshold is 1e-6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.frontend.registry import kernel
+
+NAME = "simpsons"
+DEFAULT_THRESHOLD = 1e-6
+TUNING_CANDIDATES = ("s", "x", "fx", "h")
+
+
+@kernel
+def simpson_f(x: float) -> float:
+    """The integrand f(x) = x · sin(x)."""
+    fx = x * sin(x)
+    return fx
+
+
+@kernel
+def simpson(n: int, lo: float, hi: float) -> float:
+    """Composite Simpson approximation with ``2n`` subintervals."""
+    h = (hi - lo) / (2.0 * n)
+    s = simpson_f(lo) + simpson_f(hi)
+    for i in range(1, 2 * n):
+        x = lo + i * h
+        fx = simpson_f(x)
+        if i % 2 == 1:
+            s = s + 4.0 * fx
+        else:
+            s = s + 2.0 * fx
+    return s * h / 3.0
+
+
+def make_workload(size: int) -> Tuple[int, float, float]:
+    """Arguments for :func:`simpson` with ``size`` iteration pairs."""
+    return (int(size), 0.0, math.pi)
+
+
+INSTRUMENTED = simpson
+
+#: exact integral of x·sin(x) over [0, π]
+EXACT_VALUE = math.pi

@@ -1,0 +1,149 @@
+"""Compile generated Python source and wrap it for callers.
+
+The wrapper layer handles the numpy boundary: array parameters arrive as
+``np.ndarray`` (or any sequence), are converted to plain Python lists for
+fast element access in the generated code (per the HPC-Python guidance:
+avoid numpy scalar indexing in hot scalar loops), and are written back on
+exit to preserve the IR's by-reference array semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.codegen import runtime
+from repro.codegen.pygen import generate_source
+from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType
+from repro.util.errors import ExecutionError
+
+
+class CompiledFunction:
+    """A compiled IR function plus its calling convention metadata."""
+
+    def __init__(
+        self,
+        fn: N.Function,
+        raw: Callable,
+        source: str,
+        counting: bool,
+        traces: List[str],
+    ) -> None:
+        self.fn = fn
+        self.raw = raw
+        self.source = source
+        self.counting = counting
+        self.traces = traces
+        self._array_params = [
+            i
+            for i, p in enumerate(fn.params)
+            if isinstance(p.type, ArrayType)
+        ]
+        # parameters stored at reduced precision: incoming values are
+        # rounded on entry (demoting an input's storage rounds the data)
+        from repro.ir.types import DType
+
+        self._rounded_params = [
+            (i, p.type.dtype)
+            for i, p in enumerate(fn.params)
+            if p.type.dtype in (DType.F32, DType.F16)
+        ]
+
+    def __call__(self, *args: object) -> object:
+        """Call with user-facing conventions (numpy arrays in/out).
+
+        Returns the primal return value.  If the function was compiled
+        with ``counting`` or has sensitivity traces, returns a tuple
+        ``(value, extras_dict)`` instead, where ``extras_dict`` may hold
+        ``"cost"`` and per-trace lists.
+        """
+        if len(args) != len(self.fn.params):
+            raise ExecutionError(
+                f"{self.fn.name}: expected {len(self.fn.params)} arguments,"
+                f" got {len(args)}"
+            )
+        call_args = list(args)
+        if self._rounded_params:
+            from repro.fp.precision import round_to
+
+            for i, dt in self._rounded_params:
+                a = call_args[i]
+                if isinstance(a, np.ndarray):
+                    call_args[i] = np.asarray(round_to(a, dt))
+                elif isinstance(a, (int, float)):
+                    call_args[i] = round_to(float(a), dt)
+        writebacks: List[Tuple[np.ndarray, list]] = []
+        for i in self._array_params:
+            a = call_args[i]
+            if isinstance(a, np.ndarray):
+                lst = a.tolist()
+                call_args[i] = lst
+                writebacks.append((a, lst))
+            elif isinstance(a, list):
+                pass  # trusted fast path (ADAPT passes AdFloat lists)
+            else:
+                call_args[i] = list(a)  # type: ignore[arg-type]
+        result = self.raw(*call_args)
+        for orig, lst in writebacks:
+            orig[:] = lst
+        if not self.traces and not self.counting:
+            return result
+        # unpack extra return slots
+        values = result if isinstance(result, tuple) else (result,)
+        n_extra = len(self.traces) + (1 if self.counting else 0)
+        base = values[: len(values) - n_extra]
+        extras_vals = values[len(values) - n_extra:]
+        extras: Dict[str, object] = {}
+        for name, val in zip(self.traces, extras_vals):
+            extras[name] = val
+        if self.counting:
+            extras["cost"] = extras_vals[-1]
+        primal = base[0] if len(base) == 1 else base
+        return primal, extras
+
+
+def compile_raw(
+    fn: N.Function,
+    dispatch: bool = False,
+    counting: bool = False,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+    extra_bindings: Optional[Dict[str, object]] = None,
+) -> CompiledFunction:
+    """Generate, compile, and wrap ``fn``.
+
+    :param dispatch: bind value-type-generic intrinsic shims so the ADAPT
+        baseline's ``AdFloat`` can flow through the code.
+    :param counting: bake simulated-cycle accumulation into the code.
+    :param approx: intrinsics to execute (and cost) as FastApprox.
+    :param extra_bindings: extra globals for the generated module (used
+        by external error models to bind their ``user_err`` callable).
+    """
+    src = generate_source(
+        fn, counting=counting, cost_model=cost_model, approx=approx
+    )
+    if dispatch:
+        g = runtime.dispatch_bindings()
+    else:
+        g = runtime.direct_bindings(approx=approx)
+    if extra_bindings:
+        g.update(extra_bindings)
+    code = compile(src, filename=f"<repro:{fn.name}>", mode="exec")
+    ns: Dict[str, object] = {}
+    exec(code, g, ns)  # noqa: S102 - compiling our own generated source
+    raw = ns[fn.name]
+    traces: List[str] = []
+    from repro.ir.visitor import walk_stmts
+
+    for s in walk_stmts(fn.body):
+        if isinstance(s, N.TraceAppend) and s.trace not in traces:
+            traces.append(s.trace)
+    return CompiledFunction(fn, raw, src, counting, traces)
+
+
+def compile_primal(fn: N.Function, approx: Optional[Set[str]] = None) -> CompiledFunction:
+    """Compile the plain primal (direct bindings, no counting)."""
+    return compile_raw(fn, dispatch=False, counting=False, approx=approx)

@@ -1,0 +1,80 @@
+"""Runtime bindings for generated code.
+
+Generated source refers to intrinsic implementations through ``_i_<name>``
+globals and to precision rounding through ``_c32``/``_c16``.  Two binding
+modes exist:
+
+* **direct** — ``_i_sin`` is ``math.sin`` etc.; fastest, used by CHEF-FP
+  analysis code and plain application runs (with optional FastApprox
+  substitutions).
+* **dispatch** — shims that accept either native floats or the ADAPT
+  baseline's taping ``AdFloat``; this is what lets the ADAPT baseline run
+  the *same* generated primal code through operator overloading, exactly
+  like CoDiPack types flowing through templated C++ in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Set
+
+from repro.fp.precision import round_f16, round_f32
+from repro.frontend.intrinsics import INTRINSICS
+
+
+def direct_bindings(approx: Optional[Set[str]] = None) -> Dict[str, object]:
+    """Globals for direct (native-float) execution.
+
+    :param approx: intrinsic names to replace with FastApprox variants.
+    """
+    g: Dict[str, object] = {"__builtins__": {"range": range, "int": int,
+                                             "float": float, "abs": abs,
+                                             "len": len, "bool": bool}}
+    approx = approx or set()
+    for name, info in INTRINSICS.items():
+        impl = info.impl
+        if name in approx and info.approx_impl is not None:
+            impl = info.approx_impl
+        g[f"_i_{name}"] = impl
+    g["_c32"] = round_f32
+    g["_c16"] = round_f16
+    return g
+
+
+def dispatch_bindings() -> Dict[str, object]:
+    """Globals for value-type-generic execution (floats or AdFloats).
+
+    The shims are built lazily to avoid a circular import with
+    :mod:`repro.adapt`.
+    """
+    from repro.adapt.advalues import AdFloat
+
+    g: Dict[str, object] = {"__builtins__": {"range": range, "int": int,
+                                             "float": float, "abs": abs,
+                                             "len": len, "bool": bool}}
+
+    def make_shim(name: str, impl: Callable) -> Callable:
+        def shim(*args):
+            if any(isinstance(a, AdFloat) for a in args):
+                return AdFloat.apply_intrinsic(name, args)
+            return impl(*args)
+
+        shim.__name__ = f"_i_{name}"
+        return shim
+
+    for name, info in INTRINSICS.items():
+        g[f"_i_{name}"] = make_shim(name, info.impl)
+
+    def c32(x):
+        if isinstance(x, AdFloat):
+            return x.round32()
+        return round_f32(x)
+
+    def c16(x):
+        if isinstance(x, AdFloat):
+            return x.round16()
+        return round_f16(x)
+
+    g["_c32"] = c32
+    g["_c16"] = c16
+    return g

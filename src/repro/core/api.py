@@ -1,0 +1,232 @@
+"""Public entry points: ``gradient`` and ``estimate_error``.
+
+These mirror ``clad::gradient`` / ``clad::estimate_error`` (paper
+Listing 1): they take a :class:`~repro.frontend.registry.Kernel` (or an
+IR function), run the reverse-mode transformation — with the Error
+Estimation Module attached for ``estimate_error`` — push the result
+through the optimization pipeline, compile it, and wrap execution in a
+friendly calling convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.codegen.compile import CompiledFunction, compile_raw
+from repro.core.estimation import ErrorEstimationModule
+from repro.core.models import ErrorModel
+from repro.core.report import ErrorReport, GradientResult
+from repro.core.reverse import ReverseModeTransformer
+from repro.frontend.registry import Kernel
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType
+from repro.util.errors import ExecutionError
+
+KernelLike = Union[Kernel, N.Function]
+
+
+def _as_ir(k: KernelLike) -> N.Function:
+    if isinstance(k, Kernel):
+        return k.ir
+    return k
+
+
+class _AdjointRunner:
+    """Shared machinery: build, optimize, compile, and call an adjoint."""
+
+    def __init__(
+        self,
+        primal: N.Function,
+        extension,
+        opt_level: int,
+        minimal_pushes: bool,
+        extra_bindings: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.primal = primal
+        transformer = ReverseModeTransformer(
+            primal, extension=extension, minimal_pushes=minimal_pushes
+        )
+        adjoint = transformer.transform()
+        if opt_level > 0:
+            from repro.opt.pipeline import optimize
+
+            adjoint = optimize(adjoint, level=opt_level)
+        self.adjoint = adjoint
+        self.layout = adjoint.meta["adjoint"]
+        self.compiled: CompiledFunction = compile_raw(
+            adjoint, extra_bindings=extra_bindings
+        )
+        self._n_primal_params = len(primal.params)
+
+    @property
+    def generated_source(self) -> str:
+        """The generated (optimized) Python source of the adjoint."""
+        return self.compiled.source
+
+    def call(
+        self, args: Sequence[object]
+    ) -> Tuple[Dict[Tuple[str, ...], float], Dict[str, np.ndarray], Dict[str, list]]:
+        if len(args) != self._n_primal_params:
+            raise ExecutionError(
+                f"{self.primal.name}: expected {self._n_primal_params} "
+                f"arguments, got {len(args)}"
+            )
+        array_grads: Dict[str, np.ndarray] = {}
+        full_args: List[object] = list(args)
+        for p in self.primal.params:
+            gname = self.layout["array_grads"].get(p.name)
+            if gname is not None:
+                src = args[self.primal.param_names.index(p.name)]
+                n = len(src)  # type: ignore[arg-type]
+                g = np.zeros(n, dtype=np.float64)
+                array_grads[p.name] = g
+                full_args.append(g)
+        result = self.compiled(*full_args)
+        if self.compiled.traces:
+            base, extras = result  # type: ignore[misc]
+            traces = {k: v for k, v in extras.items() if k != "cost"}
+        else:
+            base, traces = result, {}
+        if not isinstance(base, tuple):
+            base = (base,)
+        named: Dict[Tuple[str, ...], float] = {}
+        for key, val in zip(self.layout["ret_names"], base):
+            named[tuple(key)] = val
+        return named, array_grads, traces
+
+
+class Gradient:
+    """A compiled reverse-mode gradient of a kernel."""
+
+    def __init__(
+        self,
+        k: KernelLike,
+        opt_level: int = 2,
+        minimal_pushes: bool = True,
+    ) -> None:
+        self._runner = _AdjointRunner(
+            _as_ir(k), extension=None, opt_level=opt_level,
+            minimal_pushes=minimal_pushes,
+        )
+
+    @property
+    def source(self) -> str:
+        """Generated Python source of the gradient function."""
+        return self._runner.generated_source
+
+    @property
+    def adjoint_ir(self) -> N.Function:
+        return self._runner.adjoint
+
+    def execute(self, *args: object) -> GradientResult:
+        """Run the gradient; see :class:`GradientResult`."""
+        named, array_grads, _ = self._runner.call(args)
+        res = GradientResult(value=named[("value",)])
+        for key, val in named.items():
+            if key[0] == "grad":
+                res.gradients[key[1]] = val
+        res.gradients.update(array_grads)
+        return res
+
+
+class ErrorEstimator:
+    """A compiled error-estimating adjoint (``clad::estimate_error``).
+
+    :param model: the error model (default: Taylor, Eq. 1).
+    :param track: variable names whose per-assignment sensitivity
+        ``|x*dx|`` should be traced (Fig. 9 input).
+    :param opt_level: optimization pipeline level (0 disables — the
+        ablation baseline).
+    :param minimal_pushes: enable TBR tape minimization (ablation hook).
+    """
+
+    def __init__(
+        self,
+        k: KernelLike,
+        model: Optional[ErrorModel] = None,
+        track: Sequence[str] = (),
+        opt_level: int = 2,
+        minimal_pushes: bool = True,
+    ) -> None:
+        self.module = ErrorEstimationModule(model=model, track=track)
+        self._runner = _AdjointRunner(
+            _as_ir(k),
+            extension=self.module,
+            opt_level=opt_level,
+            minimal_pushes=minimal_pushes,
+            extra_bindings=self.module.bindings(),
+        )
+
+    @property
+    def source(self) -> str:
+        """Generated Python source of the error-estimated adjoint."""
+        return self._runner.generated_source
+
+    @property
+    def adjoint_ir(self) -> N.Function:
+        return self._runner.adjoint
+
+    def execute(self, *args: object) -> ErrorReport:
+        """Run the analysis; see :class:`ErrorReport`."""
+        named, array_grads, traces = self._runner.call(args)
+        rep = ErrorReport(value=named[("value",)])
+        for key, val in named.items():
+            if key[0] == "grad":
+                rep.gradients[key[1]] = val
+            elif key[0] == "extra":
+                if key[1] == "fp_error":
+                    rep.total_error = val
+                elif key[1].startswith("delta:"):
+                    rep.per_variable[key[1][len("delta:"):]] = val
+        rep.gradients.update(array_grads)
+        rep.traces = dict(traces)
+        # input variables are never assignment targets, so their
+        # representation error is accounted for here (the Eq. 2 sum runs
+        # over inputs too — this is how read-only data like k-Means'
+        # `clusters` acquires an estimate)
+        model = self.module.model
+        primal = self._runner.primal
+        for p in primal.params:
+            if p.name not in rep.gradients:
+                continue
+            idx = primal.param_names.index(p.name)
+            contrib = model.input_error(
+                p.name, args[idx], rep.gradients[p.name]
+            )
+            if contrib:
+                rep.per_variable[p.name] = (
+                    rep.per_variable.get(p.name, 0.0) + contrib
+                )
+                rep.total_error += contrib
+        return rep
+
+
+def gradient(k: KernelLike, **kwargs: object) -> Gradient:
+    """Build the reverse-mode gradient of a kernel.
+
+    Example::
+
+        g = repro.gradient(func)
+        res = g.execute(1.0, 2.0)
+        res.value, res.grad("x")
+    """
+    return Gradient(k, **kwargs)  # type: ignore[arg-type]
+
+
+def estimate_error(
+    k: KernelLike,
+    model: Optional[ErrorModel] = None,
+    track: Sequence[str] = (),
+    **kwargs: object,
+) -> ErrorEstimator:
+    """Build an error-estimating adjoint of a kernel (Listing 1).
+
+    Example::
+
+        df = repro.estimate_error(func)
+        report = df.execute(1.95e-5, 1.37e-7)
+        print("Error in func:", report.total_error)
+    """
+    return ErrorEstimator(k, model=model, track=track, **kwargs)  # type: ignore[arg-type]

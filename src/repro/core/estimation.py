@@ -1,0 +1,129 @@
+"""The Error Estimation Module (paper §III-D).
+
+Subscribes to the adjoint generator's callbacks and splices error-
+estimation code into the generated derivative:
+
+* per differentiable assignment, the configured :class:`ErrorModel`'s
+  expression is evaluated into a fresh temporary and accumulated into a
+  per-variable register ``_delta_<var>`` and the running total
+  ``_fp_total_err`` (``AssignError``),
+* variables listed in ``track`` additionally append their instantaneous
+  sensitivity ``|x * dx|`` to a trace (the data behind the paper's
+  Fig. 9 heat map),
+* the epilogue (``FinalizeEE``) freezes the total, and the per-variable
+  registers are exported through the adjoint's return tuple.
+
+Because the registers are plain locals of the generated function, the
+whole EE computation is visible to the optimization pipeline — the
+paper's central performance argument.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.core.events import AdjointExtension
+from repro.core.models import ErrorModel, TaylorModel
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.types import DType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.reverse import AdjointContext
+
+TOTAL_REG = "_fp_total_err"
+
+
+def delta_register(var: str) -> str:
+    """Name of the per-variable error register for ``var``."""
+    return f"_delta_{var}"
+
+
+class ErrorEstimationModule(AdjointExtension):
+    """CHEF-FP's EE module as an adjoint-generation extension."""
+
+    def __init__(
+        self,
+        model: ErrorModel | None = None,
+        track: Sequence[str] = (),
+    ) -> None:
+        self.model = model or TaylorModel()
+        self.track = tuple(track)
+        self._registers: List[str] = []
+
+    # -- extension hooks ----------------------------------------------------
+    def on_begin(self, ctx: "AdjointContext") -> None:
+        self._registers = []
+        self.model.reset()
+
+    def on_assign(
+        self,
+        ctx: "AdjointContext",
+        target: N.LValue,
+        adjoint: N.Expr,
+        stmt: N.Assign,
+    ) -> List[N.Stmt]:
+        expr = self.model.error_expr(ctx, target, adjoint, stmt)
+        out: List[N.Stmt] = []
+        var = target.id if isinstance(target, N.Name) else target.base
+        if expr is not None:
+            if var not in self._registers:
+                self._registers.append(var)
+            e = ctx.new_temp("_e", DType.F64)
+            out.append(N.Assign(b.name(e, DType.F64), expr))
+            out.append(
+                b.accumulate(
+                    b.name(delta_register(var), DType.F64),
+                    b.name(e, DType.F64),
+                )
+            )
+            out.append(
+                b.accumulate(
+                    b.name(TOTAL_REG, DType.F64), b.name(e, DType.F64)
+                )
+            )
+        if var in self.track:
+            x = (
+                b.name(target.id, target.dtype or DType.F64)
+                if isinstance(target, N.Name)
+                else b.index(
+                    target.base,
+                    b.clone(target.index),
+                    target.dtype or DType.F64,
+                )
+            )
+            out.append(
+                N.TraceAppend(var, b.fabs(b.mul(x, b.clone(adjoint))))
+            )
+        return out
+
+    def prologue(self, ctx: "AdjointContext") -> List[N.Stmt]:
+        stmts: List[N.Stmt] = [
+            N.VarDecl(TOTAL_REG, DType.F64, b.fzero())
+        ]
+        for var in self._registers:
+            stmts.append(
+                N.VarDecl(delta_register(var), DType.F64, b.fzero())
+            )
+        return stmts
+
+    def on_end(self, ctx: "AdjointContext") -> List[N.Stmt]:
+        # FinalizeEE: the total is maintained incrementally; nothing to
+        # compute, but the hook point exists for custom finalization.
+        return []
+
+    def extra_returns(
+        self, ctx: "AdjointContext"
+    ) -> List[Tuple[str, N.Expr]]:
+        out: List[Tuple[str, N.Expr]] = [
+            ("fp_error", b.name(TOTAL_REG, DType.F64))
+        ]
+        for var in self._registers:
+            out.append(
+                (f"delta:{var}", b.name(delta_register(var), DType.F64))
+            )
+        return out
+
+    def bindings(self) -> Dict[str, object]:
+        """Runtime bindings required by the model's generated code."""
+        return self.model.bindings()

@@ -1,0 +1,73 @@
+"""The adjoint-generation callback system.
+
+Clad exposes events during adjoint creation that extensions subscribe to;
+CHEF-FP is exactly such an extension (paper §III-D).  Our equivalent is
+:class:`AdjointExtension`: the reverse-mode transformer calls its hooks
+at well-defined points and splices the returned statements into the
+generated function.  The Error Estimation Module implements this
+interface; so can any user extension (e.g. value-range recorders).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.ir import nodes as N
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.reverse import AdjointContext
+
+
+class AdjointExtension:
+    """Base class: all hooks are no-ops.
+
+    Hook order during generation of one adjoint function:
+
+    1. :meth:`on_begin` — once; returned statements become prologue.
+    2. :meth:`on_assign` — for every differentiable (float) assignment
+       processed in the backward sweep, *before* state restoration, so
+       the returned statements observe the assigned value and its
+       adjoint (``AssignError`` in the paper's Algorithm 1).
+    3. :meth:`on_end` — once; returned statements run after the backward
+       sweep (``FinalizeEE``).
+    4. :meth:`extra_returns` — name/expression pairs appended to the
+       adjoint's return tuple.
+    """
+
+    def on_begin(self, ctx: "AdjointContext") -> None:
+        """Reset per-generation state.  Called once per generation pass
+        (the transformer runs two passes for tape minimization), before
+        any other hook."""
+        return None
+
+    def prologue(self, ctx: "AdjointContext") -> List[N.Stmt]:
+        """Prologue statements (e.g. declare error registers).  Called
+        after the sweeps are generated, so registers discovered during
+        :meth:`on_assign` can be declared here."""
+        return []
+
+    def on_assign(
+        self,
+        ctx: "AdjointContext",
+        target: N.LValue,
+        adjoint: N.Expr,
+        stmt: N.Assign,
+    ) -> List[N.Stmt]:
+        """Statements to splice after computing ``adjoint`` for ``target``.
+
+        :param target: a clone of the assignment target (safe to embed).
+        :param adjoint: expression reading the target's current adjoint
+            (a temporary holding d(output)/d(target) at this statement).
+        :param stmt: the primal assignment being processed.
+        """
+        return []
+
+    def on_end(self, ctx: "AdjointContext") -> List[N.Stmt]:
+        """Epilogue statements (e.g. finalize the total error)."""
+        return []
+
+    def extra_returns(
+        self, ctx: "AdjointContext"
+    ) -> List[Tuple[str, N.Expr]]:
+        """``(name, expr)`` pairs appended to the adjoint return tuple."""
+        return []

@@ -1,0 +1,276 @@
+"""Forward-mode (tangent) AD.
+
+Clad implements both forward and adjoint modes; CHEF-FP's error analysis
+uses the adjoint, but forward mode is provided for completeness and is
+used in tests as an independent oracle for gradients (forward-over-seed
+must agree with the reverse sweep and with finite differences).
+
+The transformation is structural: control flow is preserved, and every
+float assignment ``x = e`` is augmented with a tangent update
+``_t_x = jvp(e)`` computed from pre-assignment values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.hoist import hoist_locals
+from repro.frontend.intrinsics import INTRINSICS
+from repro.frontend.registry import Kernel
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType, DType, ScalarType
+from repro.ir.typecheck import infer_types
+from repro.util.errors import DifferentiationError
+
+
+def tangent_name(var: str) -> str:
+    """Name of the tangent variable/array shadowing ``var``."""
+    return f"_t_{var}"
+
+
+def jvp(e: N.Expr) -> N.Expr:
+    """Tangent (directional-derivative) expression of ``e``.
+
+    References ``_t_<v>`` tangent variables for float leaves; constant
+    folding removes the structural zeros afterwards.
+    """
+    if isinstance(e, N.Const):
+        return b.fzero()
+    if isinstance(e, N.Name):
+        if e.dtype is not None and e.dtype.is_float:
+            return b.name(tangent_name(e.id), DType.F64)
+        return b.fzero()
+    if isinstance(e, N.Index):
+        if e.dtype is not None and e.dtype.is_float:
+            return b.index(
+                tangent_name(e.base), b.clone(e.index), DType.F64
+            )
+        return b.fzero()
+    if isinstance(e, N.BinOp):
+        if e.op in N.CMPOPS or e.op in N.BOOLOPS or e.op in ("//", "%"):
+            return b.fzero()
+        dl, dr = jvp(e.left), jvp(e.right)
+        if e.op == "+":
+            return b.add(dl, dr)
+        if e.op == "-":
+            return b.sub(dl, dr)
+        if e.op == "*":
+            return b.add(
+                b.mul(dl, b.clone(e.right)), b.mul(b.clone(e.left), dr)
+            )
+        if e.op == "/":
+            return b.sub(
+                b.div(dl, b.clone(e.right)),
+                b.div(
+                    b.mul(b.clone(e.left), dr),
+                    b.mul(b.clone(e.right), b.clone(e.right)),
+                ),
+            )
+        raise DifferentiationError(f"jvp: operator {e.op!r}")
+    if isinstance(e, N.UnaryOp):
+        if e.op == "-":
+            return b.neg(jvp(e.operand))
+        return b.fzero()
+    if isinstance(e, N.Call):
+        info = INTRINSICS.get(e.fn)
+        if info is None:
+            raise DifferentiationError(f"jvp: unknown intrinsic {e.fn!r}")
+        if info.deriv is None:
+            return b.fzero()
+        total: Optional[N.Expr] = None
+        for arg, partial in zip(e.args, info.deriv(e.args)):
+            term = b.mul(partial, jvp(arg))
+            total = term if total is None else b.add(total, term)
+        return total if total is not None else b.fzero()
+    if isinstance(e, N.Cast):
+        return jvp(e.operand)
+    raise DifferentiationError(f"jvp: expression {type(e).__name__}")
+
+
+class ForwardModeTransformer:
+    """Builds the tangent function of a primal IR function."""
+
+    def __init__(self, fn: N.Function) -> None:
+        if not fn.body or not isinstance(fn.body[-1], N.Return):
+            raise DifferentiationError(
+                f"{fn.name}: forward mode requires a final return"
+            )
+        self.primal = hoist_locals(fn)
+        self._tmp = 0
+
+    def transform(self) -> N.Function:
+        fn = self.primal
+        decls = [s for s in fn.body if isinstance(s, N.VarDecl)]
+        core = [
+            s for s in fn.body if not isinstance(s, (N.VarDecl, N.Return))
+        ]
+        ret = fn.body[-1]
+        assert isinstance(ret, N.Return)
+        body: List[N.Stmt] = []
+        for d in decls:
+            body.append(N.VarDecl(d.name, d.dtype, None))
+            if d.dtype.is_float:
+                body.append(
+                    N.VarDecl(tangent_name(d.name), DType.F64, b.fzero())
+                )
+        for p in fn.params:
+            if isinstance(p.type, ScalarType) and p.type.dtype.is_float:
+                body.append(
+                    N.VarDecl(tangent_name(p.name), DType.F64, b.fzero())
+                )
+        # seed marker: replaced at execution time via a dedicated param
+        body.append(N.VarDecl("_seed_done", DType.B1, b.const(True)))
+        body.extend(self._transform_body(core))
+        ret_dt = fn.ret_dtype or DType.F64
+        body.append(
+            N.ReturnTuple([b.clone(ret.value), jvp(ret.value)])
+        )
+        params = [b.clone(p) for p in fn.params]
+        tangent_arrays = {}
+        for p in fn.params:
+            if isinstance(p.type, ArrayType) and p.type.dtype.is_float:
+                tname = tangent_name(p.name)
+                params.append(
+                    N.Param(tname, ArrayType(DType.F64), differentiable=False)
+                )
+                tangent_arrays[p.name] = tname
+        # scalar seeds as extra params
+        seed_params = []
+        for p in fn.params:
+            if isinstance(p.type, ScalarType) and p.type.dtype.is_float:
+                sname = f"_s_{p.name}"
+                params.append(
+                    N.Param(sname, ScalarType(DType.F64), differentiable=False)
+                )
+                seed_params.append((p.name, sname))
+        # apply seeds right after tangent decls: _t_p = _s_p
+        seed_stmts: List[N.Stmt] = [
+            N.Assign(
+                b.name(tangent_name(pn), DType.F64), b.name(sn, DType.F64)
+            )
+            for pn, sn in seed_params
+        ]
+        insert_at = next(
+            i
+            for i, s in enumerate(body)
+            if isinstance(s, N.VarDecl) and s.name == "_seed_done"
+        )
+        body[insert_at:insert_at + 1] = seed_stmts
+        out = N.Function(
+            name=f"{fn.name}_fwd",
+            params=params,
+            body=body,
+            ret_dtype=None,
+        )
+        out.meta["forward"] = {
+            "primal_name": fn.name,
+            "tangent_arrays": tangent_arrays,
+            "seed_params": [pn for pn, _ in seed_params],
+        }
+        infer_types(out)
+        return out
+
+    def _transform_body(self, body: List[N.Stmt]) -> List[N.Stmt]:
+        out: List[N.Stmt] = []
+        for s in body:
+            out.extend(self._transform_stmt(s))
+        return out
+
+    def _transform_stmt(self, s: N.Stmt) -> List[N.Stmt]:
+        if isinstance(s, N.Assign):
+            tdt = s.target.dtype or DType.F64
+            if not tdt.is_float:
+                return [b.clone(s)]
+            self._tmp += 1
+            tmp = f"_ft{self._tmp}"
+            tangent_target: N.LValue
+            if isinstance(s.target, N.Name):
+                tangent_target = b.name(
+                    tangent_name(s.target.id), DType.F64
+                )
+            else:
+                tangent_target = b.index(
+                    tangent_name(s.target.base),
+                    b.clone(s.target.index),
+                    DType.F64,
+                )
+            return [
+                N.VarDecl(tmp, DType.F64, jvp(s.value)),
+                b.clone(s),
+                N.Assign(tangent_target, b.name(tmp, DType.F64)),
+            ]
+        if isinstance(s, N.If):
+            out = N.If(
+                b.clone(s.cond),
+                self._transform_body(s.then),
+                self._transform_body(s.orelse),
+            )
+            return [out]
+        if isinstance(s, N.For):
+            return [
+                N.For(
+                    s.var,
+                    b.clone(s.lo),
+                    b.clone(s.hi),
+                    b.clone(s.step),
+                    self._transform_body(s.body),
+                )
+            ]
+        if isinstance(s, N.While):
+            return [
+                N.While(b.clone(s.cond), self._transform_body(s.body))
+            ]
+        if isinstance(s, (N.Break, N.ExprStmt)):
+            return [b.clone(s)]
+        raise DifferentiationError(
+            f"forward mode: cannot transform {type(s).__name__}"
+        )
+
+
+class ForwardDerivative:
+    """A compiled forward-mode derivative d(output)/d(wrt-parameter)."""
+
+    def __init__(self, k: Union[Kernel, N.Function], wrt: str, opt_level: int = 1) -> None:
+        fn = k.ir if isinstance(k, Kernel) else k
+        self.primal = fn
+        self.wrt = wrt
+        tangent = ForwardModeTransformer(fn).transform()
+        if opt_level > 0:
+            from repro.opt.pipeline import optimize
+
+            tangent = optimize(tangent, level=opt_level)
+        self.tangent_ir = tangent
+        self.meta = tangent.meta["forward"]
+        if wrt not in self.meta["seed_params"] and wrt not in self.meta["tangent_arrays"]:
+            raise DifferentiationError(
+                f"{fn.name}: cannot differentiate w.r.t. {wrt!r}"
+            )
+        from repro.codegen.compile import compile_raw
+
+        self._compiled = compile_raw(tangent)
+
+    def execute(self, *args: object) -> Tuple[float, float]:
+        """Run; returns ``(value, d value / d wrt)``."""
+        full = list(args)
+        primal_params = self.primal.params
+        for p in primal_params:
+            if p.name in self.meta["tangent_arrays"]:
+                src = args[self.primal.param_names.index(p.name)]
+                t = np.zeros(len(src), dtype=np.float64)  # type: ignore[arg-type]
+                if p.name == self.wrt:
+                    t[:] = 1.0
+                full.append(t)
+        for pn in self.meta["seed_params"]:
+            full.append(1.0 if pn == self.wrt else 0.0)
+        value, dvalue = self._compiled(*full)  # type: ignore[misc]
+        return value, dvalue
+
+
+def forward_derivative(
+    k: Union[Kernel, N.Function], wrt: str, **kwargs: object
+) -> ForwardDerivative:
+    """Build a forward-mode directional derivative w.r.t. one parameter."""
+    return ForwardDerivative(k, wrt, **kwargs)  # type: ignore[arg-type]

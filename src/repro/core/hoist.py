@@ -1,0 +1,61 @@
+"""Local-declaration hoisting.
+
+The adjoint transformation treats every store uniformly, so local
+declarations with initializers (``x: f32 = e``) are split into a
+top-of-function declaration (``x: f32``) plus a plain assignment at the
+original position — the same normalization a C compiler's lowering does.
+After hoisting, a loop-carried local behaves exactly like any other
+overwritten variable for tape (Push/Pop) purposes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.typecheck import infer_types
+
+
+def hoist_locals(fn: N.Function) -> N.Function:
+    """Return a clone of ``fn`` with all VarDecls hoisted to a prologue.
+
+    The clone's body starts with initializer-free declarations (one per
+    local, in first-appearance order) followed by the original statements
+    with declarations rewritten as assignments.
+    """
+    clone = b.clone(fn)
+    decls: List[N.VarDecl] = []
+    seen = set()
+
+    def rewrite(body: List[N.Stmt]) -> List[N.Stmt]:
+        out: List[N.Stmt] = []
+        for s in body:
+            if isinstance(s, N.VarDecl):
+                if s.name not in seen:
+                    seen.add(s.name)
+                    d = N.VarDecl(s.name, s.dtype, None)
+                    d.loc = s.loc
+                    decls.append(d)
+                if s.init is not None:
+                    tgt = b.name(s.name, s.dtype)
+                    st = N.Assign(tgt, s.init)
+                    st.loc = s.loc
+                    out.append(st)
+            elif isinstance(s, N.For):
+                s.body = rewrite(s.body)
+                out.append(s)
+            elif isinstance(s, N.While):
+                s.body = rewrite(s.body)
+                out.append(s)
+            elif isinstance(s, N.If):
+                s.then = rewrite(s.then)
+                s.orelse = rewrite(s.orelse)
+                out.append(s)
+            else:
+                out.append(s)
+        return out
+
+    clone.body = decls + rewrite(clone.body)  # type: ignore[operator]
+    infer_types(clone)
+    return clone

@@ -1,0 +1,125 @@
+"""Symbolic pullback of IR expressions.
+
+Given an assignment RHS and a seed adjoint expression, produce the list
+of adjoint accumulations ``d_leaf += seed * ∂RHS/∂leaf`` — the per-
+statement pullback operators of reverse-mode AD (paper §II-B).  Partial
+derivatives of intrinsics come from the registry's derivative builders.
+
+The returned contribution expressions reference operand *values*; the
+reverse transformer guarantees those values are restored to their
+pre-assignment state before the accumulations execute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.frontend.intrinsics import INTRINSICS
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.types import DType
+from repro.util.errors import DifferentiationError
+
+#: An adjoint accumulation target plus its contribution expression.
+Contribution = Tuple[N.LValue, N.Expr]
+
+
+def adjoint_name(var: str) -> str:
+    """Name of the adjoint variable/array shadowing ``var``."""
+    return f"_d_{var}"
+
+
+def pullback(expr: N.Expr, seed: N.Expr) -> List[Contribution]:
+    """Compute adjoint contributions of ``expr`` under ``seed``.
+
+    Only float-typed leaves (scalar reads and array-element reads)
+    produce contributions; integer and boolean subexpressions are
+    transparent walls for derivatives, as in Clad.
+
+    :raises DifferentiationError: on constructs with no derivative rule.
+    """
+    out: List[Contribution] = []
+    _pull(expr, seed, out)
+    return out
+
+
+def _pull(e: N.Expr, seed: N.Expr, out: List[Contribution]) -> None:
+    if isinstance(e, N.Const):
+        return
+    if isinstance(e, N.Name):
+        if e.dtype is not None and e.dtype.is_float:
+            adj = b.name(adjoint_name(e.id), DType.F64)
+            out.append((adj, seed))
+        return
+    if isinstance(e, N.Index):
+        if e.dtype is not None and e.dtype.is_float:
+            adj = b.index(adjoint_name(e.base), b.clone(e.index), DType.F64)
+            out.append((adj, seed))
+        return
+    if isinstance(e, N.BinOp):
+        _pull_binop(e, seed, out)
+        return
+    if isinstance(e, N.UnaryOp):
+        if e.op == "-":
+            _pull(e.operand, b.neg(b.clone(seed)), out)
+            return
+        return  # 'not' has no derivative
+    if isinstance(e, N.Call):
+        _pull_call(e, seed, out)
+        return
+    if isinstance(e, N.Cast):
+        # d(cast(x))/dx treated as 1 (the rounding is the *error*, not the
+        # derivative — exactly the first-order Taylor treatment of §II-A)
+        if e.to.is_float:
+            _pull(e.operand, b.clone(seed), out)
+        return
+    raise DifferentiationError(
+        f"cannot differentiate expression {type(e).__name__}"
+    )
+
+
+def _pull_binop(e: N.BinOp, seed: N.Expr, out: List[Contribution]) -> None:
+    op = e.op
+    if op in N.CMPOPS or op in N.BOOLOPS:
+        return  # booleans: no flow of derivatives
+    left, right = e.left, e.right
+    if op == "+":
+        _pull(left, b.clone(seed), out)
+        _pull(right, b.clone(seed), out)
+    elif op == "-":
+        _pull(left, b.clone(seed), out)
+        _pull(right, b.neg(b.clone(seed)), out)
+    elif op == "*":
+        _pull(left, b.mul(b.clone(seed), b.clone(right)), out)
+        _pull(right, b.mul(b.clone(seed), b.clone(left)), out)
+    elif op == "/":
+        _pull(left, b.div(b.clone(seed), b.clone(right)), out)
+        # d(l/r)/dr = -l/r^2
+        r2 = b.mul(b.clone(right), b.clone(right))
+        _pull(
+            right,
+            b.neg(b.div(b.mul(b.clone(seed), b.clone(left)), r2)),
+            out,
+        )
+    elif op in ("//", "%"):
+        return  # integer-style ops: piecewise-constant, derivative 0
+    else:  # pragma: no cover - validator rejects unknown ops earlier
+        raise DifferentiationError(f"cannot differentiate operator {op!r}")
+
+
+def _pull_call(e: N.Call, seed: N.Expr, out: List[Contribution]) -> None:
+    info = INTRINSICS.get(e.fn)
+    if info is None:
+        raise DifferentiationError(f"unknown intrinsic {e.fn!r}")
+    if info.deriv is None:
+        return  # non-differentiable (floor, ceil, step_ge): zero partials
+    partials = info.deriv(e.args)
+    if len(partials) != len(e.args):
+        raise DifferentiationError(
+            f"intrinsic {e.fn!r}: derivative builder returned "
+            f"{len(partials)} partials for {len(e.args)} args"
+        )
+    for arg, p in zip(e.args, partials):
+        if isinstance(p, N.Const) and p.value == 0.0:
+            continue
+        _pull(arg, b.mul(b.clone(seed), p), out)

@@ -1,0 +1,73 @@
+"""Result containers for gradient and error-estimation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+import numpy as np
+
+GradValue = Union[float, np.ndarray]
+
+
+@dataclass
+class GradientResult:
+    """Output of one adjoint execution.
+
+    :ivar value: the primal return value.
+    :ivar gradients: d(value)/d(param) for every differentiable float
+        parameter — floats for scalars, arrays for array parameters.
+    """
+
+    value: float
+    gradients: Dict[str, GradValue] = field(default_factory=dict)
+
+    def grad(self, param: str) -> GradValue:
+        """Gradient with respect to ``param``.
+
+        :raises KeyError: if the parameter is not differentiable.
+        """
+        return self.gradients[param]
+
+
+@dataclass
+class ErrorReport(GradientResult):
+    """Output of one error-estimation execution (paper Listing 1's
+    ``fp_error`` plus per-variable detail).
+
+    :ivar total_error: the accumulated FP error estimate for the whole
+        function under the configured error model.
+    :ivar per_variable: per-variable error contributions
+        (``_delta_<var>`` registers) — the input to mixed-precision
+        tuning decisions and Table III.
+    :ivar traces: for each tracked variable, the per-assignment
+        sensitivity samples ``|x * dx|`` in *backward sweep order* (i.e.
+        reverse execution order); callers reverse/reshape as needed
+        (Fig. 9).
+    """
+
+    total_error: float = 0.0
+    per_variable: Dict[str, float] = field(default_factory=dict)
+    traces: Dict[str, List[float]] = field(default_factory=dict)
+
+    def dominant_variables(self, k: int = 5) -> List[str]:
+        """The ``k`` variables with the largest error contributions."""
+        return [
+            v
+            for v, _ in sorted(
+                self.per_variable.items(),
+                key=lambda kv: kv[1],
+                reverse=True,
+            )[:k]
+        ]
+
+    def __str__(self) -> str:
+        lines = [
+            f"ErrorReport(value={self.value:.17g}, "
+            f"total_error={self.total_error:.6g})"
+        ]
+        for v, e in sorted(
+            self.per_variable.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  delta[{v}] = {e:.6g}")
+        return "\n".join(lines)

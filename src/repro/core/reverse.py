@@ -1,0 +1,581 @@
+"""Reverse-mode (adjoint) source transformation with extension callbacks.
+
+This module implements the transformation of Fig. 2 / rules S1–S4 of the
+paper: a primal IR function becomes an adjoint function consisting of a
+*forward sweep* (the primal computation plus ``Push`` of values that the
+backward sweep will need) and a *backward sweep* (state restoration via
+``Pop`` plus adjoint accumulation), with an extension hook —
+``AssignError`` — invoked for every differentiable assignment *before*
+its state is restored, so the hook observes the assigned value together
+with its adjoint.
+
+Tape minimization ("to-be-recorded" analysis) is done in two passes:
+pass 1 generates the adjoint pushing every overwritten value and scans
+the backward sweep for which variables' *values* are actually read
+(operands of nonlinear partials, error-model expressions, index
+computations); pass 2 regenerates keeping only those pushes.  This is
+the mechanism behind CHEF-FP's memory advantage over the full-tape
+ADAPT baseline.
+
+Supported control flow: ``if``/``else`` (branch bools recorded on a
+control stack), counted ``for`` loops (iteration reversal; trip counts
+recomputed when bounds are loop-invariant integers, otherwise counted
+dynamically), ``while`` loops (dynamic trip counting), and the *guarded
+break* pattern ``if cond: break`` as the first statement of a loop body
+(the CG-tolerance exit used by HPCCG).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.events import AdjointExtension
+from repro.core.hoist import hoist_locals
+from repro.core.pullback import adjoint_name, pullback
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType, DType, ScalarType
+from repro.ir.typecheck import collect_var_dtypes, infer_types
+from repro.ir.visitor import walk_expr, walk_stmts
+from repro.util.errors import DifferentiationError
+
+_TAPE = "tape"
+_CTRL = "ctrl"
+_IDX = "idx"
+
+
+class AdjointContext:
+    """Shared state handed to extensions during adjoint generation."""
+
+    def __init__(self, fn: N.Function) -> None:
+        self.primal = fn
+        self.var_dtypes = collect_var_dtypes(fn)
+        self._temp_counter = 0
+        self.temp_decls: List[Tuple[str, DType]] = []
+
+    def new_temp(self, prefix: str, dtype: DType) -> str:
+        """Allocate a fresh generated-name temporary (declared in the
+        adjoint prologue)."""
+        self._temp_counter += 1
+        name = f"{prefix}{self._temp_counter}"
+        self.temp_decls.append((name, dtype))
+        return name
+
+    def dtype_of(self, var: str) -> DType:
+        return self.var_dtypes.get(var, DType.F64)
+
+
+class ReverseModeTransformer:
+    """Builds the adjoint (gradient) function of a primal IR function."""
+
+    def __init__(
+        self,
+        fn: N.Function,
+        extension: Optional[AdjointExtension] = None,
+        minimal_pushes: bool = True,
+    ) -> None:
+        if not fn.body or not isinstance(fn.body[-1], N.Return):
+            raise DifferentiationError(
+                f"{fn.name}: reverse mode requires a scalar-returning "
+                "function (final return statement)"
+            )
+        self.primal = hoist_locals(fn)
+        self.extension = extension or AdjointExtension()
+        self.minimal_pushes = minimal_pushes
+        self.assigned_ints = self._collect_assigned_names(self.primal)
+
+    # -- public ----------------------------------------------------------------
+    def transform(self) -> N.Function:
+        """Generate the adjoint function.
+
+        The result's ``meta['adjoint']`` describes the return layout::
+
+            {"ret_names": [("value",), ("grad", p), ..., (extra, ...)],
+             "array_grads": {param: adjoint_param},
+             "primal_name": name}
+        """
+        # pass 1: push everything, discover backward value reads
+        adj1 = self._generate(needed=None)
+        if self.minimal_pushes:
+            needed = _scan_backward_reads(adj1)
+            adj = self._generate(needed=needed)
+        else:
+            adj = adj1
+        infer_types(adj)
+        return adj
+
+    # -- generation ---------------------------------------------------------------
+    def _generate(self, needed: Optional[Set[str]]) -> N.Function:
+        fn = self.primal
+        ctx = AdjointContext(fn)
+        self.ctx = ctx
+        self.needed = needed
+        ext = self.extension
+        ext.on_begin(ctx)
+
+        decls = [s for s in fn.body if isinstance(s, N.VarDecl)]
+        core = [
+            s for s in fn.body if not isinstance(s, (N.VarDecl, N.Return))
+        ]
+        ret_stmt = fn.body[-1]
+        assert isinstance(ret_stmt, N.Return)
+        ret_dtype = fn.ret_dtype or DType.F64
+
+        # the return becomes an ordinary assignment to _ret
+        ret_assign = N.Assign(b.name("_ret", ret_dtype), b.clone(ret_stmt.value))
+        ret_assign.loc = ret_stmt.loc
+        core = core + [ret_assign]
+
+        fwd, bwd = self._transform_body(core)
+
+        # prologue: primal locals, loop vars, _ret, adjoints, temps, ext regs
+        prologue: List[N.Stmt] = []
+        for d in decls:
+            prologue.append(N.VarDecl(d.name, d.dtype, None))
+        loop_vars = sorted(
+            {
+                s.var
+                for s in walk_stmts(fn.body)
+                if isinstance(s, N.For)
+            }
+        )
+        for lv in loop_vars:
+            prologue.append(N.VarDecl(lv, DType.I64, None))
+        prologue.append(N.VarDecl("_ret", ret_dtype, None))
+        # the backward sweep may restore _ret to its pre-assignment value
+        # (Pop), so the value returned to the caller is snapshotted
+        # between the sweeps
+        prologue.append(N.VarDecl("_retsave", ret_dtype, None))
+
+        adj_scalar_decls: List[N.Stmt] = []
+        float_scalars = ["_ret"]
+        for p in fn.params:
+            if isinstance(p.type, ScalarType) and p.type.dtype.is_float:
+                float_scalars.append(p.name)
+        for d in decls:
+            if d.dtype.is_float:
+                float_scalars.append(d.name)
+        for v in float_scalars:
+            adj_scalar_decls.append(
+                N.VarDecl(adjoint_name(v), DType.F64, b.fzero())
+            )
+
+        for tname, tdt in ctx.temp_decls:
+            prologue.append(N.VarDecl(tname, tdt, None))
+
+        ext_prologue = ext.prologue(ctx) if hasattr(ext, "prologue") else []
+        ext_epilogue = ext.on_end(ctx)
+
+        snapshot = N.Assign(
+            b.name("_retsave", ret_dtype), b.name("_ret", ret_dtype)
+        )
+        seed = N.Assign(b.name(adjoint_name("_ret"), DType.F64), b.fone())
+
+        # return layout
+        ret_values: List[N.Expr] = [b.name("_retsave", ret_dtype)]
+        ret_names: List[Tuple[str, ...]] = [("value",)]
+        for p in fn.params:
+            if (
+                isinstance(p.type, ScalarType)
+                and p.type.dtype.is_float
+                and p.differentiable
+            ):
+                ret_values.append(b.name(adjoint_name(p.name), DType.F64))
+                ret_names.append(("grad", p.name))
+        for name, expr in ext.extra_returns(ctx):
+            ret_values.append(expr)
+            ret_names.append(("extra", name))
+
+        body: List[N.Stmt] = (
+            prologue
+            + adj_scalar_decls
+            + ext_prologue
+            + fwd
+            + [snapshot, seed]
+            + bwd
+            + ext_epilogue
+            + [N.ReturnTuple(ret_values)]
+        )
+
+        params = [b.clone(p) for p in fn.params]
+        array_grads: Dict[str, str] = {}
+        for p in fn.params:
+            if isinstance(p.type, ArrayType) and p.type.dtype.is_float and p.differentiable:
+                gname = adjoint_name(p.name)
+                params.append(
+                    N.Param(gname, ArrayType(DType.F64), differentiable=False)
+                )
+                array_grads[p.name] = gname
+
+        adj = N.Function(
+            name=f"{fn.name}_grad",
+            params=params,
+            body=body,
+            ret_dtype=None,
+        )
+        adj.meta["adjoint"] = {
+            "primal_name": fn.name,
+            "ret_names": ret_names,
+            "array_grads": array_grads,
+        }
+        return adj
+
+    # -- statement transformation ------------------------------------------------
+    def _transform_body(
+        self, body: Sequence[N.Stmt]
+    ) -> Tuple[List[N.Stmt], List[N.Stmt]]:
+        fwd: List[N.Stmt] = []
+        segments: List[List[N.Stmt]] = []
+        for s in body:
+            f, seg = self._transform_stmt(s)
+            fwd.extend(f)
+            segments.append(seg)
+        bwd: List[N.Stmt] = []
+        for seg in reversed(segments):
+            bwd.extend(seg)
+        return fwd, bwd
+
+    def _transform_stmt(
+        self, s: N.Stmt
+    ) -> Tuple[List[N.Stmt], List[N.Stmt]]:
+        if isinstance(s, N.Assign):
+            return self._transform_assign(s)
+        if isinstance(s, N.If):
+            return self._transform_if(s)
+        if isinstance(s, N.For):
+            return self._transform_for(s)
+        if isinstance(s, N.While):
+            return self._transform_while(s)
+        if isinstance(s, N.ExprStmt):
+            return [b.clone(s)], []
+        if isinstance(s, N.Break):
+            raise DifferentiationError(
+                "bare 'break' is only differentiable as the guarded "
+                "pattern 'if cond: break' at the top of a loop body"
+            )
+        if isinstance(s, (N.Return, N.ReturnTuple)):
+            raise DifferentiationError(
+                "unexpected return inside function body"
+            )
+        if isinstance(s, N.VarDecl):
+            raise DifferentiationError(
+                "internal: VarDecl after hoisting"
+            )
+        raise DifferentiationError(
+            f"cannot differentiate statement {type(s).__name__}"
+        )
+
+    # -- assignments ------------------------------------------------------------
+    def _need_push(self, target: N.LValue) -> bool:
+        if self.needed is None:
+            return True
+        name = target.id if isinstance(target, N.Name) else target.base
+        return name in self.needed
+
+    @staticmethod
+    def _read_of(target: N.LValue) -> N.Expr:
+        if isinstance(target, N.Name):
+            return b.name(target.id, target.dtype or DType.F64)
+        return b.index(
+            target.base, b.clone(target.index), target.dtype or DType.F64
+        )
+
+    @staticmethod
+    def _adjoint_ref(target: N.LValue) -> N.LValue:
+        if isinstance(target, N.Name):
+            return b.name(adjoint_name(target.id), DType.F64)
+        return b.index(
+            adjoint_name(target.base), b.clone(target.index), DType.F64
+        )
+
+    def _transform_assign(
+        self, s: N.Assign
+    ) -> Tuple[List[N.Stmt], List[N.Stmt]]:
+        target = s.target
+        tdt = target.dtype or self.ctx.dtype_of(
+            target.id if isinstance(target, N.Name) else target.base
+        )
+        push = self._need_push(target)
+        fwd: List[N.Stmt] = []
+        if push:
+            fwd.append(N.Push(_TAPE, self._read_of(target)))
+        fwd.append(b.clone(s))
+
+        bwd: List[N.Stmt] = []
+        if tdt.is_float:
+            t = self.ctx.new_temp("_a", DType.F64)
+            tref = b.name(t, DType.F64)
+            bwd.append(
+                N.Assign(tref, _lvalue_read(self._adjoint_ref(target)))
+            )
+            # AssignError: sees post-assignment value and its adjoint
+            bwd.extend(
+                self.extension.on_assign(
+                    self.ctx, b.clone(target), b.name(t, DType.F64), s
+                )
+            )
+            bwd.append(N.Assign(self._adjoint_ref(target), b.fzero()))
+            if push:
+                bwd.append(N.Pop(_TAPE, b.clone(target)))
+            for adj_lv, contrib in pullback(s.value, b.name(t, DType.F64)):
+                bwd.append(b.accumulate(adj_lv, contrib))
+        else:
+            if push:
+                bwd.append(N.Pop(_TAPE, b.clone(target)))
+        for st in fwd:
+            st.loc = s.loc
+        return fwd, bwd
+
+    # -- control flow --------------------------------------------------------
+    def _transform_if(self, s: N.If) -> Tuple[List[N.Stmt], List[N.Stmt]]:
+        c = self.ctx.new_temp("_c", DType.B1)
+        cref = b.name(c, DType.B1)
+        fwd_then, bwd_then = self._transform_body(s.then)
+        fwd_orelse, bwd_orelse = self._transform_body(s.orelse)
+        # NB: the branch bool is pushed AFTER the branch body executes so
+        # that nested pushes from inside the branch sit below it on the
+        # stack — the backward sweep pops the bool first, then replays.
+        fwd = [
+            N.Assign(b.name(c, DType.B1), b.clone(s.cond)),
+            N.If(b.name(c, DType.B1), fwd_then, fwd_orelse),
+            N.Push(_CTRL, b.name(c, DType.B1)),
+        ]
+        bwd = [
+            N.Pop(_CTRL, b.name(c, DType.B1)),
+            N.If(b.name(c, DType.B1), bwd_then, bwd_orelse),
+        ]
+        return fwd, bwd
+
+    @staticmethod
+    def _detect_guard(body: Sequence[N.Stmt]) -> Optional[N.If]:
+        if (
+            body
+            and isinstance(body[0], N.If)
+            and len(body[0].then) == 1
+            and isinstance(body[0].then[0], N.Break)
+            and not body[0].orelse
+        ):
+            return body[0]
+        return None
+
+    def _bounds_safe(self, exprs: Sequence[N.Expr]) -> bool:
+        """True if loop-bound expressions are recomputable in the
+        backward sweep: integer expressions whose free variables are
+        never reassigned (parameters, enclosing loop variables)."""
+        for e in exprs:
+            for node in walk_expr(e):
+                if isinstance(node, N.Index):
+                    return False
+                if isinstance(node, N.Name):
+                    dt = self.ctx.dtype_of(node.id)
+                    if dt.is_float or node.id in self.assigned_ints:
+                        return False
+        return True
+
+    @staticmethod
+    def _collect_assigned_names(fn: N.Function) -> Set[str]:
+        out: Set[str] = set()
+        for s in walk_stmts(fn.body):
+            if isinstance(s, N.Assign) and isinstance(s.target, N.Name):
+                out.add(s.target.id)
+        return out
+
+    def _transform_for(self, s: N.For) -> Tuple[List[N.Stmt], List[N.Stmt]]:
+        if isinstance(s.step, N.Const) and s.step.value <= 0:
+            raise DifferentiationError(
+                "loops with non-positive constant step are not supported"
+            )
+        guard = self._detect_guard(s.body)
+        inner = list(s.body[1:]) if guard is not None else list(s.body)
+        fwd_body, bwd_body = self._transform_body(inner)
+
+        i64 = DType.I64
+        ivar = s.var
+        if guard is None and self._bounds_safe([s.lo, s.hi, s.step]):
+            # static mode: recompute trip count in the backward sweep
+            n = self.ctx.new_temp("_n", i64)
+            j = self.ctx.new_temp("_j", i64)
+            fwd = [N.For(ivar, b.clone(s.lo), b.clone(s.hi), b.clone(s.step), fwd_body)]
+            trips = b.binop(
+                "//",
+                b.binop(
+                    "-",
+                    b.binop(
+                        "+", b.clone(s.hi), b.binop("-", b.clone(s.step), b.const(1))
+                    ),
+                    b.clone(s.lo),
+                ),
+                b.clone(s.step),
+            )
+            nref = lambda: b.name(n, i64)  # noqa: E731
+            recompute_i = N.Assign(
+                b.name(ivar, i64),
+                b.binop(
+                    "+",
+                    b.clone(s.lo),
+                    b.binop(
+                        "*",
+                        b.binop(
+                            "-",
+                            b.binop("-", nref(), b.const(1)),
+                            b.name(j, i64),
+                        ),
+                        b.clone(s.step),
+                    ),
+                ),
+            )
+            bwd = [
+                N.Assign(b.name(n, i64), trips),
+                N.If(
+                    b.binop("<", nref(), b.const(0)),
+                    [N.Assign(b.name(n, i64), b.const(0))],
+                    [],
+                ),
+                N.For(
+                    j,
+                    b.const(0),
+                    nref(),
+                    b.const(1),
+                    [recompute_i] + bwd_body,
+                ),
+            ]
+            return fwd, bwd
+
+        # dynamic mode: count trips, record indices on a stack
+        n = self.ctx.new_temp("_n", i64)
+        j = self.ctx.new_temp("_j", i64)
+        prefix: List[N.Stmt] = []
+        if guard is not None:
+            prefix.append(b.clone(guard))
+        prefix.append(
+            N.Assign(b.name(n, i64), b.binop("+", b.name(n, i64), b.const(1)))
+        )
+        # the iteration index is pushed AFTER the body so nested pushes
+        # sit below it — the backward replay pops it first, then the body
+        suffix = [N.Push(_IDX, b.name(ivar, i64))]
+        fwd = [
+            N.Assign(b.name(n, i64), b.const(0)),
+            N.For(
+                ivar,
+                b.clone(s.lo),
+                b.clone(s.hi),
+                b.clone(s.step),
+                prefix + fwd_body + suffix,
+            ),
+            N.Push(_CTRL, b.name(n, i64)),
+        ]
+        bwd = [
+            N.Pop(_CTRL, b.name(n, i64)),
+            N.For(
+                j,
+                b.const(0),
+                b.name(n, i64),
+                b.const(1),
+                [N.Pop(_IDX, b.name(ivar, i64))] + bwd_body,
+            ),
+        ]
+        return fwd, bwd
+
+    def _transform_while(
+        self, s: N.While
+    ) -> Tuple[List[N.Stmt], List[N.Stmt]]:
+        guard = self._detect_guard(s.body)
+        inner = list(s.body[1:]) if guard is not None else list(s.body)
+        fwd_body, bwd_body = self._transform_body(inner)
+        i64 = DType.I64
+        n = self.ctx.new_temp("_n", i64)
+        j = self.ctx.new_temp("_j", i64)
+        prefix: List[N.Stmt] = []
+        if guard is not None:
+            prefix.append(b.clone(guard))
+        prefix.append(
+            N.Assign(b.name(n, i64), b.binop("+", b.name(n, i64), b.const(1)))
+        )
+        fwd = [
+            N.Assign(b.name(n, i64), b.const(0)),
+            N.While(b.clone(s.cond), prefix + fwd_body),
+            N.Push(_CTRL, b.name(n, i64)),
+        ]
+        bwd = [
+            N.Pop(_CTRL, b.name(n, i64)),
+            N.For(j, b.const(0), b.name(n, i64), b.const(1), bwd_body),
+        ]
+        return fwd, bwd
+
+
+def _lvalue_read(lv: N.LValue) -> N.Expr:
+    if isinstance(lv, N.Name):
+        return b.name(lv.id, lv.dtype or DType.F64)
+    return b.index(lv.base, b.clone(lv.index), lv.dtype or DType.F64)
+
+
+def _scan_backward_reads(adj: N.Function) -> Set[str]:
+    """Names whose *values* the backward sweep reads.
+
+    Walks everything after the seed assignment ``_d__ret = 1.0`` and
+    collects scalar names and array bases read in expressions — operands
+    of partials, error-model expressions, condition replays, loop bounds,
+    and index computations (including the indices of Pop targets).
+    Generated names (``_``-prefixed) can never be push targets, so their
+    presence in the set is harmless.
+    """
+    reads: Set[str] = set()
+
+    def scan_expr(e: N.Expr) -> None:
+        for node in walk_expr(e):
+            if isinstance(node, N.Name):
+                reads.add(node.id)
+            elif isinstance(node, N.Index):
+                reads.add(node.base)
+
+    def scan_stmt(st: N.Stmt) -> None:
+        if isinstance(st, N.Assign):
+            scan_expr(st.value)
+            if isinstance(st.target, N.Index):
+                scan_expr(st.target.index)
+        elif isinstance(st, N.Pop):
+            if isinstance(st.target, N.Index):
+                scan_expr(st.target.index)
+        elif isinstance(st, N.Push):
+            scan_expr(st.value)
+        elif isinstance(st, N.For):
+            scan_expr(st.lo)
+            scan_expr(st.hi)
+            scan_expr(st.step)
+            for c in st.body:
+                scan_stmt(c)
+        elif isinstance(st, N.While):
+            scan_expr(st.cond)
+            for c in st.body:
+                scan_stmt(c)
+        elif isinstance(st, N.If):
+            scan_expr(st.cond)
+            for c in st.then:
+                scan_stmt(c)
+            for c in st.orelse:
+                scan_stmt(c)
+        elif isinstance(st, (N.Return,)):
+            scan_expr(st.value)
+        elif isinstance(st, N.ReturnTuple):
+            for v in st.values:
+                scan_expr(v)
+        elif isinstance(st, N.TraceAppend):
+            scan_expr(st.value)
+        elif isinstance(st, N.ExprStmt):
+            scan_expr(st.value)
+
+    in_backward = False
+    for st in adj.body:
+        if (
+            not in_backward
+            and isinstance(st, N.Assign)
+            and isinstance(st.target, N.Name)
+            and st.target.id == adjoint_name("_ret")
+            and isinstance(st.value, N.Const)
+            and st.value.value == 1.0
+        ):
+            in_backward = True
+            continue
+        if in_backward:
+            scan_stmt(st)
+    return reads

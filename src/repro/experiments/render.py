@@ -1,0 +1,99 @@
+"""Plain-text rendering of experiment outputs (tables, heat maps, CSV).
+
+The paper's artifacts are tables and plots; in a terminal-only
+reproduction we print aligned ASCII tables and a character-ramp heat
+map, and optionally dump CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def _fmt(v: object) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "OOM"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.2e}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+#: character ramp for heat maps, low → high
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_label: str = "iteration",
+    title: Optional[str] = None,
+    max_cols: int = 100,
+) -> str:
+    """Render a [0,1]-normalized matrix as a character heat map
+    (the terminal version of the paper's Fig. 9)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError("heatmap expects a 2-D matrix")
+    n_rows, n_cols = m.shape
+    if n_cols > max_cols:  # downsample columns by averaging
+        stride = int(np.ceil(n_cols / max_cols))
+        pad = (-n_cols) % stride
+        mp = np.pad(m, ((0, 0), (0, pad)), constant_values=0.0)
+        m = mp.reshape(n_rows, -1, stride).mean(axis=2)
+        n_cols = m.shape[1]
+    lw = max(len(s) for s in row_labels) if row_labels else 0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, row in zip(row_labels, m):
+        chars = "".join(
+            _RAMP[min(int(v * (len(_RAMP) - 1)), len(_RAMP) - 1)]
+            if v == v else "?"
+            for v in np.clip(row, 0.0, 1.0)
+        )
+        lines.append(f"{label.rjust(lw)} |{chars}|")
+    lines.append(f"{''.rjust(lw)}  {col_label} 0..{n_cols - 1} "
+                 f"(ramp: '{_RAMP}')")
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Serialize rows to CSV text."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(headers)
+    for r in rows:
+        w.writerow(["" if c is None else c for c in r])
+    return buf.getvalue()

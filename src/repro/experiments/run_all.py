@@ -1,0 +1,150 @@
+"""CLI driver: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.run_all            # everything, quick sizes
+    python -m repro.experiments.run_all --table 1
+    python -m repro.experiments.run_all --figure 4 --full
+    python -m repro.experiments.run_all --figure 9
+    python -m repro.experiments.run_all --csv out/   # also dump CSV files
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments import tables
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.render import ascii_heatmap, ascii_table, to_csv
+from repro.tuning.perforation import normalize
+
+
+def _print_figure(fig_id: int, full: bool, csv_dir: Optional[str]) -> None:
+    spec = FIGURES[fig_id]
+    rows = run_figure(fig_id, full=full)
+    headers = [
+        spec.xlabel,
+        "CHEF time(ms)", "ADAPT time(ms)", "App time(ms)",
+        "CHEF mem(MB)", "ADAPT mem(MB)", "App mem(MB)",
+    ]
+    table_rows: List[List[object]] = []
+    for r in rows:
+        table_rows.append(
+            [
+                r.size,
+                r.chef.time_ms,
+                float("nan") if r.adapt.oom else r.adapt.time_ms,
+                r.app.time_ms,
+                r.chef.peak_mb,
+                r.adapt.peak_mb,
+                r.app.peak_mb,
+            ]
+        )
+    print(
+        ascii_table(
+            headers, table_rows,
+            title=f"\nFigure {fig_id}: {spec.name} — analysis time & "
+                  f"peak memory vs {spec.xlabel}",
+        )
+    )
+    if csv_dir:
+        _dump(csv_dir, f"figure{fig_id}.csv", headers, table_rows)
+
+
+def _print_fig9(csv_dir: Optional[str]) -> None:
+    split, series, report = tables.hpccg_sensitivity()
+    names = list(series)
+    mat = np.vstack([normalize(series[v]) for v in names])
+    print(
+        "\n"
+        + ascii_heatmap(
+            mat,
+            names,
+            title="Figure 9: HPCCG per-iteration normalized sensitivity",
+        )
+    )
+    print(f"  suggested high-precision prefix (split point): "
+          f"{split} iterations")
+    if csv_dir:
+        headers = ["iteration"] + names
+        rows = [
+            [i] + [float(series[v][i]) for v in names]
+            for i in range(len(next(iter(series.values()))))
+        ]
+        _dump(csv_dir, "figure9.csv", headers, rows)
+
+
+def _dump(csv_dir: str, name: str, headers, rows) -> None:
+    os.makedirs(csv_dir, exist_ok=True)
+    path = os.path.join(csv_dir, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(to_csv(headers, rows))
+    print(f"  [csv written: {path}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Regenerate CHEF-FP paper tables/figures"
+    )
+    ap.add_argument("--table", type=int, choices=(1, 2, 3, 4), default=None)
+    ap.add_argument(
+        "--figure", type=int, choices=(4, 5, 6, 7, 8, 9), default=None
+    )
+    ap.add_argument("--full", action="store_true",
+                    help="use the larger (paper-closer) size sweeps")
+    ap.add_argument("--csv", type=str, default=None, metavar="DIR",
+                    help="also write CSV files to DIR")
+    args = ap.parse_args(argv)
+
+    run_tables = (
+        [args.table] if args.table else
+        ([] if args.figure else [1, 2, 3, 4])
+    )
+    run_figs = (
+        [args.figure] if args.figure else
+        ([] if args.table else [4, 5, 6, 7, 8, 9])
+    )
+
+    for t in run_tables:
+        if t == 1:
+            h, r = tables.table1()
+            print("\n" + ascii_table(
+                h, r, title="Table I: mixed-precision versions"))
+            if args.csv:
+                _dump(args.csv, "table1.csv", h, r)
+        elif t == 2:
+            h, r = tables.table2(full=args.full)
+            print("\n" + ascii_table(
+                h, r,
+                title="Table II: CHEF-FP improvement over ADAPT "
+                      "(geomean across sweep)"))
+            if args.csv:
+                _dump(args.csv, "table2.csv", h, r)
+        elif t == 3:
+            h, r = tables.table3()
+            print("\n" + ascii_table(
+                h, r, title="Table III: k-Means mixed-precision configs"))
+            if args.csv:
+                _dump(args.csv, "table3.csv", h, r)
+        elif t == 4:
+            h, r = tables.table4()
+            print("\n" + ascii_table(
+                h, r, title="Table IV: Black-Scholes FastApprox configs"))
+            if args.csv:
+                _dump(args.csv, "table4.csv", h, r)
+
+    for f in run_figs:
+        if f == 9:
+            _print_fig9(args.csv)
+        else:
+            _print_figure(f, args.full, args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

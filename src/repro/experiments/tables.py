@@ -1,0 +1,292 @@
+"""Tables I–IV of the paper's evaluation.
+
+Each ``table*`` function returns ``(headers, rows)`` ready for
+:func:`repro.experiments.render.ascii_table`; the numbers land in
+EXPERIMENTS.md next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps import arclength, blackscholes, hpccg, kmeans, simpsons
+from repro.codegen.compile import compile_primal, compile_raw
+from repro.core.api import estimate_error
+from repro.core.models import AdaptModel, ApproxModel
+from repro.experiments.figures import figure_improvements, run_figure
+from repro.interp.cost_model import DEFAULT_COST_MODEL
+from repro.tuning import (
+    PrecisionConfig,
+    estimate_split_speedup,
+    find_split_iteration,
+    greedy_tune,
+    iteration_sensitivity,
+    validate_config,
+)
+
+# -- Table I -----------------------------------------------------------------
+
+#: default workload sizes for the mixed-precision experiment
+TABLE1_SIZES = {
+    "arclength": 10_000,
+    "simpsons": 10_000,
+    "kmeans": 1_000,
+    "hpccg": 10,  # z-dimension
+}
+
+
+def _tune_and_validate(
+    app, size: int, threshold: float
+) -> Tuple[float, float, float]:
+    """(actual, estimated, speedup) of the greedy configuration."""
+    args = app.make_workload(size)
+    tuning = greedy_tune(app.INSTRUMENTED, args, threshold)
+    validation = validate_config(
+        app.INSTRUMENTED, tuning.config, app.make_workload(size)
+    )
+    return (
+        validation.actual_error,
+        tuning.estimated_error,
+        validation.speedup,
+    )
+
+
+def _hpccg_row(
+    nz: int, threshold: float, max_iter: int = 20
+) -> Tuple[float, float, float]:
+    """HPCCG's Table I entry comes from the loop-split configuration
+    discovered via the Fig. 9 sensitivity profile (paper §IV-4)."""
+    split, series, report = hpccg_sensitivity(nz=nz, max_iter=max_iter)
+    # actual error: residual-norm difference between full-f64 CG and the
+    # manually-split kernel, as in the paper.  max_iter is calibrated so
+    # the f64 run is *just* converged (normr ~1e-12 like the paper's
+    # 96k-row system after 60 iterations) rather than ground down to
+    # denormal recurrence noise — our 240-row system converges far
+    # faster per iteration.
+    full = compile_primal(hpccg.hpccg_cg.ir)
+    ref = float(full(*hpccg.make_workload(nz, max_iter=max_iter)))
+    split_fn = compile_primal(hpccg.hpccg_cg_split.ir)
+    mixed = float(
+        split_fn(*hpccg.make_split_workload(nz, split, max_iter=max_iter))
+    )
+    actual = abs(ref - mixed)
+    # estimated error: the demoted vectors' registers, scaled by the
+    # fraction of their sensitivity mass in the demoted tail
+    est = 0.0
+    for var in ("x", "r", "p", "Ap"):
+        s = series.get(var)
+        delta = report.per_variable.get(var, 0.0)
+        if s is None or s.sum() == 0.0:
+            continue
+        est += delta * float(s[split:].sum() / s.sum())
+    # modelled speedup of the split configuration
+    cost_full = _counting_cost(
+        hpccg.hpccg_cg.ir, hpccg.make_workload(nz, max_iter=max_iter)
+    )
+    cost_split = _counting_cost(
+        hpccg.hpccg_cg_split.ir,
+        hpccg.make_split_workload(nz, split, max_iter=max_iter),
+    )
+    speedup = cost_full / cost_split if cost_split > 0 else 1.0
+    return actual, est, speedup
+
+
+def _counting_cost(fn, args, approx=None) -> float:
+    compiled = compile_raw(fn, counting=True, approx=approx)
+    _, extras = compiled(*args)  # type: ignore[misc]
+    return float(extras["cost"])
+
+
+def table1(
+    sizes: Optional[Dict[str, int]] = None,
+) -> Tuple[List[str], List[List[object]]]:
+    """Table I: mixed-precision error and performance per benchmark."""
+    sz = dict(TABLE1_SIZES)
+    if sizes:
+        sz.update(sizes)
+    headers = [
+        "Benchmark", "Threshold", "Actual Error", "Estimated Error",
+        "Speedup",
+    ]
+    rows: List[List[object]] = []
+    for app in (arclength, simpsons, kmeans):
+        actual, est, speedup = _tune_and_validate(
+            app, sz[app.NAME], app.DEFAULT_THRESHOLD
+        )
+        rows.append(
+            [app.NAME, app.DEFAULT_THRESHOLD, actual, est,
+             round(speedup, 3)]
+        )
+    actual, est, speedup = _hpccg_row(sz["hpccg"], hpccg.DEFAULT_THRESHOLD)
+    rows.append(
+        ["hpccg", hpccg.DEFAULT_THRESHOLD, actual, est, round(speedup, 3)]
+    )
+    return headers, rows
+
+
+# -- Table II -----------------------------------------------------------------
+
+
+def table2(full: bool = False) -> Tuple[List[str], List[List[object]]]:
+    """Table II: CHEF-FP's analysis-time/memory improvement over ADAPT
+    (geometric mean across each figure's size sweep)."""
+    headers = ["Benchmark", "Time", "Memory"]
+    rows: List[List[object]] = []
+    for fig_id in (4, 5, 6, 7, 8):
+        fig_rows = run_figure(fig_id, full=full)
+        t, m = figure_improvements(fig_rows)
+        name = {4: "arclength", 5: "simpsons", 6: "kmeans",
+                7: "hpccg", 8: "blackscholes"}[fig_id]
+        rows.append(
+            [name,
+             f"{t:.2f}x" if t else "-",
+             f"{m:.2f}x" if m else "-"]
+        )
+    return headers, rows
+
+
+# -- Table III ----------------------------------------------------------------
+
+KMEANS_CONFIGS = (
+    ("attributes",),
+    ("clusters",),
+    ("sum",),
+    ("attributes", "clusters", "sum"),
+)
+
+
+def table3(
+    npoints: int = 10_000,
+) -> Tuple[List[str], List[List[object]]]:
+    """Table III: k-Means error per mixed-precision configuration.
+
+    The paper uses 1e6 data points; the default here is laptop-scaled
+    (override ``npoints`` to match).
+    """
+    headers = [
+        "Variable(s) in Lower Precision", "Actual Error",
+        "Estimated Error",
+    ]
+    args = kmeans.make_workload(npoints)
+    est = estimate_error(kmeans.INSTRUMENTED, model=AdaptModel())
+    report = est.execute(*args)
+    rows: List[List[object]] = []
+    from repro.tuning.config import matches_inlined
+
+    for config_vars in KMEANS_CONFIGS:
+        estimated = sum(
+            e
+            for v, e in report.per_variable.items()
+            if any(matches_inlined(v, key) for key in config_vars)
+        )
+        validation = validate_config(
+            kmeans.INSTRUMENTED,
+            PrecisionConfig.demote(config_vars),
+            kmeans.make_workload(npoints),
+        )
+        label = (
+            "all 3" if len(config_vars) == 3 else config_vars[0]
+        )
+        rows.append([label, validation.actual_error, estimated])
+    return headers, rows
+
+
+# -- Table IV ------------------------------------------------------------------
+
+TABLE4_POINTS = 1_000
+
+_CONFIG_MAPS = {
+    blackscholes.CONFIG_WITHOUT_EXP: {
+        "login": "log", "sqrtin": "sqrt",
+    },
+    blackscholes.CONFIG_WITH_EXP: dict(
+        blackscholes.APPROX_VARIABLE_MAP
+    ),
+}
+
+
+def table4(
+    npoints: int = TABLE4_POINTS,
+) -> Tuple[List[str], List[List[object]]]:
+    """Table IV: Black-Scholes FastApprox error and speedup.
+
+    Row 1: approximate ``log`` and ``sqrt``; row 2: additionally the
+    approximate ``exp`` — the paper's two configurations, with average /
+    maximum / accumulated error over the data points, both measured and
+    estimated via the Algorithm 2 custom model.
+    """
+    headers = [
+        "Configuration",
+        "act.avg", "act.max", "act.acc",
+        "est.avg", "est.max", "est.acc",
+        "Speedup",
+    ]
+    wl = blackscholes.make_workload(npoints)
+    exact = compile_primal(blackscholes.bs_price.ir)
+    rows: List[List[object]] = []
+    for config, label in (
+        (blackscholes.CONFIG_WITHOUT_EXP, "FastApprox w/o Fast exp"),
+        (blackscholes.CONFIG_WITH_EXP, "FastApprox w/ Fast exp"),
+    ):
+        approxed = compile_primal(blackscholes.bs_price.ir, approx=config)
+        estimator = estimate_error(
+            blackscholes.bs_price,
+            model=ApproxModel(_CONFIG_MAPS[config]),
+        )
+        actual: List[float] = []
+        estimated: List[float] = []
+        for i in range(npoints):
+            pa = blackscholes.point_args(wl, i)
+            actual.append(abs(float(exact(*pa)) - float(approxed(*pa))))
+            estimated.append(estimator.execute(*pa).total_error)
+        a = np.array(actual)
+        e = np.array(estimated)
+        cost_exact = _counting_cost(
+            blackscholes.bs_total.ir, blackscholes.make_workload(npoints)
+        )
+        cost_approx = _counting_cost(
+            blackscholes.bs_total.ir,
+            blackscholes.make_workload(npoints),
+            approx=set(config),
+        )
+        rows.append(
+            [
+                label,
+                a.mean(), a.max(), a.sum(),
+                e.mean(), e.max(), e.sum(),
+                round(cost_exact / cost_approx, 3),
+            ]
+        )
+    return headers, rows
+
+
+# -- Fig. 9 --------------------------------------------------------------------
+
+
+def hpccg_sensitivity(
+    nz: int = 10, max_iter: int = 60
+) -> Tuple[int, Dict[str, np.ndarray], object]:
+    """Fig. 9 analysis: per-iteration sensitivity of r, p, x, Ap.
+
+    Returns ``(split_iteration, series_by_var, error_report)`` where
+    each series is in forward iteration order.
+    """
+    track = ("r", "p", "x", "Ap")
+    est = estimate_error(
+        hpccg.INSTRUMENTED, model=AdaptModel(), track=track
+    )
+    args = hpccg.make_workload(nz, max_iter=max_iter, tol=0.0)
+    nrow = args[0]
+    report = est.execute(*args)
+    series: Dict[str, np.ndarray] = {}
+    for var in track:
+        tr = report.traces.get(var, [])
+        # traces are in backward order: loop iterations first, then the
+        # initialization assignments (for x, r, p); trim the init tail
+        n_loop = max_iter * nrow
+        series[var] = iteration_sensitivity(tr[:n_loop], max_iter)
+    split = find_split_iteration(series, threshold=1e-8)
+    return split, series, report

@@ -1,0 +1,37 @@
+"""Floating-point substrate: precisions, rounding, ULPs, FastApprox.
+
+Everything the error models and the mixed-precision machinery need to
+reason about IEEE-754 behaviour from within double-precision Python.
+"""
+
+from repro.fp.precision import (
+    EPS_F16,
+    EPS_F32,
+    EPS_F64,
+    eps_of,
+    round_to,
+    round_f16,
+    round_f32,
+    round_f64,
+    demotion_error,
+)
+from repro.fp.ulp import ulp, float_distance, next_after
+from repro.fp import fastapprox
+from repro.fp.counters import CastCounter
+
+__all__ = [
+    "EPS_F16",
+    "EPS_F32",
+    "EPS_F64",
+    "eps_of",
+    "round_to",
+    "round_f16",
+    "round_f32",
+    "round_f64",
+    "demotion_error",
+    "ulp",
+    "float_distance",
+    "next_after",
+    "fastapprox",
+    "CastCounter",
+]

@@ -1,0 +1,60 @@
+"""Implicit-cast counters.
+
+The paper's Discussion section notes that a mixed-precision configuration
+can be *slower* than the uniform-precision original because of implicit
+type-cast overhead, and suggests counting casts (they sketch a Clang
+AST-matcher).  :class:`CastCounter` is our equivalent: the static cost
+annotator reports how many f32↔f64 conversions each kernel site performs,
+and the tuner uses the counts to explain no-speedup configurations such
+as the paper's k-Means result.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.ir.types import DType
+
+
+@dataclass
+class CastCounter:
+    """Accumulates cast counts keyed by ``(from_dtype, to_dtype)``."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, src: DType, dst: DType, times: int = 1) -> None:
+        """Record ``times`` casts from ``src`` to ``dst`` precision.
+
+        Same-precision 'casts' are ignored — they compile to nothing.
+        """
+        if src is dst:
+            return
+        self.counts[(src, dst)] += times
+
+    @property
+    def total(self) -> int:
+        """Total number of casts recorded."""
+        return sum(self.counts.values())
+
+    def merge(self, other: "CastCounter") -> None:
+        """Fold another counter's counts into this one."""
+        self.counts.update(other.counts)
+
+    def as_dict(self) -> Dict[Tuple[str, str], int]:
+        """Counts with string dtype keys, for reporting."""
+        return {
+            (src.value, dst.value): n
+            for (src, dst), n in sorted(
+                self.counts.items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+            )
+        }
+
+    def __str__(self) -> str:
+        if not self.counts:
+            return "CastCounter(empty)"
+        parts = ", ".join(
+            f"{src.value}->{dst.value}: {n}" for (src, dst), n in self.counts.items()
+        )
+        return f"CastCounter({parts})"

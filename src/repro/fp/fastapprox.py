@@ -1,0 +1,166 @@
+"""Pure-Python reimplementation of Paul Mineiro's FastApprox library.
+
+The paper's Black-Scholes experiment (Table IV) swaps the standard math
+library for FastApprox's approximate ``log``/``exp``/``sqrt`` and uses
+CHEF-FP's custom-model hook (Algorithm 2) to bound the approximation
+error.  These are bit-level ports of the original C routines: the same
+polynomial/bit-twiddling tricks evaluated in binary32, so the
+approximation error Δ = f(x) − f̃(x) matches the original library's.
+
+Two accuracy tiers are provided, as in the original:
+
+* ``fast*`` — the rational-polynomial versions (relative error ~1e-5..1e-4)
+* ``faster*`` — the purely linear-bit versions (relative error ~1e-2)
+
+All functions take and return Python floats (binary64), but internally
+round through binary32 exactly as the C code would.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, Dict
+
+from repro.fp.precision import round_f32
+
+_LOG2_E = 1.442695040888963407  # 1/ln(2)
+_LN_2 = 0.6931471805599453
+
+
+def _f32_bits(x: float) -> int:
+    """Bit pattern of ``x`` rounded to binary32, as an unsigned int."""
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def _bits_f32(i: int) -> float:
+    """Reinterpret an unsigned 32-bit pattern as a binary32 value."""
+    return struct.unpack("<f", struct.pack("<I", i & 0xFFFFFFFF))[0]
+
+
+def fastlog2(x: float) -> float:
+    """Mineiro's ``fastlog2``: ~1e-4 relative accuracy for x > 0.
+
+    :raises ValueError: for ``x <= 0`` (the C version returns garbage;
+        we fail loudly instead).
+    """
+    if x <= 0.0:
+        raise ValueError("fastlog2 requires x > 0")
+    vx_i = _f32_bits(x)
+    mx_f = _bits_f32((vx_i & 0x007FFFFF) | 0x3F000000)
+    y = vx_i * 1.1920928955078125e-7
+    return round_f32(
+        y
+        - 124.22551499
+        - 1.498030302 * mx_f
+        - 1.72587999 / (0.3520887068 + mx_f)
+    )
+
+
+def fastlog(x: float) -> float:
+    """Natural log via :func:`fastlog2`."""
+    return round_f32(0.69314718 * fastlog2(x))
+
+
+def fasterlog2(x: float) -> float:
+    """The cruder linear-bit ``log2`` (~1e-2 accuracy)."""
+    if x <= 0.0:
+        raise ValueError("fasterlog2 requires x > 0")
+    y = _f32_bits(x) * 1.1920928955078125e-7
+    return round_f32(y - 126.94269504)
+
+
+def fasterlog(x: float) -> float:
+    """Natural log via :func:`fasterlog2`."""
+    return round_f32(0.69314718 * fasterlog2(x))
+
+
+def fastpow2(p: float) -> float:
+    """Mineiro's ``fastpow2``: 2**p with ~1e-4 relative accuracy."""
+    p = round_f32(p)
+    offset = 1.0 if p < 0 else 0.0
+    clipp = -126.0 if p < -126 else p
+    w = int(clipp)  # C truncation toward zero
+    z = clipp - w + offset
+    bits = int(
+        (1 << 23)
+        * (clipp + 121.2740575 + 27.7280233 / (4.84252568 - z) - 1.49012907 * z)
+    )
+    return _bits_f32(bits)
+
+
+def fastexp(p: float) -> float:
+    """exp(p) via ``fastpow2(p / ln 2)``."""
+    return fastpow2(round_f32(1.442695040 * p))
+
+
+def fasterpow2(p: float) -> float:
+    """The cruder linear-bit ``2**p`` (~2e-2 accuracy)."""
+    p = round_f32(p)
+    clipp = -126.0 if p < -126 else p
+    bits = int((1 << 23) * (clipp + 126.94269504))
+    return _bits_f32(bits)
+
+
+def fasterexp(p: float) -> float:
+    """exp(p) via :func:`fasterpow2`."""
+    return fasterpow2(round_f32(1.442695040 * p))
+
+
+def fastpow(x: float, p: float) -> float:
+    """x**p via ``fastpow2(p * fastlog2(x))`` (requires x > 0)."""
+    return fastpow2(round_f32(p * fastlog2(x)))
+
+
+def fastrsqrt(x: float) -> float:
+    """Quake-III style fast inverse square root with one Newton step.
+
+    ~0.2% relative accuracy for ``x > 0``.
+    """
+    if x <= 0.0:
+        raise ValueError("fastrsqrt requires x > 0")
+    xf = round_f32(x)
+    i = _f32_bits(xf)
+    i = 0x5F3759DF - (i >> 1)
+    y = _bits_f32(i)
+    # one Newton-Raphson iteration, evaluated in binary32
+    y = round_f32(y * round_f32(1.5 - round_f32(0.5 * xf) * y * y))
+    return y
+
+
+def fastsqrt(x: float) -> float:
+    """sqrt(x) as ``x * fastrsqrt(x)`` (exact 0 at 0)."""
+    if x == 0.0:
+        return 0.0
+    return round_f32(round_f32(x) * fastrsqrt(x))
+
+
+#: Map from standard intrinsic name to its "fast" approximation.  The
+#: Black-Scholes approximate configurations (Table IV) are expressed as
+#: subsets of these substitutions.
+FAST_VARIANTS: Dict[str, Callable[..., float]] = {
+    "log": fastlog,
+    "log2": fastlog2,
+    "exp": fastexp,
+    "exp2": fastpow2,
+    "sqrt": fastsqrt,
+    "pow": fastpow,
+}
+
+#: Map to the cruder "faster" tier.
+FASTER_VARIANTS: Dict[str, Callable[..., float]] = {
+    "log": fasterlog,
+    "log2": fasterlog2,
+    "exp": fasterexp,
+    "exp2": fasterpow2,
+}
+
+#: Exact references, for Δ = f(x) − f̃(x) in the approximation error model.
+EXACT_REFERENCE: Dict[str, Callable[..., float]] = {
+    "log": math.log,
+    "log2": math.log2,
+    "exp": math.exp,
+    "exp2": lambda p: 2.0 ** p,
+    "sqrt": math.sqrt,
+    "pow": math.pow,
+}

@@ -1,0 +1,39 @@
+"""Unit-in-the-last-place utilities.
+
+Used by tests to state accuracy properties ("the estimate is within N
+ULPs") and by the FastApprox accuracy characterisation.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+
+def _to_ordinal(x: float) -> int:
+    """Map a finite double to a signed integer that orders like the reals."""
+    (bits,) = struct.unpack("<q", struct.pack("<d", x))
+    if bits < 0:
+        bits = -(bits & 0x7FFFFFFFFFFFFFFF)
+    return bits
+
+
+def ulp(x: float) -> float:
+    """The gap between ``|x|`` and the next larger double."""
+    return math.ulp(x)
+
+
+def float_distance(a: float, b: float) -> int:
+    """Number of representable doubles strictly between ``a`` and ``b``,
+    plus one — i.e. the ULP distance.  Both must be finite.
+
+    :raises ValueError: if either input is NaN or infinite.
+    """
+    if not (math.isfinite(a) and math.isfinite(b)):
+        raise ValueError("float_distance requires finite inputs")
+    return abs(_to_ordinal(a) - _to_ordinal(b))
+
+
+def next_after(x: float, direction: float) -> float:
+    """The next representable double after ``x`` toward ``direction``."""
+    return math.nextafter(x, direction)

@@ -1,0 +1,21 @@
+"""Frontend: compiles a restricted Python subset into the repro IR.
+
+The public entry point is the :func:`repro.frontend.registry.kernel`
+decorator (re-exported as ``repro.kernel``), which parses the decorated
+function's source with :mod:`ast` and lowers it — mirroring how Clad
+consumes Clang's AST in the paper.
+"""
+
+from repro.frontend.registry import kernel, Kernel, get_kernel
+from repro.frontend.parser import parse_kernel
+from repro.frontend.intrinsics import INTRINSICS, IntrinsicInfo, intrinsic_names
+
+__all__ = [
+    "kernel",
+    "Kernel",
+    "get_kernel",
+    "parse_kernel",
+    "INTRINSICS",
+    "IntrinsicInfo",
+    "intrinsic_names",
+]

@@ -1,0 +1,322 @@
+"""The intrinsic function registry.
+
+Intrinsics are the leaf math operations of the DSL — everything a kernel
+may call that is not another ``@kernel``.  Each entry bundles what the
+rest of the system needs:
+
+* a Python implementation (used by the interpreter and generated code),
+* a symbolic derivative builder (used by the AD transformations),
+* per-precision cycle costs (used by the performance cost model),
+* an optional approximate variant (used by the FastApprox analysis).
+
+The derivative builder receives the argument expressions (already bound
+to cheap references by the AD engine) and returns one partial-derivative
+expression per argument, following the same convention as Clad's
+pushforward/pullback tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.types import DType
+from repro.fp import fastapprox
+
+DerivBuilder = Callable[[Sequence[N.Expr]], List[N.Expr]]
+
+
+@dataclass
+class IntrinsicInfo:
+    """Metadata for one intrinsic."""
+
+    name: str
+    arity: int
+    impl: Callable[..., float]
+    #: builds the partial derivatives wrt each argument; ``None`` marks a
+    #: non-differentiable intrinsic whose partials are identically zero
+    #: (floor, ceil, comparisons-as-floats).
+    deriv: Optional[DerivBuilder]
+    #: simulated cycle cost by precision (defaults filled for f16/f32/f64)
+    cost: Dict[DType, float] = field(default_factory=dict)
+    #: approximate ("fast") variant, if FastApprox provides one
+    approx_impl: Optional[Callable[..., float]] = None
+    #: cycle cost of the approximate variant
+    approx_cost: float = 0.0
+    #: exact reference used to compute Δ in the approximation error model
+    exact_ref: Optional[Callable[..., float]] = None
+
+
+def _costs(f64: float, f32: Optional[float] = None, f16: Optional[float] = None) -> Dict[DType, float]:
+    """Cost table helper: f32 defaults to half of f64, f16 to a third."""
+    c32 = f32 if f32 is not None else f64 / 2.0
+    c16 = f16 if f16 is not None else f64 / 3.0
+    return {DType.F64: f64, DType.F32: c32, DType.F16: c16}
+
+
+# -- derivative builders ------------------------------------------------------
+
+def _d_sin(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.call("cos", [b.clone(a[0])])]
+
+
+def _d_cos(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.neg(b.call("sin", [b.clone(a[0])]))]
+
+
+def _d_tan(a: Sequence[N.Expr]) -> List[N.Expr]:
+    c = b.call("cos", [b.clone(a[0])])
+    return [b.div(b.fone(), b.mul(c, b.clone(c)))]
+
+
+def _d_asin(a: Sequence[N.Expr]) -> List[N.Expr]:
+    x = b.clone(a[0])
+    return [
+        b.div(
+            b.fone(),
+            b.call("sqrt", [b.sub(b.fone(), b.mul(x, b.clone(x)))]),
+        )
+    ]
+
+
+def _d_acos(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.neg(_d_asin(a)[0])]
+
+
+def _d_atan(a: Sequence[N.Expr]) -> List[N.Expr]:
+    x = b.clone(a[0])
+    return [b.div(b.fone(), b.add(b.fone(), b.mul(x, b.clone(x))))]
+
+
+def _d_exp(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.call("exp", [b.clone(a[0])])]
+
+
+def _d_log(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.div(b.fone(), b.clone(a[0]))]
+
+
+def _d_log2(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.div(b.const(1.0 / math.log(2.0)), b.clone(a[0]))]
+
+
+def _d_exp2(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [
+        b.mul(b.call("exp2", [b.clone(a[0])]), b.const(math.log(2.0)))
+    ]
+
+
+def _d_sqrt(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.div(b.const(0.5), b.call("sqrt", [b.clone(a[0])]))]
+
+
+def _d_fabs(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.call("copysign", [b.fone(), b.clone(a[0])])]
+
+
+def _d_copysign(a: Sequence[N.Expr]) -> List[N.Expr]:
+    # d/dmag copysign(mag, sgn) = copysign(1, mag)*copysign(1, sgn); treat
+    # as sign-transfer on the magnitude, zero wrt the sign argument.
+    return [
+        b.mul(
+            b.call("copysign", [b.fone(), b.clone(a[0])]),
+            b.call("copysign", [b.fone(), b.clone(a[1])]),
+        ),
+        b.fzero(),
+    ]
+
+
+def _d_pow(a: Sequence[N.Expr]) -> List[N.Expr]:
+    base, expo = a
+    d_base = b.mul(
+        b.clone(expo),
+        b.call("pow", [b.clone(base), b.sub(b.clone(expo), b.fone())]),
+    )
+    d_expo = b.mul(
+        b.call("pow", [b.clone(base), b.clone(expo)]),
+        b.call("log", [b.clone(base)]),
+    )
+    return [d_base, d_expo]
+
+
+_TWO_OVER_SQRT_PI = 2.0 / math.sqrt(math.pi)
+
+
+def _d_erf(a: Sequence[N.Expr]) -> List[N.Expr]:
+    x = b.clone(a[0])
+    return [
+        b.mul(
+            b.const(_TWO_OVER_SQRT_PI),
+            b.call("exp", [b.neg(b.mul(x, b.clone(x)))]),
+        )
+    ]
+
+
+def _d_erfc(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.neg(_d_erf(a)[0])]
+
+
+def _d_tanh(a: Sequence[N.Expr]) -> List[N.Expr]:
+    t = b.call("tanh", [b.clone(a[0])])
+    return [b.sub(b.fone(), b.mul(t, b.clone(t)))]
+
+
+def _d_sinh(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.call("cosh", [b.clone(a[0])])]
+
+
+def _d_cosh(a: Sequence[N.Expr]) -> List[N.Expr]:
+    return [b.call("sinh", [b.clone(a[0])])]
+
+
+def _step_ge(x: float, y: float) -> float:
+    """1.0 where x >= y else 0.0 — the subgradient selector for fmax."""
+    return 1.0 if x >= y else 0.0
+
+
+def _d_fmax(a: Sequence[N.Expr]) -> List[N.Expr]:
+    sel = b.call("step_ge", [b.clone(a[0]), b.clone(a[1])])
+    return [b.clone(sel), b.sub(b.fone(), sel)]
+
+
+def _d_fmin(a: Sequence[N.Expr]) -> List[N.Expr]:
+    sel = b.call("step_ge", [b.clone(a[1]), b.clone(a[0])])
+    return [b.clone(sel), b.sub(b.fone(), sel)]
+
+
+# -- the registry -------------------------------------------------------------
+
+INTRINSICS: Dict[str, IntrinsicInfo] = {}
+
+
+def _register(info: IntrinsicInfo) -> None:
+    INTRINSICS[info.name] = info
+
+
+for _name, _impl, _deriv, _c64 in [
+    ("sin", math.sin, _d_sin, 50.0),
+    ("cos", math.cos, _d_cos, 50.0),
+    ("tan", math.tan, _d_tan, 60.0),
+    ("asin", math.asin, _d_asin, 60.0),
+    ("acos", math.acos, _d_acos, 60.0),
+    ("atan", math.atan, _d_atan, 60.0),
+    ("tanh", math.tanh, _d_tanh, 55.0),
+    ("sinh", math.sinh, _d_sinh, 55.0),
+    ("cosh", math.cosh, _d_cosh, 55.0),
+    ("erf", math.erf, _d_erf, 60.0),
+    ("erfc", math.erfc, _d_erfc, 60.0),
+    ("copysign", math.copysign, _d_copysign, 2.0),
+]:
+    _register(
+        IntrinsicInfo(
+            _name,
+            2 if _name == "copysign" else 1,
+            _impl,
+            _deriv,
+            _costs(_c64),
+        )
+    )
+
+_register(
+    IntrinsicInfo(
+        "exp", 1, math.exp, _d_exp, _costs(50.0),
+        approx_impl=fastapprox.fastexp, approx_cost=9.0,
+        exact_ref=math.exp,
+    )
+)
+_register(
+    IntrinsicInfo(
+        "log", 1, math.log, _d_log, _costs(50.0),
+        approx_impl=fastapprox.fastlog, approx_cost=8.0,
+        exact_ref=math.log,
+    )
+)
+_register(
+    IntrinsicInfo(
+        "log2", 1, math.log2, _d_log2, _costs(50.0),
+        approx_impl=fastapprox.fastlog2, approx_cost=7.0,
+        exact_ref=math.log2,
+    )
+)
+_register(
+    IntrinsicInfo(
+        "exp2", 1, lambda p: 2.0 ** p, _d_exp2, _costs(50.0),
+        approx_impl=fastapprox.fastpow2, approx_cost=8.0,
+        exact_ref=lambda p: 2.0 ** p,
+    )
+)
+_register(
+    IntrinsicInfo(
+        "sqrt", 1, math.sqrt, _d_sqrt, _costs(30.0, 14.0),
+        approx_impl=fastapprox.fastsqrt, approx_cost=7.0,
+        exact_ref=math.sqrt,
+    )
+)
+_register(
+    IntrinsicInfo(
+        "pow", 2, math.pow, _d_pow, _costs(80.0),
+        approx_impl=fastapprox.fastpow, approx_cost=16.0,
+        exact_ref=math.pow,
+    )
+)
+_register(IntrinsicInfo("fabs", 1, math.fabs, _d_fabs, _costs(1.0, 1.0, 1.0)))
+_register(
+    IntrinsicInfo("fmax", 2, lambda x, y: max(x, y), _d_fmax, _costs(2.0, 1.0, 1.0))
+)
+_register(
+    IntrinsicInfo("fmin", 2, lambda x, y: min(x, y), _d_fmin, _costs(2.0, 1.0, 1.0))
+)
+_register(IntrinsicInfo("floor", 1, math.floor, None, _costs(2.0, 1.0, 1.0)))
+_register(IntrinsicInfo("ceil", 1, math.ceil, None, _costs(2.0, 1.0, 1.0)))
+_register(IntrinsicInfo("step_ge", 2, _step_ge, None, _costs(2.0, 1.0, 1.0)))
+
+
+# FastApprox variants are first-class intrinsics too: error models embed
+# expressions like ``exp(x) - fast_exp(x)`` (Algorithm 2), and approximate
+# program configurations are expressed by rewriting call names.  Their
+# derivative builders reuse the exact derivatives (first-order in the
+# approximation error).
+for _base in ("exp", "log", "log2", "exp2", "sqrt", "pow"):
+    _info = INTRINSICS[_base]
+    assert _info.approx_impl is not None
+    _register(
+        IntrinsicInfo(
+            f"fast_{_base}",
+            _info.arity,
+            _info.approx_impl,
+            _info.deriv,
+            {d: _info.approx_cost for d in (DType.F64, DType.F32, DType.F16)},
+            exact_ref=_info.exact_ref,
+        )
+    )
+
+# Hook intrinsic for external (user-defined) error models — the analogue
+# of CHEF-FP synthesizing a call to a user's ``getErrorVal``.  The real
+# callable is bound per-compilation via extra runtime bindings; the
+# default implementation returns 0 so accidentally-unbound calls are
+# conservative no-ops.
+_register(
+    IntrinsicInfo(
+        "user_err",
+        3,
+        lambda dx, x, site: 0.0,
+        None,
+        _costs(10.0),
+    )
+)
+
+
+def intrinsic_names() -> List[str]:
+    """Sorted list of all registered intrinsic names."""
+    return sorted(INTRINSICS)
+
+
+def get_intrinsic(name: str) -> IntrinsicInfo:
+    """Look up an intrinsic.
+
+    :raises KeyError: if not registered.
+    """
+    return INTRINSICS[name]

@@ -1,0 +1,345 @@
+"""Tree-walking reference interpreter for IR functions.
+
+The interpreter defines the *semantics* of the IR, including storage
+rounding: every value is held in binary64, but each store rounds to the
+target variable's declared precision and each arithmetic operation rounds
+to the operation's inferred precision — exactly the behaviour of C code
+with ``float``/``double`` variables, emulated from doubles.
+
+It is intentionally simple (and slow): generated code from
+:mod:`repro.codegen` is validated against it, and the mixed-precision
+validation runs use it at small problem sizes.  Optional hooks:
+
+* ``approx`` — substitute FastApprox variants for chosen intrinsics,
+* ``cost_model`` — accumulate simulated cycles (dynamic, exact),
+* ``cast_counter`` — count implicit precision conversions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.fp.counters import CastCounter
+from repro.fp.precision import round_to
+from repro.frontend.intrinsics import INTRINSICS
+from repro.interp.cost_model import CostModel
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType, DType
+from repro.ir.typecheck import collect_var_dtypes
+from repro.util.errors import ExecutionError
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class Interpreter:
+    """One interpreter instance per execution (holds run statistics)."""
+
+    def __init__(
+        self,
+        fn: N.Function,
+        approx: Optional[Set[str]] = None,
+        cost_model: Optional[CostModel] = None,
+        cast_counter: Optional[CastCounter] = None,
+        max_steps: int = 500_000_000,
+    ) -> None:
+        self.fn = fn
+        self.approx = approx or set()
+        self.cost_model = cost_model
+        self.casts = cast_counter
+        self.cycles = 0.0
+        self.max_steps = max_steps
+        self._steps = 0
+        self.var_dtypes = collect_var_dtypes(fn)
+        self.env: Dict[str, object] = {}
+
+    # -- entry -----------------------------------------------------------------
+    def run(self, args: Sequence[object]) -> object:
+        """Execute the function; returns its return value (or None)."""
+        fn = self.fn
+        if len(args) != len(fn.params):
+            raise ExecutionError(
+                f"{fn.name}: expected {len(fn.params)} arguments, got "
+                f"{len(args)}"
+            )
+        for p, a in zip(fn.params, args):
+            if isinstance(p.type, ArrayType):
+                if not isinstance(a, np.ndarray):
+                    a = np.asarray(a, dtype=np.float64)
+                if p.type.dtype in (DType.F32, DType.F16):
+                    a = np.asarray(round_to(a, p.type.dtype))
+                self.env[p.name] = a
+            else:
+                self.env[p.name] = self._store_round(
+                    p.name, float(a) if p.type.dtype.is_float else a
+                )
+        try:
+            self._exec_body(fn.body)
+        except _ReturnSignal as r:
+            return r.value
+        return None
+
+    # -- statements ---------------------------------------------------------
+    def _exec_body(self, body: List[N.Stmt]) -> None:
+        for s in body:
+            self._exec_stmt(s)
+
+    def _exec_stmt(self, s: N.Stmt) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise ExecutionError(
+                f"{self.fn.name}: exceeded max interpreter steps"
+            )
+        if isinstance(s, N.VarDecl):
+            if s.init is not None:
+                v = self._eval(s.init)
+                self.env[s.name] = self._store_scalar(s.name, s.dtype, v, s.init)
+            else:
+                self.env[s.name] = 0.0
+        elif isinstance(s, N.Assign):
+            v = self._eval(s.value)
+            if isinstance(s.target, N.Name):
+                dt = self.var_dtypes.get(s.target.id, DType.F64)
+                self.env[s.target.id] = self._store_scalar(
+                    s.target.id, dt, v, s.value
+                )
+            else:
+                arr = self.env[s.target.base]
+                idx = int(self._eval(s.target.index))
+                dt = self.var_dtypes.get(s.target.base, DType.F64)
+                vv = round_to(v, dt) if dt.is_float else v
+                self._charge_store(s.target, s.value)
+                arr[idx] = vv
+        elif isinstance(s, N.For):
+            lo = int(self._eval(s.lo))
+            hi = int(self._eval(s.hi))
+            step = int(self._eval(s.step))
+            try:
+                for i in range(lo, hi, step):
+                    self.env[s.var] = i
+                    self._exec_body(s.body)
+            except _BreakSignal:
+                pass
+        elif isinstance(s, N.While):
+            try:
+                while self._truth(self._eval(s.cond)):
+                    self._exec_body(s.body)
+            except _BreakSignal:
+                pass
+        elif isinstance(s, N.If):
+            if self._truth(self._eval(s.cond)):
+                self._exec_body(s.then)
+            else:
+                self._exec_body(s.orelse)
+        elif isinstance(s, N.Break):
+            raise _BreakSignal()
+        elif isinstance(s, N.Return):
+            raise _ReturnSignal(self._eval(s.value))
+        elif isinstance(s, N.ReturnTuple):
+            raise _ReturnSignal(tuple(self._eval(v) for v in s.values))
+        elif isinstance(s, N.ExprStmt):
+            self._eval(s.value)
+        else:
+            raise ExecutionError(
+                f"{self.fn.name}: interpreter cannot execute "
+                f"{type(s).__name__} (adjoint-only node?)"
+            )
+
+    @staticmethod
+    def _truth(v: object) -> bool:
+        return bool(v)
+
+    # -- stores -----------------------------------------------------------------
+    def _store_round(self, name: str, v: object) -> object:
+        dt = self.var_dtypes.get(name, DType.F64)
+        if dt.is_float and isinstance(v, float):
+            return round_to(v, dt)
+        return v
+
+    def _store_scalar(
+        self, name: str, dt: DType, v: object, value_expr: N.Expr
+    ) -> object:
+        tgt = N.Name(name)
+        tgt.dtype = dt
+        self._charge_store(tgt, value_expr)
+        if dt.is_float:
+            return round_to(float(v), dt)
+        if dt is DType.I64:
+            return int(v)
+        return v
+
+    def _charge_store(self, target: N.LValue, value: N.Expr) -> None:
+        tdt = target.dtype or self.var_dtypes.get(
+            target.id if isinstance(target, N.Name) else target.base,
+            DType.F64,
+        )
+        vdt = value.dtype or DType.F64
+        if self.cost_model is not None:
+            cm = self.cost_model
+            self.cycles += (
+                cm.array_access[tdt]
+                if isinstance(target, N.Index)
+                else cm.scalar_store[tdt]
+            )
+            if vdt.is_float and tdt.is_float and vdt is not tdt:
+                self.cycles += cm.cast
+        if self.casts is not None and vdt.is_float and tdt.is_float:
+            self.casts.record(vdt, tdt)
+
+    # -- expressions --------------------------------------------------------
+    def _eval(self, e: N.Expr) -> object:
+        if isinstance(e, N.Const):
+            return e.value
+        if isinstance(e, N.Name):
+            try:
+                return self.env[e.id]
+            except KeyError as exc:
+                raise ExecutionError(
+                    f"{self.fn.name}: undefined variable {e.id!r}"
+                ) from exc
+        if isinstance(e, N.Index):
+            arr = self.env[e.base]
+            idx = int(self._eval(e.index))
+            if self.cost_model is not None:
+                self.cycles += self.cost_model.array_access[
+                    e.dtype or DType.F64
+                ]
+            return float(arr[idx])
+        if isinstance(e, N.BinOp):
+            return self._eval_binop(e)
+        if isinstance(e, N.UnaryOp):
+            v = self._eval(e.operand)
+            if self.cost_model is not None:
+                self.cost_model_charge_negate()
+            return (not v) if e.op == "not" else -v
+        if isinstance(e, N.Call):
+            return self._eval_call(e)
+        if isinstance(e, N.Cast):
+            v = self._eval(e.operand)
+            src = e.operand.dtype or DType.F64
+            if e.to.is_float:
+                if self.casts is not None and src.is_float:
+                    self.casts.record(src, e.to)
+                if (
+                    self.cost_model is not None
+                    and src.is_float
+                    and src is not e.to
+                ):
+                    self.cycles += self.cost_model.cast
+                return round_to(float(v), e.to)
+            if e.to is DType.I64:
+                return int(v)
+            return bool(v)
+        raise ExecutionError(
+            f"{self.fn.name}: unknown expression {type(e).__name__}"
+        )
+
+    def cost_model_charge_negate(self) -> None:
+        self.cycles += self.cost_model.negate  # type: ignore[union-attr]
+
+    def _eval_binop(self, e: N.BinOp) -> object:
+        op = e.op
+        if op == "and":
+            lv = self._eval(e.left)
+            if not lv:
+                return False
+            return bool(self._eval(e.right))
+        if op == "or":
+            lv = self._eval(e.left)
+            if lv:
+                return True
+            return bool(self._eval(e.right))
+        left = self._eval(e.left)
+        right = self._eval(e.right)
+        if self.cost_model is not None:
+            cm = self.cost_model
+            dt = e.dtype or DType.F64
+            self.cycles += cm.binop_cost(op, dt)
+            for side in (e.left, e.right):
+                sd = side.dtype or DType.F64
+                if sd.is_float and dt.is_float and sd is not dt:
+                    self.cycles += cm.cast
+        if op in N.CMPOPS:
+            return _compare(op, left, right)
+        try:
+            if op == "+":
+                v = left + right
+            elif op == "-":
+                v = left - right
+            elif op == "*":
+                v = left * right
+            elif op == "/":
+                v = left / right
+            elif op == "//":
+                v = left // right
+            elif op == "%":
+                v = left % right
+            else:
+                raise ExecutionError(f"unknown operator {op!r}")
+        except ZeroDivisionError as exc:
+            raise ExecutionError(
+                f"{self.fn.name}: division by zero at line {e.loc}"
+            ) from exc
+        dt = e.dtype or DType.F64
+        if dt.is_float and isinstance(v, float):
+            return round_to(v, dt)
+        return v
+
+    def _eval_call(self, e: N.Call) -> object:
+        info = INTRINSICS[e.fn]
+        args = [self._eval(a) for a in e.args]
+        if self.cost_model is not None:
+            self.cycles += self.cost_model.call_cost(
+                e.fn, e.dtype or DType.F64, self.approx
+            )
+        if e.fn in self.approx and info.approx_impl is not None:
+            impl: Callable = info.approx_impl
+        else:
+            impl = info.impl
+        try:
+            v = impl(*[float(a) for a in args])
+        except (ValueError, OverflowError) as exc:
+            raise ExecutionError(
+                f"{self.fn.name}: {e.fn}({args}) failed: {exc}"
+            ) from exc
+        dt = e.dtype or DType.F64
+        if dt.is_float:
+            return round_to(float(v), dt)
+        return v
+
+
+def _compare(op: str, left: object, right: object) -> bool:
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def run_function(
+    fn: N.Function,
+    args: Sequence[object],
+    approx: Optional[Set[str]] = None,
+    cost_model: Optional[CostModel] = None,
+    cast_counter: Optional[CastCounter] = None,
+) -> object:
+    """Convenience wrapper: build an :class:`Interpreter` and run it."""
+    interp = Interpreter(
+        fn, approx=approx, cost_model=cost_model, cast_counter=cast_counter
+    )
+    return interp.run(args)

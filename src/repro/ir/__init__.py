@@ -1,0 +1,67 @@
+"""The repro intermediate representation (IR).
+
+A small typed imperative language — the program representation that the
+CHEF-FP-style analysis transforms.  See :mod:`repro.ir.nodes` for the node
+set and :mod:`repro.ir.types` for the type system.
+"""
+
+from repro.ir.types import (
+    DType,
+    Type,
+    ScalarType,
+    ArrayType,
+    promote,
+    machine_eps,
+    parse_annotation,
+    BOOL,
+    I64,
+    F16,
+    F32,
+    F64,
+    F16_ARR,
+    F32_ARR,
+    F64_ARR,
+    I64_ARR,
+)
+from repro.ir.nodes import (
+    Expr,
+    Const,
+    Name,
+    Index,
+    BinOp,
+    UnaryOp,
+    Call,
+    Cast,
+    Stmt,
+    VarDecl,
+    Assign,
+    For,
+    While,
+    If,
+    Break,
+    Return,
+    ReturnTuple,
+    ExprStmt,
+    Push,
+    Pop,
+    PopDiscard,
+    TraceAppend,
+    Param,
+    Function,
+)
+from repro.ir.printer import format_expr, format_stmt, format_function
+from repro.ir.validate import validate_function
+from repro.ir import builder
+
+__all__ = [
+    "DType", "Type", "ScalarType", "ArrayType", "promote", "machine_eps",
+    "parse_annotation",
+    "BOOL", "I64", "F16", "F32", "F64",
+    "F16_ARR", "F32_ARR", "F64_ARR", "I64_ARR",
+    "Expr", "Const", "Name", "Index", "BinOp", "UnaryOp", "Call", "Cast",
+    "Stmt", "VarDecl", "Assign", "For", "While", "If", "Break", "Return",
+    "ReturnTuple", "ExprStmt", "Push", "Pop", "PopDiscard", "TraceAppend",
+    "Param", "Function",
+    "format_expr", "format_stmt", "format_function", "validate_function",
+    "builder",
+]

@@ -1,0 +1,169 @@
+"""Type inference / re-inference over IR functions.
+
+The frontend fills expression dtypes while parsing, but transformations
+that change *storage* precisions (the mixed-precision tuner) must re-infer
+every expression dtype afterwards.  :func:`infer_types` performs a full
+pass; :func:`collect_var_dtypes` exposes the declared dtype of every
+variable, which the interpreter, code generator, and cost model all share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.frontend import intrinsics as _intr
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType, DType, promote
+from repro.ir.visitor import walk_stmts
+from repro.util.errors import TypeCheckError
+
+
+def collect_var_dtypes(fn: N.Function) -> Dict[str, DType]:
+    """Map every scalar/array variable of ``fn`` to its storage dtype.
+
+    Array names map to their *element* dtype.  Loop variables are I64.
+    Adjoint-generated temporaries (``_d_*`` etc.) appear via their
+    VarDecls like any other local.
+    """
+    env: Dict[str, DType] = {}
+    for p in fn.params:
+        env[p.name] = p.type.dtype
+    for s in walk_stmts(fn.body):
+        if isinstance(s, N.VarDecl):
+            env[s.name] = s.dtype
+        elif isinstance(s, N.For):
+            env[s.var] = DType.I64
+    return env
+
+
+def infer_types(fn: N.Function) -> None:
+    """(Re)compute the dtype of every expression in ``fn`` in place.
+
+    :raises TypeCheckError: on references to unknown variables or calls to
+        unknown intrinsics.
+    """
+    env = collect_var_dtypes(fn)
+    arrays = {
+        p.name for p in fn.params if isinstance(p.type, ArrayType)
+    }
+    for s in walk_stmts(fn.body):
+        _infer_stmt(fn, s, env, arrays)
+
+
+def _infer_stmt(
+    fn: N.Function, s: N.Stmt, env: Dict[str, DType], arrays: set
+) -> None:
+    if isinstance(s, N.VarDecl):
+        if s.init is not None:
+            _infer_expr(fn, s.init, env, arrays)
+    elif isinstance(s, N.Assign):
+        _infer_lvalue(fn, s.target, env, arrays)
+        _infer_expr(fn, s.value, env, arrays)
+    elif isinstance(s, N.For):
+        for e in (s.lo, s.hi, s.step):
+            _infer_expr(fn, e, env, arrays)
+    elif isinstance(s, N.While):
+        _infer_expr(fn, s.cond, env, arrays)
+    elif isinstance(s, N.If):
+        _infer_expr(fn, s.cond, env, arrays)
+    elif isinstance(s, N.Return):
+        _infer_expr(fn, s.value, env, arrays)
+    elif isinstance(s, N.ReturnTuple):
+        for v in s.values:
+            _infer_expr(fn, v, env, arrays)
+    elif isinstance(s, N.ExprStmt):
+        _infer_expr(fn, s.value, env, arrays)
+    elif isinstance(s, N.Push):
+        _infer_expr(fn, s.value, env, arrays)
+    elif isinstance(s, N.Pop):
+        _infer_lvalue(fn, s.target, env, arrays)
+    elif isinstance(s, N.TraceAppend):
+        _infer_expr(fn, s.value, env, arrays)
+
+
+def _infer_lvalue(
+    fn: N.Function, lv: N.LValue, env: Dict[str, DType], arrays: set
+) -> None:
+    if isinstance(lv, N.Name):
+        lv.dtype = _lookup(fn, lv.id, env)
+    else:
+        _infer_expr(fn, lv.index, env, arrays)
+        lv.dtype = _lookup(fn, lv.base, env)
+
+
+def _lookup(fn: N.Function, name: str, env: Dict[str, DType]) -> DType:
+    try:
+        return env[name]
+    except KeyError as exc:
+        raise TypeCheckError(
+            f"{fn.name}: reference to unknown variable {name!r}"
+        ) from exc
+
+
+def intrinsic_result_dtype(fname: str, arg_dtypes) -> DType:
+    """Result dtype of an intrinsic call.
+
+    Models C math-library behaviour: the call is evaluated at the common
+    float precision of its arguments (``sinf`` vs ``sin``); integer-only
+    arguments promote to double.
+    """
+    p: DType = DType.I64
+    for d in arg_dtypes:
+        p = promote(p, d)
+    if not p.is_float:
+        p = DType.F64
+    if fname in ("floor", "ceil", "step_ge"):
+        return p
+    return p
+
+
+def _infer_expr(
+    fn: N.Function, e: N.Expr, env: Dict[str, DType], arrays: set
+) -> DType:
+    if isinstance(e, N.Const):
+        if e.dtype is None:
+            if isinstance(e.value, bool):
+                e.dtype = DType.B1
+            elif isinstance(e.value, int):
+                e.dtype = DType.I64
+            else:
+                e.dtype = DType.F64
+        return e.dtype
+    if isinstance(e, N.Name):
+        e.dtype = _lookup(fn, e.id, env)
+        return e.dtype
+    if isinstance(e, N.Index):
+        _infer_expr(fn, e.index, env, arrays)
+        e.dtype = _lookup(fn, e.base, env)
+        return e.dtype
+    if isinstance(e, N.BinOp):
+        lt = _infer_expr(fn, e.left, env, arrays)
+        rt = _infer_expr(fn, e.right, env, arrays)
+        if e.op in N.CMPOPS or e.op in N.BOOLOPS:
+            e.dtype = DType.B1
+        elif e.op == "/":
+            e.dtype = promote(promote(lt, rt), DType.F64)
+        elif e.op in ("//", "%"):
+            e.dtype = promote(lt, rt)
+        else:
+            e.dtype = promote(lt, rt)
+        return e.dtype
+    if isinstance(e, N.UnaryOp):
+        it = _infer_expr(fn, e.operand, env, arrays)
+        e.dtype = DType.B1 if e.op == "not" else it
+        return e.dtype
+    if isinstance(e, N.Call):
+        if e.fn not in _intr.INTRINSICS:
+            raise TypeCheckError(
+                f"{fn.name}: call to unknown intrinsic {e.fn!r}"
+            )
+        ads = [_infer_expr(fn, a, env, arrays) for a in e.args]
+        e.dtype = intrinsic_result_dtype(e.fn, ads)
+        return e.dtype
+    if isinstance(e, N.Cast):
+        _infer_expr(fn, e.operand, env, arrays)
+        e.dtype = e.to
+        return e.dtype
+    raise TypeCheckError(
+        f"{fn.name}: unknown expression node {type(e).__name__}"
+    )

@@ -1,0 +1,166 @@
+"""Scalar/array types of the repro IR and IEEE-754 precision metadata.
+
+The IR is deliberately small: boolean, 64-bit integer, and the three IEEE
+binary floating-point precisions the paper discusses (half, single,
+double).  Quad precision is out of scope — Python has no native binary128.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DType(enum.Enum):
+    """Element data types supported by the IR."""
+
+    B1 = "bool"
+    I64 = "i64"
+    F16 = "f16"
+    F32 = "f32"
+    F64 = "f64"
+
+    @property
+    def is_float(self) -> bool:
+        """True for the IEEE floating-point dtypes."""
+        return self in (DType.F16, DType.F32, DType.F64)
+
+    @property
+    def is_integer(self) -> bool:
+        return self is DType.I64
+
+    @property
+    def bits(self) -> int:
+        """Storage width in bits."""
+        return _BITS[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+_BITS = {
+    DType.B1: 1,
+    DType.I64: 64,
+    DType.F16: 16,
+    DType.F32: 32,
+    DType.F64: 64,
+}
+
+#: Machine epsilon (unit roundoff = ulp(1)/2 * 2 convention: we use the
+#: classic eps = b^(1-p), the gap between 1.0 and the next float) for each
+#: floating dtype.  These follow IEEE 754-2019.
+MACHINE_EPS = {
+    DType.F16: 2.0 ** -10,
+    DType.F32: 2.0 ** -23,
+    DType.F64: 2.0 ** -52,
+}
+
+#: Rank used for implicit promotion; higher rank wins.
+_PROMOTION_RANK = {
+    DType.B1: 0,
+    DType.I64: 1,
+    DType.F16: 2,
+    DType.F32: 3,
+    DType.F64: 4,
+}
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Return the common dtype of a binary arithmetic operation.
+
+    Follows C-like promotion: the higher-ranked dtype wins, booleans
+    promote to integers when mixed with numerics.
+    """
+    if a is b:
+        return a
+    winner = a if _PROMOTION_RANK[a] >= _PROMOTION_RANK[b] else b
+    if winner is DType.B1:
+        return DType.I64
+    return winner
+
+
+def machine_eps(dtype: DType) -> float:
+    """Machine epsilon of a floating dtype.
+
+    :raises KeyError: for non-float dtypes.
+    """
+    return MACHINE_EPS[dtype]
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for IR value types."""
+
+    dtype: DType
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A scalar value of ``dtype``."""
+
+    def __str__(self) -> str:
+        return self.dtype.value
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A 1-D array (buffer) of ``dtype`` elements, passed by reference."""
+
+    def __str__(self) -> str:
+        return f"{self.dtype.value}[]"
+
+
+# Convenient singletons -----------------------------------------------------
+BOOL = ScalarType(DType.B1)
+I64 = ScalarType(DType.I64)
+F16 = ScalarType(DType.F16)
+F32 = ScalarType(DType.F32)
+F64 = ScalarType(DType.F64)
+F16_ARR = ArrayType(DType.F16)
+F32_ARR = ArrayType(DType.F32)
+F64_ARR = ArrayType(DType.F64)
+I64_ARR = ArrayType(DType.I64)
+
+_ANNOTATION_TABLE = {
+    "bool": BOOL,
+    "int": I64,
+    "i64": I64,
+    "float": F64,
+    "f16": F16,
+    "f32": F32,
+    "f64": F64,
+    "half": F16,
+    "single": F32,
+    "double": F64,
+    "int[]": I64_ARR,
+    "i64[]": I64_ARR,
+    "float[]": F64_ARR,
+    "f16[]": F16_ARR,
+    "f32[]": F32_ARR,
+    "f64[]": F64_ARR,
+}
+
+
+def parse_annotation(ann: object) -> Type:
+    """Map a Python annotation to an IR :class:`Type`.
+
+    Accepted forms: the builtins ``float``/``int``/``bool`` and the strings
+    ``"f16" | "f32" | "f64" | "i64" | "bool"`` with an optional trailing
+    ``[]`` for arrays (e.g. ``"f64[]"``).
+
+    :raises KeyError: if the annotation is not recognised.
+    """
+    if ann is float:
+        return F64
+    if ann is int:
+        return I64
+    if ann is bool:
+        return BOOL
+    if isinstance(ann, str):
+        key = ann.strip().replace(" ", "")
+        return _ANNOTATION_TABLE[key]
+    raise KeyError(f"unsupported type annotation: {ann!r}")

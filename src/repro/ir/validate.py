@@ -1,0 +1,180 @@
+"""Structural validation of IR functions.
+
+Run after the frontend and after every transformation pass (in tests and
+in debug mode) to catch malformed trees early: undeclared names, dtype
+holes, breaks outside loops, returns in the middle of a body, stray
+adjoint-only nodes in primal functions, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType
+from repro.ir.visitor import iter_child_exprs, walk_expr
+from repro.util.errors import ValidationError
+
+
+def validate_function(fn: N.Function, allow_adjoint_nodes: bool = False) -> None:
+    """Validate ``fn``; raise :class:`ValidationError` on the first problem.
+
+    :param allow_adjoint_nodes: permit Push/Pop/TraceAppend/ReturnTuple
+        (set for generated adjoint functions).
+    """
+    v = _Validator(fn, allow_adjoint_nodes)
+    v.run()
+
+
+class _Validator:
+    def __init__(self, fn: N.Function, allow_adjoint: bool) -> None:
+        self.fn = fn
+        self.allow_adjoint = allow_adjoint
+        self.scalars: Set[str] = set()
+        self.arrays: Set[str] = set()
+        for p in fn.params:
+            if isinstance(p.type, ArrayType):
+                self.arrays.add(p.name)
+            else:
+                self.scalars.add(p.name)
+
+    def run(self) -> None:
+        seen = set()
+        for p in self.fn.params:
+            if p.name in seen:
+                raise ValidationError(
+                    f"{self.fn.name}: duplicate parameter {p.name!r}"
+                )
+            seen.add(p.name)
+        self._check_body(self.fn.body, in_loop=False, toplevel=True)
+
+    # -- statements ---------------------------------------------------------
+    def _check_body(
+        self, body: List[N.Stmt], in_loop: bool, toplevel: bool
+    ) -> None:
+        for i, s in enumerate(body):
+            is_last = i == len(body) - 1
+            if isinstance(s, (N.Return, N.ReturnTuple)) and not is_last:
+                raise ValidationError(
+                    f"{self.fn.name}: return must be the final statement"
+                )
+            if isinstance(s, (N.Return, N.ReturnTuple)) and not toplevel:
+                raise ValidationError(
+                    f"{self.fn.name}: return inside control flow is not "
+                    "supported"
+                )
+            self._check_stmt(s, in_loop, toplevel)
+
+    def _check_stmt(self, s: N.Stmt, in_loop: bool, toplevel: bool) -> None:
+        if isinstance(s, N.VarDecl):
+            if s.name in self.scalars or s.name in self.arrays:
+                raise ValidationError(
+                    f"{self.fn.name}: redeclaration of {s.name!r}"
+                )
+            if s.init is not None:
+                self._check_expr(s.init)
+            self.scalars.add(s.name)
+        elif isinstance(s, N.Assign):
+            self._check_lvalue(s.target)
+            self._check_expr(s.value)
+        elif isinstance(s, N.For):
+            for e in (s.lo, s.hi, s.step):
+                self._check_expr(e)
+            self.scalars.add(s.var)
+            self._check_body(s.body, in_loop=True, toplevel=False)
+        elif isinstance(s, N.While):
+            self._check_expr(s.cond)
+            self._check_body(s.body, in_loop=True, toplevel=False)
+        elif isinstance(s, N.If):
+            self._check_expr(s.cond)
+            self._check_body(s.then, in_loop, toplevel=False)
+            self._check_body(s.orelse, in_loop, toplevel=False)
+        elif isinstance(s, N.Break):
+            if not in_loop:
+                raise ValidationError(
+                    f"{self.fn.name}: break outside of a loop"
+                )
+        elif isinstance(s, N.Return):
+            self._check_expr(s.value)
+            if self.fn.ret_dtype is None:
+                raise ValidationError(
+                    f"{self.fn.name}: return in a void function"
+                )
+        elif isinstance(s, N.ReturnTuple):
+            self._require_adjoint("ReturnTuple")
+            for v in s.values:
+                self._check_expr(v)
+        elif isinstance(s, N.ExprStmt):
+            self._check_expr(s.value)
+        elif isinstance(s, N.Push):
+            self._require_adjoint("Push")
+            self._check_expr(s.value)
+        elif isinstance(s, N.Pop):
+            self._require_adjoint("Pop")
+            self._check_lvalue(s.target)
+        elif isinstance(s, N.PopDiscard):
+            self._require_adjoint("PopDiscard")
+        elif isinstance(s, N.TraceAppend):
+            self._require_adjoint("TraceAppend")
+            self._check_expr(s.value)
+        else:
+            raise ValidationError(
+                f"{self.fn.name}: unknown statement {type(s).__name__}"
+            )
+
+    def _require_adjoint(self, what: str) -> None:
+        if not self.allow_adjoint:
+            raise ValidationError(
+                f"{self.fn.name}: {what} node is only valid in adjoint "
+                "functions"
+            )
+
+    # -- expressions --------------------------------------------------------
+    def _check_lvalue(self, lv: N.LValue) -> None:
+        if isinstance(lv, N.Name):
+            if lv.id not in self.scalars:
+                raise ValidationError(
+                    f"{self.fn.name}: assignment to undeclared scalar "
+                    f"{lv.id!r}"
+                )
+        elif isinstance(lv, N.Index):
+            if lv.base not in self.arrays:
+                raise ValidationError(
+                    f"{self.fn.name}: indexed store to non-array "
+                    f"{lv.base!r}"
+                )
+            self._check_expr(lv.index)
+        else:
+            raise ValidationError(
+                f"{self.fn.name}: invalid lvalue {type(lv).__name__}"
+            )
+
+    def _check_expr(self, e: N.Expr) -> None:
+        for node in walk_expr(e):
+            if isinstance(node, N.Name):
+                if node.id not in self.scalars:
+                    raise ValidationError(
+                        f"{self.fn.name}: use of undeclared scalar "
+                        f"{node.id!r}"
+                    )
+            elif isinstance(node, N.Index):
+                if node.base not in self.arrays:
+                    raise ValidationError(
+                        f"{self.fn.name}: indexed read of non-array "
+                        f"{node.base!r}"
+                    )
+            elif isinstance(node, N.BinOp):
+                if (
+                    node.op not in N.BINOPS
+                    and node.op not in N.CMPOPS
+                    and node.op not in N.BOOLOPS
+                ):
+                    raise ValidationError(
+                        f"{self.fn.name}: unknown operator {node.op!r}"
+                    )
+            elif isinstance(node, N.Const):
+                if node.dtype is None:
+                    raise ValidationError(
+                        f"{self.fn.name}: constant without dtype"
+                    )
+            # Call/Cast/UnaryOp: children checked by the walk

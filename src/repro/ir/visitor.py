@@ -1,0 +1,225 @@
+"""Generic visitor / transformer infrastructure for the IR.
+
+Two base classes are provided:
+
+* :class:`ExprVisitor` — read-only traversal of expressions (and, via
+  :class:`StmtVisitor`, of statements).  Dispatch is by node class name.
+* :class:`Transformer` — rebuild-style traversal; each ``visit_*`` may
+  return a replacement node.  Statement visits may return a single
+  statement, a list of statements (splicing), or ``None`` (deletion).
+
+Optimization passes and the AD transformation build on these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.ir import nodes as N
+
+
+class ExprVisitor:
+    """Read-only expression traversal with per-class dispatch."""
+
+    def visit(self, node: N.Expr) -> object:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: N.Expr) -> object:
+        for child in iter_child_exprs(node):
+            self.visit(child)
+        return None
+
+
+class StmtVisitor(ExprVisitor):
+    """Read-only statement + expression traversal."""
+
+    def visit_stmt(self, stmt: N.Stmt) -> object:
+        method = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if method is not None:
+            return method(stmt)
+        return self.generic_visit_stmt(stmt)
+
+    def visit_body(self, body: Iterable[N.Stmt]) -> None:
+        for s in body:
+            self.visit_stmt(s)
+
+    def generic_visit_stmt(self, stmt: N.Stmt) -> object:
+        for e in iter_stmt_exprs(stmt):
+            self.visit(e)
+        for b in iter_stmt_bodies(stmt):
+            self.visit_body(b)
+        return None
+
+
+class Transformer:
+    """Rebuilding traversal.
+
+    Expression hooks (``visit_Const`` etc.) must return an expression.
+    Statement hooks return a statement, a list (spliced in place), or
+    ``None`` to drop the statement.
+    """
+
+    # -- expressions -------------------------------------------------------
+    def visit(self, node: N.Expr) -> N.Expr:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: N.Expr) -> N.Expr:
+        if isinstance(node, N.BinOp):
+            node.left = self.visit(node.left)
+            node.right = self.visit(node.right)
+        elif isinstance(node, N.UnaryOp):
+            node.operand = self.visit(node.operand)
+        elif isinstance(node, N.Call):
+            node.args = [self.visit(a) for a in node.args]
+        elif isinstance(node, N.Cast):
+            node.operand = self.visit(node.operand)
+        elif isinstance(node, N.Index):
+            node.index = self.visit(node.index)
+        return node
+
+    # -- statements --------------------------------------------------------
+    def visit_stmt(
+        self, stmt: N.Stmt
+    ) -> Union[N.Stmt, List[N.Stmt], None]:
+        method = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if method is not None:
+            return method(stmt)
+        return self.generic_visit_stmt(stmt)
+
+    def visit_body(self, body: List[N.Stmt]) -> List[N.Stmt]:
+        out: List[N.Stmt] = []
+        for s in body:
+            r = self.visit_stmt(s)
+            if r is None:
+                continue
+            if isinstance(r, list):
+                out.extend(r)
+            else:
+                out.append(r)
+        return out
+
+    def generic_visit_stmt(
+        self, stmt: N.Stmt
+    ) -> Union[N.Stmt, List[N.Stmt], None]:
+        if isinstance(stmt, N.VarDecl):
+            if stmt.init is not None:
+                stmt.init = self.visit(stmt.init)
+        elif isinstance(stmt, N.Assign):
+            stmt.target = self._visit_lvalue(stmt.target)
+            stmt.value = self.visit(stmt.value)
+        elif isinstance(stmt, N.For):
+            stmt.lo = self.visit(stmt.lo)
+            stmt.hi = self.visit(stmt.hi)
+            stmt.step = self.visit(stmt.step)
+            stmt.body = self.visit_body(stmt.body)
+        elif isinstance(stmt, N.While):
+            stmt.cond = self.visit(stmt.cond)
+            stmt.body = self.visit_body(stmt.body)
+        elif isinstance(stmt, N.If):
+            stmt.cond = self.visit(stmt.cond)
+            stmt.then = self.visit_body(stmt.then)
+            stmt.orelse = self.visit_body(stmt.orelse)
+        elif isinstance(stmt, N.Return):
+            stmt.value = self.visit(stmt.value)
+        elif isinstance(stmt, N.ReturnTuple):
+            stmt.values = [self.visit(v) for v in stmt.values]
+        elif isinstance(stmt, N.ExprStmt):
+            stmt.value = self.visit(stmt.value)
+        elif isinstance(stmt, N.Push):
+            stmt.value = self.visit(stmt.value)
+        elif isinstance(stmt, N.Pop):
+            stmt.target = self._visit_lvalue(stmt.target)
+        elif isinstance(stmt, N.TraceAppend):
+            stmt.value = self.visit(stmt.value)
+        return stmt
+
+    def _visit_lvalue(self, lv: N.LValue) -> N.LValue:
+        if isinstance(lv, N.Index):
+            lv.index = self.visit(lv.index)
+        return lv
+
+
+# --------------------------------------------------------------------------
+# Child iteration helpers
+# --------------------------------------------------------------------------
+
+
+def iter_child_exprs(node: N.Expr) -> Iterable[N.Expr]:
+    """Yield the immediate sub-expressions of an expression node."""
+    if isinstance(node, N.BinOp):
+        yield node.left
+        yield node.right
+    elif isinstance(node, N.UnaryOp):
+        yield node.operand
+    elif isinstance(node, N.Call):
+        yield from node.args
+    elif isinstance(node, N.Cast):
+        yield node.operand
+    elif isinstance(node, N.Index):
+        yield node.index
+
+
+def walk_expr(node: N.Expr) -> Iterable[N.Expr]:
+    """Yield ``node`` and all transitive sub-expressions (pre-order)."""
+    yield node
+    for c in iter_child_exprs(node):
+        yield from walk_expr(c)
+
+
+def iter_stmt_exprs(stmt: N.Stmt) -> Iterable[N.Expr]:
+    """Yield the immediate expressions referenced by a statement.
+
+    For :class:`Assign`/:class:`Pop`, an :class:`Index` *target*'s index
+    expression is yielded (it is read), but the target itself is not.
+    """
+    if isinstance(stmt, N.VarDecl):
+        if stmt.init is not None:
+            yield stmt.init
+    elif isinstance(stmt, N.Assign):
+        if isinstance(stmt.target, N.Index):
+            yield stmt.target.index
+        yield stmt.value
+    elif isinstance(stmt, N.For):
+        yield stmt.lo
+        yield stmt.hi
+        yield stmt.step
+    elif isinstance(stmt, N.While):
+        yield stmt.cond
+    elif isinstance(stmt, N.If):
+        yield stmt.cond
+    elif isinstance(stmt, N.Return):
+        yield stmt.value
+    elif isinstance(stmt, N.ReturnTuple):
+        yield from stmt.values
+    elif isinstance(stmt, N.ExprStmt):
+        yield stmt.value
+    elif isinstance(stmt, N.Push):
+        yield stmt.value
+    elif isinstance(stmt, N.Pop):
+        if isinstance(stmt.target, N.Index):
+            yield stmt.target.index
+    elif isinstance(stmt, N.TraceAppend):
+        yield stmt.value
+
+
+def iter_stmt_bodies(stmt: N.Stmt) -> Iterable[List[N.Stmt]]:
+    """Yield the nested statement lists of a compound statement."""
+    if isinstance(stmt, N.For) or isinstance(stmt, N.While):
+        yield stmt.body
+    elif isinstance(stmt, N.If):
+        yield stmt.then
+        yield stmt.orelse
+
+
+def walk_stmts(body: Iterable[N.Stmt]) -> Iterable[N.Stmt]:
+    """Yield every statement in ``body``, recursing into compounds."""
+    for s in body:
+        yield s
+        for b in iter_stmt_bodies(s):
+            yield from walk_stmts(b)

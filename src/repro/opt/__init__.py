@@ -1,0 +1,18 @@
+"""IR optimization pipeline.
+
+CHEF-FP's central performance claim is that error-estimation code
+generated *into the derivative source* becomes a candidate for compiler
+optimization.  These passes are our stand-in for Clang ``-O2`` on the
+generated adjoint: constant folding and algebraic simplification (the
+adjoint generator emits many ``* 1.0`` / ``+ 0.0`` patterns), local
+common-subexpression elimination (repeated intrinsic calls across the
+partials of one assignment), and dead-code elimination (unused adjoint
+stores; dead Pops become PopDiscards to preserve tape alignment).
+"""
+
+from repro.opt.pipeline import optimize
+from repro.opt.fold import fold_function
+from repro.opt.cse import cse_function
+from repro.opt.dce import dce_function
+
+__all__ = ["optimize", "fold_function", "cse_function", "dce_function"]

@@ -1,0 +1,87 @@
+"""Dead-code elimination.
+
+Removes scalar assignments (and their declarations) whose targets are
+never read anywhere in the function — a cheap whole-function
+approximation of liveness that is sound for loops (a variable read
+*anywhere* is kept everywhere).  Tape alignment is preserved: a ``Pop``
+into a dead variable becomes a :class:`~repro.ir.nodes.PopDiscard`
+rather than disappearing.
+
+Expressions are pure, so dropping a dead store cannot remove a side
+effect (it can only remove a potential domain error that the optimizer
+is entitled to remove).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir import nodes as N
+from repro.ir.visitor import iter_stmt_exprs, walk_expr, walk_stmts
+
+
+def _collect_reads(fn: N.Function) -> Set[str]:
+    reads: Set[str] = set()
+    for s in walk_stmts(fn.body):
+        for e in iter_stmt_exprs(s):
+            for node in walk_expr(e):
+                if isinstance(node, N.Name):
+                    reads.add(node.id)
+                elif isinstance(node, N.Index):
+                    reads.add(node.base)
+        # LValue index expressions are reads too
+        if isinstance(s, (N.Assign, N.Pop)) and isinstance(
+            s.target, N.Index
+        ):
+            reads.add(s.target.base)  # conservatively keep arrays
+    return reads
+
+
+def dce_function(fn: N.Function) -> bool:
+    """Remove dead scalar stores in place; returns True on change."""
+    reads = _collect_reads(fn)
+    # loop variables are structurally read by the loop itself
+    for s in walk_stmts(fn.body):
+        if isinstance(s, N.For):
+            reads.add(s.var)
+    changed = False
+
+    def sweep(body):
+        nonlocal changed
+        out = []
+        for s in body:
+            if isinstance(s, N.Assign) and isinstance(s.target, N.Name):
+                if s.target.id not in reads:
+                    changed = True
+                    continue
+            elif isinstance(s, N.VarDecl):
+                if s.name not in reads and _never_written(fn, s.name):
+                    changed = True
+                    continue
+            elif isinstance(s, N.Pop) and isinstance(s.target, N.Name):
+                if s.target.id not in reads:
+                    new = N.PopDiscard(s.stack)
+                    new.loc = s.loc
+                    out.append(new)
+                    changed = True
+                    continue
+            if isinstance(s, (N.For, N.While)):
+                s.body = sweep(s.body)
+            elif isinstance(s, N.If):
+                s.then = sweep(s.then)
+                s.orelse = sweep(s.orelse)
+            out.append(s)
+        return out
+
+    fn.body = sweep(fn.body)
+    return changed
+
+
+def _never_written(fn: N.Function, name: str) -> bool:
+    for s in walk_stmts(fn.body):
+        if isinstance(s, (N.Assign, N.Pop)) and isinstance(
+            s.target, N.Name
+        ):
+            if s.target.id == name:
+                return False
+    return True

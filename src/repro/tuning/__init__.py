@@ -1,0 +1,32 @@
+"""Mixed-precision tuning driven by CHEF-FP error profiles (paper §III).
+
+The tuner consumes per-variable error contributions from an
+error-estimation run, greedily demotes the least-sensitive variables
+while the accumulated estimated error stays below the user threshold,
+then validates the configuration by actually executing the demoted
+program (actual error) and costing it with the performance model
+(speedup) — the workflow behind Tables I and III.  The loop-split
+("perforation") analysis of the HPCCG study (Fig. 9) lives in
+:mod:`repro.tuning.perforation`.
+"""
+
+from repro.tuning.config import PrecisionConfig, apply_precision
+from repro.tuning.greedy import greedy_tune, TuningResult
+from repro.tuning.validate import validate_config, ConfigValidation
+from repro.tuning.perforation import (
+    iteration_sensitivity,
+    find_split_iteration,
+    estimate_split_speedup,
+)
+
+__all__ = [
+    "PrecisionConfig",
+    "apply_precision",
+    "greedy_tune",
+    "TuningResult",
+    "validate_config",
+    "ConfigValidation",
+    "iteration_sensitivity",
+    "find_split_iteration",
+    "estimate_split_speedup",
+]

@@ -1,0 +1,108 @@
+"""Precision configurations and program rewriting.
+
+A :class:`PrecisionConfig` maps variable names to storage precisions.
+:func:`apply_precision` rewrites a kernel's IR accordingly — the
+automated equivalent of the manual source rewriting the paper performs
+(its Discussion section names Typeforge as the automation they defer
+to; our IR makes the rewrite trivial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Union
+
+from repro.frontend.registry import Kernel
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType, DType, ScalarType
+from repro.ir.typecheck import infer_types
+from repro.ir.visitor import walk_stmts
+
+
+def matches_inlined(name: str, key: str) -> bool:
+    """True if ``name`` is ``key`` or an inlined copy of it.
+
+    Kernel inlining renames callee locals by appending ``_in<k>``
+    (possibly stacked), so the source-level variable ``sum`` appears as
+    ``sum_in1`` in the caller's IR.  Configurations and error-register
+    lookups use source-level names and match through this predicate.
+    """
+    return name == key or name.startswith(key + "_in")
+
+
+@dataclass
+class PrecisionConfig:
+    """Storage precisions for a set of variables (defaults elsewhere)."""
+
+    demotions: Dict[str, DType] = field(default_factory=dict)
+
+    @classmethod
+    def demote(cls, names: Iterable[str], to: DType = DType.F32) -> "PrecisionConfig":
+        """Demote every name in ``names`` to precision ``to``."""
+        return cls({n: to for n in names})
+
+    @property
+    def demoted_names(self) -> list:
+        return sorted(self.demotions)
+
+    def __bool__(self) -> bool:
+        return bool(self.demotions)
+
+    def describe(self) -> str:
+        if not self.demotions:
+            return "(uniform f64)"
+        return ", ".join(
+            f"{n}->{dt.value}" for n, dt in sorted(self.demotions.items())
+        )
+
+
+def apply_precision(
+    k: Union[Kernel, N.Function], config: PrecisionConfig
+) -> N.Function:
+    """Return a clone of the kernel IR with demoted storage precisions.
+
+    Both local declarations and (scalar or array) parameters may be
+    demoted.  Expression dtypes are re-inferred, so implicit promotion
+    casts appear exactly where C's usual arithmetic conversions would —
+    which is where the cost model charges them.
+
+    :raises KeyError: if a configured name does not exist in the kernel.
+    """
+    fn = k.ir if isinstance(k, Kernel) else k
+    out = b.clone(fn)
+    matched = set()
+
+    def lookup(name: str):
+        # exact keys win over inlined-prefix matches (a config may name
+        # both `x` and its inlined copy `x_in1` with different targets)
+        if name in config.demotions:
+            matched.add(name)
+            return config.demotions[name]
+        for key, dt in config.demotions.items():
+            if matches_inlined(name, key):
+                matched.add(key)
+                return dt
+        return None
+
+    for p in out.params:
+        dt = lookup(p.name)
+        if dt is not None:
+            if isinstance(p.type, ArrayType):
+                p.type = ArrayType(dt)
+            else:
+                p.type = ScalarType(dt)
+    for s in walk_stmts(out.body):
+        if isinstance(s, N.VarDecl):
+            dt = lookup(s.name)
+            if dt is not None:
+                s.dtype = dt
+    missing = set(config.demotions) - matched
+    if missing:
+        raise KeyError(
+            f"{fn.name}: unknown variables in precision config: "
+            f"{sorted(missing)}"
+        )
+    out.name = f"{fn.name}_mixed"
+    infer_types(out)
+    return out

@@ -1,0 +1,91 @@
+"""Greedy threshold-driven mixed-precision selection (paper §III).
+
+    "An effective way ... is by analyzing the sensitivity of all input
+    and intermediate variables and selecting the ones with lower
+    sensitivity to be demoted.  The FP error contributions of the
+    demoted variables are accumulated and compared to the threshold
+    value.  A mixed precision configuration is reached when the
+    accumulated error meets the threshold value."
+
+Exactly that: variables are sorted by their estimated demotion-error
+contribution (the ``_delta_<var>`` registers under the ADAPT model) and
+demoted greedily while the running sum stays within the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.api import estimate_error
+from repro.core.models import AdaptModel, ErrorModel
+from repro.core.report import ErrorReport
+from repro.frontend.registry import Kernel
+from repro.ir import nodes as N
+from repro.ir.types import DType
+from repro.tuning.config import PrecisionConfig
+
+#: registers that are analysis artifacts, never demotion candidates
+_EXCLUDED = {"_ret"}
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a greedy mixed-precision search."""
+
+    config: PrecisionConfig
+    #: estimated total error of the chosen configuration
+    estimated_error: float
+    #: the full error report the decision was based on
+    report: ErrorReport = field(repr=False, default=None)  # type: ignore[assignment]
+    #: per-candidate estimated contributions, ascending
+    ranking: List = field(default_factory=list)
+    threshold: float = 0.0
+
+    @property
+    def demoted(self) -> List[str]:
+        return self.config.demoted_names
+
+
+def greedy_tune(
+    k: Union[Kernel, N.Function],
+    args: Sequence[object],
+    threshold: float,
+    model: Optional[ErrorModel] = None,
+    candidates: Optional[Sequence[str]] = None,
+    demote_to: DType = DType.F32,
+) -> TuningResult:
+    """Find a mixed-precision configuration under an error threshold.
+
+    :param k: the kernel to tune.
+    :param args: representative inputs (the paper's Discussion notes the
+        result is input-dependent; callers should sweep inputs).
+    :param threshold: maximum acceptable accumulated estimated error.
+    :param model: error model; default is the ADAPT demotion model
+        (Eq. 2), as in the paper's mixed-precision benchmarks.
+    :param candidates: restrict demotion candidates (default: every
+        variable with an error register).
+    :param demote_to: target precision (binary32 by default).
+    """
+    est = estimate_error(k, model=model or AdaptModel(demote_to))
+    report = est.execute(*args)
+    contrib = {
+        v: e
+        for v, e in report.per_variable.items()
+        if v not in _EXCLUDED
+        and (candidates is None or v in candidates)
+    }
+    ranking = sorted(contrib.items(), key=lambda kv: kv[1])
+    chosen: List[str] = []
+    acc = 0.0
+    for var, err in ranking:
+        if acc + err <= threshold:
+            chosen.append(var)
+            acc += err
+    return TuningResult(
+        config=PrecisionConfig.demote(chosen, to=demote_to),
+        estimated_error=acc,
+        report=report,
+        ranking=ranking,
+        threshold=threshold,
+    )

@@ -1,0 +1,85 @@
+"""Configuration validation: actual error and modelled speedup.
+
+Given a precision configuration, run the demoted program against the
+uniform-f64 reference to obtain the *actual* introduced error (the
+"Actual Error" columns of Tables I and III), and compare simulated
+cycle counts to obtain the speedup (the performance substitution of
+DESIGN.md — pure Python cannot observe f32 hardware speedups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.codegen.compile import compile_raw
+from repro.frontend.registry import Kernel
+from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.ir import nodes as N
+from repro.tuning.config import PrecisionConfig, apply_precision
+
+
+@dataclass
+class ConfigValidation:
+    """Actual-versus-reference measurement of one configuration."""
+
+    config: PrecisionConfig
+    reference_value: float
+    mixed_value: float
+    actual_error: float
+    cost_reference: float
+    cost_mixed: float
+
+    @property
+    def speedup(self) -> float:
+        """Modelled execution speedup of the mixed configuration."""
+        if self.cost_mixed <= 0:
+            return 1.0
+        return self.cost_reference / self.cost_mixed
+
+
+def _run_counting(
+    fn: N.Function,
+    args: Sequence[object],
+    cost_model: CostModel,
+    approx: Optional[Set[str]] = None,
+):
+    compiled = compile_raw(
+        fn, counting=True, cost_model=cost_model, approx=approx
+    )
+    # arrays are mutated in place; copy so reference/mixed runs are
+    # independent
+    call_args = [
+        a.copy() if isinstance(a, np.ndarray) else a for a in args
+    ]
+    value, extras = compiled(*call_args)  # type: ignore[misc]
+    return float(value), float(extras["cost"])
+
+
+def validate_config(
+    k: Union[Kernel, N.Function],
+    config: PrecisionConfig,
+    args: Sequence[object],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> ConfigValidation:
+    """Execute reference and demoted programs; measure error and cost."""
+    fn = k.ir if isinstance(k, Kernel) else k
+    ref_value, ref_cost = _run_counting(fn, args, cost_model, approx)
+    if config:
+        mixed_fn = apply_precision(fn, config)
+        mixed_value, mixed_cost = _run_counting(
+            mixed_fn, args, cost_model, approx
+        )
+    else:
+        mixed_value, mixed_cost = ref_value, ref_cost
+    return ConfigValidation(
+        config=config,
+        reference_value=ref_value,
+        mixed_value=mixed_value,
+        actual_error=abs(ref_value - mixed_value),
+        cost_reference=ref_cost,
+        cost_mixed=mixed_cost,
+    )

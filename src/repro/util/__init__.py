@@ -1,0 +1,25 @@
+"""Shared utilities: error types, timing, and peak-memory measurement."""
+
+from repro.util.errors import (
+    ReproError,
+    FrontendError,
+    TypeCheckError,
+    DifferentiationError,
+    ValidationError,
+    ExecutionError,
+    AnalysisOutOfMemory,
+)
+from repro.util.timing import Timer
+from repro.util.memory import measure_time_and_peak_memory
+
+__all__ = [
+    "ReproError",
+    "FrontendError",
+    "TypeCheckError",
+    "DifferentiationError",
+    "ValidationError",
+    "ExecutionError",
+    "AnalysisOutOfMemory",
+    "Timer",
+    "measure_time_and_peak_memory",
+]

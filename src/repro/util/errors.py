@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can ``except ReproError`` to distinguish
+library-level failures from genuine bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FrontendError(ReproError):
+    """The Python-subset frontend rejected the input program.
+
+    Raised when a ``@kernel`` function uses a construct outside the
+    supported DSL (e.g. nested function definitions, unsupported operators,
+    early returns inside control flow).
+    """
+
+
+class TypeCheckError(ReproError):
+    """Static type inference/checking of an IR function failed."""
+
+
+class DifferentiationError(ReproError):
+    """The AD transformation could not differentiate a construct."""
+
+
+class ValidationError(ReproError):
+    """Structural validation of an IR function failed.
+
+    Indicates a malformed IR tree — usually a bug in a transformation pass
+    rather than a user error.
+    """
+
+
+class ExecutionError(ReproError):
+    """Executing generated or interpreted code failed."""
+
+
+class AnalysisOutOfMemory(ReproError):
+    """An analysis exceeded its configured memory budget.
+
+    Used by the ADAPT baseline to emulate the paper's cluster OOM at large
+    problem sizes without actually exhausting host memory.
+    """
+
+    def __init__(self, used_bytes: int, budget_bytes: int) -> None:
+        super().__init__(
+            f"analysis exceeded memory budget: used ~{used_bytes} bytes "
+            f"of a {budget_bytes} byte budget"
+        )
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes

@@ -1,0 +1,37 @@
+"""Peak-memory measurement for analysis runs.
+
+The paper measures peak RSS with GNU ``time``; we use :mod:`tracemalloc`,
+which tracks Python-level allocations.  Relative comparisons between
+CHEF-FP (small push/pop stacks) and the ADAPT baseline (full tape) are
+faithfully preserved; absolute numbers are Python-heap bytes, not RSS.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Any, Callable, Tuple
+
+
+def measure_time_and_peak_memory(
+    fn: Callable[[], Any],
+) -> Tuple[Any, float, int]:
+    """Run ``fn`` and return ``(result, elapsed_seconds, peak_bytes)``.
+
+    Peak bytes are the tracemalloc peak *delta* attributable to the call
+    (the counter is reset immediately before the call).  Nested use is not
+    supported — tracemalloc keeps global state.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, elapsed, peak

@@ -1,0 +1,31 @@
+"""Shared pytest fixtures and helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+
+def finite_diff(f, args, i, eps=1e-6):
+    """Central finite difference of ``f`` w.r.t. scalar argument ``i``."""
+    lo = list(args)
+    hi = list(args)
+    lo[i] -= eps
+    hi[i] += eps
+    return (f(*hi) - f(*lo)) / (2 * eps)
+
+
+def finite_diff_array(f, args, i, j, eps=1e-6):
+    """Central finite difference w.r.t. element ``j`` of array arg ``i``."""
+    lo = [a.copy() if isinstance(a, np.ndarray) else a for a in args]
+    hi = [a.copy() if isinstance(a, np.ndarray) else a for a in args]
+    lo[i][j] -= eps
+    hi[i][j] += eps
+    return (f(*hi) - f(*lo)) / (2 * eps)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,195 @@
+"""Application correctness tests: each benchmark app must match an
+independent reference (closed forms, numpy linear algebra, plain-Python
+reimplementations)."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import arclength, blackscholes, hpccg, kmeans, simpsons
+from repro.codegen.compile import compile_primal
+
+
+class TestArclength:
+    def test_converges_to_reference(self):
+        ref = arclength.reference_value(20_000)
+        v = arclength.arclength(*arclength.make_workload(20_000))
+        assert v == pytest.approx(ref, rel=1e-12)
+
+    def test_monotone_refinement(self):
+        coarse = arclength.arclength(*arclength.make_workload(100))
+        fine = arclength.arclength(*arclength.make_workload(10_000))
+        # finer sampling cannot shorten a polyline approximation much
+        assert fine >= coarse - 1e-9
+
+    def test_fun_is_multiharmonic(self):
+        x = 0.77
+        expected = x + sum(
+            math.sin(2.0 ** k * x) / 2.0 ** k for k in range(1, 7)
+        )
+        assert arclength.arclength_fun(x) == pytest.approx(expected)
+
+    def test_gradient_wrt_h_nonzero(self):
+        g = repro.gradient(arclength.arclength).execute(
+            *arclength.make_workload(500)
+        )
+        assert abs(g.grad("h")) > 1.0
+
+
+class TestSimpsons:
+    def test_integral_of_x_sin_x(self):
+        v = simpsons.simpson(*simpsons.make_workload(2_000))
+        assert v == pytest.approx(simpsons.EXACT_VALUE, abs=1e-10)
+
+    def test_fourth_order_convergence(self):
+        def err(n):
+            return abs(
+                simpsons.simpson(*simpsons.make_workload(n))
+                - simpsons.EXACT_VALUE
+            )
+
+        # doubling n should reduce the error by ~16x
+        assert err(64) / err(128) == pytest.approx(16.0, rel=0.3)
+
+    def test_weights_pattern(self):
+        # n=1: single Simpson's rule: (h/3)(f(a) + 4 f(m) + f(b))
+        lo, hi = 0.0, 1.0
+        v = simpsons.simpson(1, lo, hi)
+        h = 0.5
+        f = lambda x: x * math.sin(x)  # noqa: E731
+        expected = (f(lo) + 4 * f(0.5) + f(hi)) * h / 3.0
+        assert v == pytest.approx(expected, rel=1e-14)
+
+
+class TestKmeans:
+    def test_cost_matches_numpy(self):
+        args = kmeans.make_workload(200)
+        npoints, k, nf, attrs, cl = args
+        pts = attrs.reshape(npoints, nf)
+        cents = cl.reshape(k, nf)
+        d = np.linalg.norm(pts[:, None, :] - cents[None, :, :], axis=2)
+        expected = d.min(axis=1).sum()
+        assert kmeans.kmeans_cost(*args) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_attributes_exactly_representable(self):
+        args = kmeans.make_workload(500)
+        attrs = args[3]
+        assert np.all(attrs == attrs.astype(np.float32).astype(np.float64))
+
+    def test_clusters_not_representable(self):
+        args = kmeans.make_workload(500)
+        cl = args[4]
+        assert np.any(cl != cl.astype(np.float32).astype(np.float64))
+
+    def test_euclid_dist_kernel(self):
+        args = kmeans.make_workload(50)
+        _, k, nf, attrs, cl = args
+        d = kmeans.euclid_dist(nf, 3, 1, attrs, cl)
+        pts = attrs.reshape(50, nf)
+        cents = cl.reshape(k, nf)
+        assert d == pytest.approx(
+            np.linalg.norm(pts[3] - cents[1]), rel=1e-12
+        )
+
+    def test_lloyd_reference_converges(self):
+        args = kmeans.make_workload(300)
+        cents = kmeans.lloyd_iterations(args[3], kmeans.NCLUSTERS)
+        assert cents.shape == (kmeans.NCLUSTERS * kmeans.NFEATURES,)
+        assert np.all(np.isfinite(cents))
+
+
+class TestHPCCG:
+    def test_matrix_structure(self):
+        vals, inds, nnz, b = hpccg.generate_matrix(3, 3, 3)
+        assert nnz.max() == 27  # interior node of a 3x3x3 cube
+        assert nnz.min() == 8  # corner
+        # diagonal dominance: 27 > 26 * 1
+        assert vals.max() == 27.0 and vals.min() == -1.0
+
+    def test_rhs_makes_ones_exact(self):
+        x = hpccg.reference_solve(4)
+        np.testing.assert_allclose(x, 1.0, atol=1e-10)
+
+    def test_cg_converges_to_ones(self):
+        args = hpccg.make_workload(6, max_iter=100, tol=1e-12)
+        res = hpccg.hpccg_cg(*args)
+        x = args[7]
+        assert res < 1e-10
+        np.testing.assert_allclose(x, 1.0, atol=1e-9)
+
+    def test_guarded_tolerance_exit(self):
+        # generous tolerance: exits early, still reduces residual
+        args = hpccg.make_workload(6, max_iter=500, tol=1e-3)
+        res = hpccg.hpccg_cg(*args)
+        assert res <= 1e-3
+
+    def test_split_kernel_matches_full_when_split_covers_all(self):
+        full = hpccg.hpccg_cg(*hpccg.make_workload(5, max_iter=12))
+        split = hpccg.hpccg_cg_split(
+            *hpccg.make_split_workload(5, split=12, max_iter=12)
+        )
+        assert split == pytest.approx(full, rel=1e-12)
+
+    def test_split_kernel_tail_runs_in_f32(self):
+        full = hpccg.hpccg_cg(*hpccg.make_workload(5, max_iter=20))
+        split = hpccg.hpccg_cg_split(
+            *hpccg.make_split_workload(5, split=5, max_iter=20)
+        )
+        # f32 tail stalls above the f64 residual but stays small
+        assert split != full
+        assert split < 1e-2
+
+
+class TestBlackScholes:
+    def test_cndf_against_erf(self):
+        for x in (-2.5, -0.5, 0.0, 0.7, 3.0):
+            exact = 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+            assert blackscholes.cndf(x) == pytest.approx(exact, abs=8e-8)
+
+    def test_call_price_matches_closed_form(self):
+        wl = blackscholes.make_workload(300)
+        checked = 0
+        for i in range(300):
+            pa = blackscholes.point_args(wl, i)
+            if pa[5] != 0:
+                continue
+            cf = blackscholes.closed_form_call(*pa[:5])
+            assert blackscholes.bs_price(*pa) == pytest.approx(
+                cf, rel=1e-5, abs=1e-5
+            )
+            checked += 1
+        assert checked > 50
+
+    def test_put_call_parity(self):
+        wl = blackscholes.make_workload(40)
+        for i in range(10):
+            S, K, r, v, t, _ = blackscholes.point_args(wl, i)
+            call = blackscholes.bs_price(S, K, r, v, t, 0)
+            put = blackscholes.bs_price(S, K, r, v, t, 1)
+            assert call - put == pytest.approx(
+                S - K * math.exp(-r * t), rel=1e-6, abs=1e-6
+            )
+
+    def test_total_is_sum_of_points(self):
+        wl = blackscholes.make_workload(25)
+        total = blackscholes.bs_total(*wl)
+        parts = sum(
+            blackscholes.bs_price(*blackscholes.point_args(wl, i))
+            for i in range(25)
+        )
+        assert total == pytest.approx(parts, rel=1e-12)
+
+    def test_approx_config_changes_prices_slightly(self):
+        wl = blackscholes.make_workload(50)
+        exact = compile_primal(blackscholes.bs_total.ir)
+        approx = compile_primal(
+            blackscholes.bs_total.ir,
+            approx=blackscholes.CONFIG_WITH_EXP,
+        )
+        ve, va = exact(*wl), approx(*wl)
+        assert ve != va
+        assert abs(ve - va) / abs(ve) < 0.01

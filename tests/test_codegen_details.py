@@ -1,0 +1,167 @@
+"""Code-generation details: source structure, runtime bindings, the
+counting variant's static costs, and the CLI driver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen.compile import compile_primal, compile_raw
+from repro.codegen.pygen import generate_source
+from repro.codegen.runtime import direct_bindings, dispatch_bindings
+from repro.frontend import kernel
+from repro.interp.cost_model import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    expr_cost,
+    static_function_cost,
+)
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.types import DType
+from repro.util.errors import ExecutionError
+
+
+@kernel
+def cg_simple(x: float, n: int) -> float:
+    acc = 0.0
+    for i in range(n):
+        acc = acc + sin(x) / (i + 1.0)
+    return acc
+
+
+class TestGeneratedSource:
+    def test_source_is_valid_python(self):
+        src = generate_source(cg_simple.ir)
+        compile(src, "<test>", "exec")  # must not raise
+
+    def test_no_rounding_calls_in_all_f64_code(self):
+        src = generate_source(cg_simple.ir)
+        assert "_c32(" not in src and "_c16(" not in src
+
+    def test_f32_code_rounds(self):
+        @kernel
+        def cg_f32(x: "f32") -> float:
+            y: "f32" = x * x
+            return y
+
+        src = generate_source(cg_f32.ir)
+        assert "_c32(" in src
+
+    def test_intrinsics_via_bindings(self):
+        src = generate_source(cg_simple.ir)
+        assert "_i_sin(" in src
+
+    def test_restricted_builtins(self):
+        g = direct_bindings()
+        assert "open" not in g["__builtins__"]
+        assert "__import__" not in g["__builtins__"]
+
+    def test_wrong_arity_raises(self):
+        c = compile_primal(cg_simple.ir)
+        with pytest.raises(ExecutionError, match="expected"):
+            c(1.0)
+
+    def test_dispatch_bindings_handle_floats_too(self):
+        g = dispatch_bindings()
+        assert g["_i_sin"](0.5) == math.sin(0.5)
+        assert g["_c32"](math.pi) == float(np.float32(math.pi))
+
+
+class TestArrayConventions:
+    @kernel
+    def cg_arr(n: int, a: "f64[]") -> float:  # noqa: N805
+        for i in range(n):
+            a[i] = a[i] * 2.0
+        s = 0.0
+        for i in range(n):
+            s = s + a[i]
+        return s
+
+    def test_ndarray_written_back(self):
+        a = np.array([1.0, 2.0])
+        v = self.cg_arr(2, a)
+        np.testing.assert_array_equal(a, [2.0, 4.0])
+        assert v == 6.0
+
+    def test_sequence_inputs_accepted(self):
+        assert self.cg_arr(2, (1.0, 2.0)) == 6.0
+
+    def test_list_fast_path(self):
+        lst = [1.0, 2.0]
+        self.cg_arr(2, lst)
+        assert lst == [2.0, 4.0]  # mutated in place
+
+
+class TestStaticCosts:
+    def test_expr_cost_charges_promotion_casts(self):
+        e = b.add(b.name("a", DType.F32), b.name("c", DType.F64))
+        e.dtype = DType.F64
+        cm = DEFAULT_COST_MODEL
+        assert expr_cost(e, cm) == cm.add[DType.F64] + cm.cast
+
+    def test_expr_cost_cheaper_at_f32(self):
+        hi = b.mul(b.name("a", DType.F64), b.name("c", DType.F64))
+        hi.dtype = DType.F64
+        lo = b.mul(b.name("a", DType.F32), b.name("c", DType.F32))
+        lo.dtype = DType.F32
+        assert expr_cost(lo, DEFAULT_COST_MODEL) < expr_cost(
+            hi, DEFAULT_COST_MODEL
+        )
+
+    def test_approx_call_costs_less(self):
+        e = b.call("exp", [b.name("a", DType.F64)])
+        cm = DEFAULT_COST_MODEL
+        assert expr_cost(e, cm, approx={"exp"}) < expr_cost(e, cm)
+
+    def test_static_function_cost_scales_with_trips(self):
+        c10 = static_function_cost(cg_simple.ir, {"i": 10.0})
+        c100 = static_function_cost(cg_simple.ir, {"i": 100.0})
+        assert 8.0 < c100 / c10 < 12.0
+
+    def test_static_matches_dynamic_on_constant_loop(self):
+        @kernel
+        def cg_const(x: float) -> float:
+            s = 0.0
+            for i in range(16):
+                s = s + x * x
+            return s
+
+        static = static_function_cost(cg_const.ir, {})
+        compiled = compile_raw(cg_const.ir, counting=True)
+        _, extras = compiled(1.5)
+        assert extras["cost"] == pytest.approx(static, rel=0.05)
+
+
+class TestRunAllCLI:
+    def test_figure_subcommand(self, capsys, monkeypatch):
+        from repro.experiments import run_all
+        from repro.experiments.figures import FIGURES
+
+        monkeypatch.setattr(FIGURES[5], "sizes", (50, 150))
+        assert run_all.main(["--figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "CHEF time(ms)" in out
+
+    def test_fig9_subcommand(self, capsys, monkeypatch):
+        from repro.experiments import run_all, tables
+
+        original = tables.hpccg_sensitivity
+        monkeypatch.setattr(
+            tables, "hpccg_sensitivity",
+            lambda nz=10, max_iter=60: original(4, 15),
+        )
+        assert run_all.main(["--figure", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "split point" in out
+
+    def test_csv_output(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import run_all
+        from repro.experiments.figures import FIGURES
+
+        monkeypatch.setattr(FIGURES[4], "sizes", (50,))
+        run_all.main(["--figure", "4", "--csv", str(tmp_path)])
+        assert (tmp_path / "figure4.csv").exists()
+        text = (tmp_path / "figure4.csv").read_text()
+        assert text.splitlines()[0].startswith("iterations")

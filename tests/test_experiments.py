@@ -1,0 +1,163 @@
+"""Experiment-harness tests: measurement plumbing, figure sweeps at toy
+sizes, table builders, and rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import hpccg
+from repro.experiments import tables
+from repro.experiments.figures import (
+    FIGURES,
+    FigureRow,
+    figure_improvements,
+    run_figure,
+)
+from repro.experiments.measure import (
+    Measurement,
+    measure_adapt,
+    measure_app,
+    measure_chef,
+)
+from repro.experiments.render import ascii_heatmap, ascii_table, to_csv
+from repro.frontend import kernel
+
+
+@kernel
+def ex_kernel(n: int, h: float) -> float:
+    s = 0.0
+    for i in range(n):
+        s = s + sin(i * h) * h
+    return s
+
+
+class TestMeasure:
+    def test_three_tools_agree_on_value(self):
+        args = (200, 0.01)
+        chef = measure_chef(ex_kernel, args)
+        adapt = measure_adapt(ex_kernel, args)
+        app = measure_app(ex_kernel, args)
+        assert chef.value == adapt.value == app.value
+        assert chef.time_s > 0 and adapt.time_s > 0 and app.time_s > 0
+
+    def test_chef_and_adapt_errors_same_scale(self):
+        args = (500, 0.003)
+        chef = measure_chef(ex_kernel, args)
+        adapt = measure_adapt(ex_kernel, args)
+        assert chef.total_error > 0 and adapt.total_error > 0
+        assert 0.2 < chef.total_error / adapt.total_error < 5.0
+
+    def test_units(self):
+        m = Measurement("t", time_s=0.5, peak_bytes=2 * 1024 * 1024)
+        assert m.time_ms == 500.0
+        assert m.peak_mb == 2.0
+
+
+class TestFigures:
+    def test_all_figures_defined(self):
+        assert set(FIGURES) == {4, 5, 6, 7, 8}
+        for spec in FIGURES.values():
+            assert len(spec.sizes) >= 3
+            assert len(spec.full_sizes) >= len(spec.sizes)
+
+    def test_run_figure_small(self):
+        rows = run_figure(5, sizes=(50, 200))
+        assert len(rows) == 2
+        assert rows[0].size == 50
+        for r in rows:
+            assert r.chef.total_error is not None
+            assert not r.adapt.oom
+        t, m = figure_improvements(rows)
+        assert t is not None and m is not None
+
+    def test_improvements_skip_oom(self):
+        ok = Measurement("adapt", 1.0, 100)
+        oom = Measurement("adapt", float("nan"), 100, oom=True)
+        chef = Measurement("chef-fp", 0.5, 50)
+        app = Measurement("app", 0.1, 10)
+        rows = [
+            FigureRow(1, chef, ok, app),
+            FigureRow(2, chef, oom, app),
+        ]
+        t, m = figure_improvements(rows)
+        assert t == pytest.approx(2.0)
+        assert m == pytest.approx(2.0)
+
+
+class TestTables:
+    def test_table1_shape(self):
+        headers, rows = tables.table1(
+            sizes={"arclength": 400, "simpsons": 400, "kmeans": 120,
+                   "hpccg": 4}
+        )
+        assert headers[0] == "Benchmark"
+        names = [r[0] for r in rows]
+        assert names == ["arclength", "simpsons", "kmeans", "hpccg"]
+        for r in rows:
+            threshold, actual, estimated, speedup = r[1:]
+            assert estimated <= threshold * 1.0000001
+            assert speedup > 0
+
+    def test_table3_attributes_zero(self):
+        headers, rows = tables.table3(npoints=150)
+        by_label = {r[0]: r for r in rows}
+        assert by_label["attributes"][1] == 0.0
+        assert by_label["attributes"][2] == 0.0
+        assert by_label["clusters"][2] > 0
+        assert by_label["sum"][2] > 0
+
+    def test_table4_shape(self):
+        headers, rows = tables.table4(npoints=40)
+        assert len(rows) == 2
+        for r in rows:
+            label, aavg, amax, aacc, eavg, emax, eacc, speedup = r
+            assert aavg > 0 and eavg > 0
+            assert amax >= aavg
+            assert aacc == pytest.approx(aavg * 40, rel=1e-9)
+            assert speedup > 1.0
+        # adding fast exp increases the speedup
+        assert rows[1][-1] > rows[0][-1]
+
+    def test_hpccg_sensitivity_series(self):
+        split, series, report = tables.hpccg_sensitivity(
+            nz=4, max_iter=20
+        )
+        assert set(series) == {"r", "p", "x", "Ap"}
+        for s in series.values():
+            assert len(s) == 20
+        assert 0 <= split <= 20
+        # residual-driven decay: early iterations dominate
+        assert series["r"][:5].sum() > series["r"][-5:].sum()
+
+
+class TestRender:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(
+            ["a", "bb"], [[1, 2.5], [10, None]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "-" in lines[2]
+        assert "-" in lines[4]  # None rendered as '-'
+
+    def test_nan_renders_as_oom(self):
+        text = ascii_table(["x"], [[float("nan")]])
+        assert "OOM" in text
+
+    def test_heatmap_ramp(self):
+        m = np.array([[0.0, 0.5, 1.0]])
+        text = ascii_heatmap(m, ["v"])
+        assert "v |" in text
+        assert "@" in text  # highest bucket present
+
+    def test_heatmap_downsamples(self):
+        m = np.random.default_rng(0).uniform(size=(2, 500))
+        text = ascii_heatmap(m, ["a", "b"], max_cols=50)
+        row = text.splitlines()[0]
+        assert len(row) < 80
+
+    def test_csv(self):
+        out = to_csv(["a", "b"], [[1, None], [2, 3]])
+        assert out.splitlines()[0] == "a,b"
+        assert out.splitlines()[1] == "1,"

@@ -1,0 +1,177 @@
+"""Forward mode, hoisting, pullback, and typecheck internals."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.hoist import hoist_locals
+from repro.core.pullback import adjoint_name, pullback
+from repro.frontend import kernel
+from repro.ir import builder as b
+from repro.ir import nodes as N
+from repro.ir.printer import format_expr
+from repro.ir.typecheck import collect_var_dtypes, infer_types, intrinsic_result_dtype
+from repro.ir.types import DType
+from repro.util.errors import DifferentiationError, TypeCheckError
+
+xs = st.floats(min_value=-2.0, max_value=2.0)
+
+
+@kernel
+def fw_fn(x: float, y: float) -> float:
+    a = x * y + exp(x * 0.2)
+    c = a * a / (y + 3.0)
+    return c
+
+
+@kernel
+def fw_arr(n: int, v: "f64[]") -> float:
+    s = 0.0
+    for i in range(n):
+        s = s + v[i] * v[i] * 0.5
+    return s
+
+
+class TestForwardMode:
+    @given(xs, xs)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reverse(self, x, y):
+        rev = repro.gradient(fw_fn).execute(x, y)
+        _, dx = repro.forward_derivative(fw_fn, "x").execute(x, y)
+        _, dy = repro.forward_derivative(fw_fn, "y").execute(x, y)
+        assert dx == pytest.approx(rev.grad("x"), rel=1e-12)
+        assert dy == pytest.approx(rev.grad("y"), rel=1e-12)
+
+    def test_array_seed(self, rng):
+        n = 5
+        v = rng.normal(size=n)
+        # seeding the whole array computes sum_j d/dv_j (dot with ones)
+        _, dv = repro.forward_derivative(fw_arr, "v").execute(n, v)
+        assert dv == pytest.approx(float(np.sum(v)), rel=1e-12)
+
+    def test_unknown_wrt_rejected(self):
+        with pytest.raises(DifferentiationError, match="nope"):
+            repro.forward_derivative(fw_fn, "nope")
+
+    def test_value_matches_primal(self):
+        v, _ = repro.forward_derivative(fw_fn, "x").execute(1.1, 0.4)
+        assert v == fw_fn(1.1, 0.4)
+
+
+class TestHoisting:
+    def test_decls_move_to_prologue(self):
+        h = hoist_locals(fw_fn.ir)
+        kinds = [type(s).__name__ for s in h.body]
+        first_non_decl = next(
+            i for i, k in enumerate(kinds) if k != "VarDecl"
+        )
+        assert "VarDecl" not in kinds[first_non_decl:]
+
+    def test_hoisted_initializers_become_assigns(self):
+        h = hoist_locals(fw_fn.ir)
+        assigns = [s for s in h.body if isinstance(s, N.Assign)]
+        names = {
+            s.target.id for s in assigns if isinstance(s.target, N.Name)
+        }
+        assert {"a", "c"} <= names
+
+    def test_original_not_mutated(self):
+        before = len(fw_fn.ir.body)
+        hoist_locals(fw_fn.ir)
+        assert len(fw_fn.ir.body) == before
+
+
+class TestPullback:
+    def _contrib_map(self, expr, seed=None):
+        seed = seed or b.name("_s", DType.F64)
+        out = {}
+        for lv, contrib in pullback(expr, seed):
+            key = format_expr(lv)
+            out.setdefault(key, []).append(format_expr(contrib))
+        return out
+
+    def test_linear_ops_have_constant_partials(self):
+        e = b.add(b.name("u", DType.F64), b.name("v", DType.F64))
+        m = self._contrib_map(e)
+        assert m[adjoint_name("u")] == ["_s"]
+        assert m[adjoint_name("v")] == ["_s"]
+
+    def test_product_references_cofactor(self):
+        e = b.mul(b.name("u", DType.F64), b.name("v", DType.F64))
+        m = self._contrib_map(e)
+        assert m[adjoint_name("u")] == ["_s * v"]
+        assert m[adjoint_name("v")] == ["_s * u"]
+
+    def test_integer_leaves_transparent(self):
+        e = b.mul(b.name("u", DType.F64), b.name("i", DType.I64))
+        m = self._contrib_map(e)
+        assert adjoint_name("i") not in m
+
+    def test_repeated_variable_accumulates_twice(self):
+        u = b.name("u", DType.F64)
+        e = b.mul(u, b.clone(u))
+        m = self._contrib_map(e)
+        assert len(m[adjoint_name("u")]) == 2
+
+    def test_array_element_target(self):
+        e = b.index("a", b.name("i", DType.I64), DType.F64)
+        m = self._contrib_map(e)
+        assert "_d_a[i]" in m
+
+    def test_nondifferentiable_intrinsic_zero(self):
+        e = b.call("floor", [b.name("u", DType.F64)])
+        assert pullback(e, b.fone()) == []
+
+    def test_fmax_subgradient(self):
+        e = b.call(
+            "fmax", [b.name("u", DType.F64), b.name("v", DType.F64)]
+        )
+        m = self._contrib_map(e, seed=b.fone())
+        assert adjoint_name("u") in m and adjoint_name("v") in m
+
+
+class TestTypecheck:
+    def test_collect_var_dtypes(self):
+        env = collect_var_dtypes(fw_arr.ir)
+        assert env["n"] is DType.I64
+        assert env["v"] is DType.F64
+        assert env["i"] is DType.I64
+        assert env["s"] is DType.F64
+
+    def test_infer_types_fills_exprs(self):
+        clone = b.clone(fw_fn.ir)
+        # blank out all expression dtypes, then re-infer
+        from repro.ir.visitor import iter_stmt_exprs, walk_expr, walk_stmts
+
+        for s in walk_stmts(clone.body):
+            for e in iter_stmt_exprs(s):
+                for node in walk_expr(e):
+                    node.dtype = None
+        infer_types(clone)
+        for s in walk_stmts(clone.body):
+            for e in iter_stmt_exprs(s):
+                for node in walk_expr(e):
+                    assert node.dtype is not None
+
+    def test_unknown_variable_raises(self):
+        fn = N.Function(
+            "tc_bad",
+            [],
+            [N.Return(b.name("ghost"))],
+            DType.F64,
+        )
+        with pytest.raises(TypeCheckError, match="ghost"):
+            infer_types(fn)
+
+    def test_intrinsic_result_precision_follows_args(self):
+        assert intrinsic_result_dtype("sin", [DType.F32]) is DType.F32
+        assert intrinsic_result_dtype("sin", [DType.F64]) is DType.F64
+        assert intrinsic_result_dtype("sin", [DType.I64]) is DType.F64
+        assert (
+            intrinsic_result_dtype("pow", [DType.F32, DType.F64])
+            is DType.F64
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    DType,
+    F32,
+    F64,
+    I64,
+    BOOL,
+    ScalarType,
+    machine_eps,
+    parse_annotation,
+    promote,
+)
+
+
+class TestDType:
+    def test_float_predicates(self):
+        assert DType.F16.is_float
+        assert DType.F32.is_float
+        assert DType.F64.is_float
+        assert not DType.I64.is_float
+        assert not DType.B1.is_float
+
+    def test_integer_predicate(self):
+        assert DType.I64.is_integer
+        assert not DType.F64.is_integer
+
+    def test_bits(self):
+        assert DType.F16.bits == 16
+        assert DType.F32.bits == 32
+        assert DType.F64.bits == 64
+        assert DType.I64.bits == 64
+        assert DType.B1.bits == 1
+
+
+class TestPromotion:
+    def test_same_dtype(self):
+        assert promote(DType.F32, DType.F32) is DType.F32
+
+    def test_float_widening(self):
+        assert promote(DType.F32, DType.F64) is DType.F64
+        assert promote(DType.F16, DType.F32) is DType.F32
+
+    def test_int_float(self):
+        assert promote(DType.I64, DType.F32) is DType.F32
+        assert promote(DType.F64, DType.I64) is DType.F64
+
+    def test_bool_promotes_to_int(self):
+        assert promote(DType.B1, DType.I64) is DType.I64
+        assert promote(DType.B1, DType.B1) is DType.B1
+
+    def test_commutative(self):
+        for a in DType:
+            for b in DType:
+                assert promote(a, b) is promote(b, a)
+
+
+class TestMachineEps:
+    def test_ieee_values(self):
+        assert machine_eps(DType.F64) == 2.0 ** -52
+        assert machine_eps(DType.F32) == 2.0 ** -23
+        assert machine_eps(DType.F16) == 2.0 ** -10
+
+    def test_no_eps_for_ints(self):
+        with pytest.raises(KeyError):
+            machine_eps(DType.I64)
+
+    def test_eps_is_gap_above_one(self):
+        # eps is the gap between 1.0 and the next representable value
+        import numpy as np
+
+        assert machine_eps(DType.F32) == float(
+            np.float32(1) + np.finfo(np.float32).eps
+        ) - 1.0
+
+
+class TestAnnotations:
+    def test_builtins(self):
+        assert parse_annotation(float) == F64
+        assert parse_annotation(int) == I64
+        assert parse_annotation(bool) == BOOL
+
+    def test_strings(self):
+        assert parse_annotation("f32") == F32
+        assert parse_annotation("f64") == F64
+        assert parse_annotation("double") == F64
+        assert parse_annotation("half") == ScalarType(DType.F16)
+
+    def test_arrays(self):
+        assert parse_annotation("f64[]") == ArrayType(DType.F64)
+        assert parse_annotation("i64[]") == ArrayType(DType.I64)
+        assert parse_annotation("f32 []") == ArrayType(DType.F32)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            parse_annotation("quaternion")
+
+    def test_type_str(self):
+        assert str(F32) == "f32"
+        assert str(ArrayType(DType.F64)) == "f64[]"
+        assert ArrayType(DType.F64).is_array
+        assert not F64.is_array

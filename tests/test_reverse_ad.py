@@ -1,0 +1,277 @@
+"""Reverse-mode AD correctness: gradients versus finite differences,
+forward mode, and the ADAPT baseline, across the full control-flow
+feature set (loops, branches, while, guarded break, arrays, indirect
+indexing)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.adapt import AdaptAnalysis
+from repro.frontend import kernel
+from tests.conftest import finite_diff, finite_diff_array
+
+xs = st.floats(min_value=-3.0, max_value=3.0)
+pos = st.floats(min_value=0.1, max_value=3.0)
+
+
+@kernel
+def ra_poly(x: float, y: float) -> float:
+    z = x * x * y + x / (y + 2.0) - y
+    return z
+
+
+@kernel
+def ra_trig(x: float) -> float:
+    return sin(x) * cos(x) + tan(x / 4.0)
+
+
+@kernel
+def ra_exp(x: float, y: float) -> float:
+    return exp(x * 0.3) * log(y + 4.0) + pow(y + 4.0, x * 0.25)
+
+
+@kernel
+def ra_loop(x: float, n: int) -> float:
+    acc = 1.0
+    for i in range(n):
+        acc = acc * (1.0 + x / (i + 1.0))
+    return acc
+
+
+@kernel
+def ra_nested(x: float, n: int) -> float:
+    s = 0.0
+    for i in range(n):
+        inner = 0.0
+        for j in range(i + 1):
+            inner = inner + x * j
+        s = s + sin(inner) * 0.125
+    return s
+
+
+@kernel
+def ra_branch(x: float) -> float:
+    y = 0.0
+    if x > 1.0:
+        y = x * x
+    else:
+        y = 2.0 * x - 1.0
+    return y
+
+
+@kernel
+def ra_while(x: float) -> float:
+    s = 0.0
+    k = 0
+    while k < 8:
+        s = s + x * x / (k + 1.0)
+        k = k + 1
+    return s
+
+
+@kernel
+def ra_guarded(x: float, n: int) -> float:
+    s = 0.0
+    for i in range(n):
+        if s > 5.0:
+            break
+        s = s + exp(x / 10.0) * 0.25
+    return s
+
+
+@kernel
+def ra_array(n: int, a: "f64[]", w: "f64[]") -> float:
+    s = 0.0
+    for i in range(n):
+        s = s + w[i] * a[i] * a[i]
+    return s
+
+
+@kernel
+def ra_indirect(n: int, a: "f64[]", idx: "i64[]") -> float:
+    s = 0.0
+    for i in range(n):
+        s = s + a[idx[i]] * (i + 1.0)
+    return s
+
+
+@kernel
+def ra_overwrite(n: int, a: "f64[]") -> float:
+    # repeated in-place array updates force element pushes
+    for i in range(n - 1):
+        a[i + 1] = a[i + 1] + 0.5 * a[i] * a[i]
+    return a[n - 1]
+
+
+class TestScalarGradients:
+    @given(xs, st.floats(min_value=-1.5, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_poly(self, x, y):
+        g = repro.gradient(ra_poly).execute(x, y)
+        assert g.grad("x") == pytest.approx(
+            finite_diff(ra_poly, (x, y), 0), rel=1e-5, abs=1e-6
+        )
+        assert g.grad("y") == pytest.approx(
+            finite_diff(ra_poly, (x, y), 1), rel=1e-5, abs=1e-6
+        )
+
+    @given(st.floats(min_value=-1.2, max_value=1.2))
+    @settings(max_examples=40, deadline=None)
+    def test_trig(self, x):
+        g = repro.gradient(ra_trig).execute(x)
+        expected = (
+            math.cos(2 * x) + 0.25 / math.cos(x / 4.0) ** 2
+        )
+        assert g.grad("x") == pytest.approx(expected, rel=1e-9)
+
+    @given(xs, pos)
+    @settings(max_examples=40, deadline=None)
+    def test_exp_log_pow(self, x, y):
+        g = repro.gradient(ra_exp).execute(x, y)
+        assert g.grad("x") == pytest.approx(
+            finite_diff(ra_exp, (x, y), 0), rel=1e-4, abs=1e-5
+        )
+        assert g.grad("y") == pytest.approx(
+            finite_diff(ra_exp, (x, y), 1), rel=1e-4, abs=1e-5
+        )
+
+    def test_value_is_primal(self):
+        g = repro.gradient(ra_poly).execute(1.5, 2.5)
+        assert g.value == ra_poly(1.5, 2.5)
+
+
+class TestControlFlowGradients:
+    @given(xs, st.integers(min_value=0, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_loop(self, x, n):
+        g = repro.gradient(ra_loop).execute(x, n)
+        assert g.grad("x") == pytest.approx(
+            finite_diff(lambda a, m: ra_loop(a, m), (x, n), 0),
+            rel=1e-4, abs=1e-6,
+        )
+
+    @given(xs, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_nested_triangular_loops(self, x, n):
+        g = repro.gradient(ra_nested).execute(x, n)
+        assert g.grad("x") == pytest.approx(
+            finite_diff(lambda a, m: ra_nested(a, m), (x, n), 0),
+            rel=1e-4, abs=1e-6,
+        )
+
+    @pytest.mark.parametrize("x", [-2.0, 0.5, 0.999, 1.001, 3.0])
+    def test_branch(self, x):
+        g = repro.gradient(ra_branch).execute(x)
+        expected = 2 * x if x > 1.0 else 2.0
+        assert g.grad("x") == pytest.approx(expected)
+
+    @given(xs)
+    @settings(max_examples=25, deadline=None)
+    def test_while(self, x):
+        g = repro.gradient(ra_while).execute(x)
+        h = sum(1.0 / (k + 1) for k in range(8))
+        assert g.grad("x") == pytest.approx(2 * x * h, rel=1e-10)
+
+    @given(xs, st.integers(min_value=0, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_guarded_break(self, x, n):
+        from hypothesis import assume
+
+        # the break makes the function piecewise: skip inputs where the
+        # finite-difference probes land on different trip counts (the
+        # function is discontinuous there and FD is meaningless)
+        eps = 1e-6
+        lo, hi = ra_guarded(x - eps, n), ra_guarded(x + eps, n)
+        assume(abs(hi - lo) < 0.1)  # same branch on both probes
+        g = repro.gradient(ra_guarded).execute(x, n)
+        assert g.grad("x") == pytest.approx(
+            (hi - lo) / (2 * eps), rel=1e-4, abs=1e-7
+        )
+
+
+class TestArrayGradients:
+    def test_weighted_square_sum(self, rng):
+        n = 6
+        a = rng.normal(size=n)
+        w = rng.normal(size=n)
+        g = repro.gradient(ra_array).execute(n, a, w)
+        np.testing.assert_allclose(g.grad("a"), 2 * w * a, rtol=1e-12)
+        np.testing.assert_allclose(g.grad("w"), a * a, rtol=1e-12)
+
+    def test_indirect_indexing(self, rng):
+        n = 5
+        a = rng.normal(size=8)
+        idx = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        g = repro.gradient(ra_indirect).execute(n, a, idx)
+        expected = np.zeros(8)
+        for i in range(n):
+            expected[idx[i]] += i + 1.0
+        np.testing.assert_allclose(g.grad("a"), expected)
+
+    def test_inplace_overwrites(self, rng):
+        n = 5
+        a = rng.uniform(0.5, 1.5, size=n)
+        g = repro.gradient(ra_overwrite).execute(n, a.copy())
+        for j in range(n):
+            fd = finite_diff_array(
+                lambda m, arr: ra_overwrite(m, arr.copy()),
+                (n, a), 1, j, eps=1e-7,
+            )
+            assert g.grad("a")[j] == pytest.approx(fd, rel=1e-5, abs=1e-8)
+
+
+class TestCrossValidation:
+    """Three independent oracles must agree: reverse, forward, ADAPT."""
+
+    @given(xs, pos)
+    @settings(max_examples=20, deadline=None)
+    def test_reverse_vs_forward(self, x, y):
+        rev = repro.gradient(ra_exp).execute(x, y)
+        _, fwd_x = repro.forward_derivative(ra_exp, "x").execute(x, y)
+        _, fwd_y = repro.forward_derivative(ra_exp, "y").execute(x, y)
+        assert rev.grad("x") == pytest.approx(fwd_x, rel=1e-12)
+        assert rev.grad("y") == pytest.approx(fwd_y, rel=1e-12)
+
+    @given(xs, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_reverse_vs_adapt(self, x, n):
+        rev = repro.gradient(ra_loop).execute(x, n)
+        ad = AdaptAnalysis(ra_loop).execute(x, n)
+        assert rev.grad("x") == pytest.approx(ad.grad("x"), rel=1e-12)
+
+    def test_array_adapt_agreement(self, rng):
+        n = 6
+        a = rng.normal(size=n)
+        w = rng.normal(size=n)
+        rev = repro.gradient(ra_array).execute(n, a, w)
+        ad = AdaptAnalysis(ra_array).execute(n, a, w)
+        np.testing.assert_allclose(rev.grad("a"), ad.grad("a"), rtol=1e-12)
+        np.testing.assert_allclose(rev.grad("w"), ad.grad("w"), rtol=1e-12)
+
+
+class TestTapeMinimization:
+    def test_minimal_pushes_preserve_gradients(self):
+        full = repro.gradient(ra_nested, minimal_pushes=False)
+        mini = repro.gradient(ra_nested, minimal_pushes=True)
+        for x in (0.3, -1.2):
+            a = full.execute(x, 6)
+            bb = mini.execute(x, 6)
+            assert a.grad("x") == bb.grad("x")
+            assert a.value == bb.value
+
+    def test_minimal_source_has_fewer_pushes(self):
+        full = repro.gradient(ra_array, minimal_pushes=False)
+        mini = repro.gradient(ra_array, minimal_pushes=True)
+        assert full.source.count(".append(") > mini.source.count(".append(")
+
+    def test_opt_levels_preserve_gradients(self):
+        for lvl in (0, 1, 2):
+            g = repro.gradient(ra_exp, opt_level=lvl).execute(0.5, 1.5)
+            assert g.grad("x") == pytest.approx(
+                finite_diff(ra_exp, (0.5, 1.5), 0), rel=1e-5
+            )
