@@ -33,6 +33,16 @@ from repro.core.models import (
 from repro.core.report import ErrorReport, GradientResult
 from repro.core.forward import forward_derivative, ForwardDerivative
 from repro.ir.types import DType
+from repro.sweep import (
+    BatchReport,
+    SweepCache,
+    explicit_sweep,
+    grid_sweep,
+    random_sweep,
+    summarize,
+    sweep_error,
+)
+from repro.tuning import greedy_tune, robust_tune
 
 __version__ = "1.0.0"
 
@@ -55,5 +65,14 @@ __all__ = [
     "forward_derivative",
     "ForwardDerivative",
     "DType",
+    "BatchReport",
+    "SweepCache",
+    "explicit_sweep",
+    "grid_sweep",
+    "random_sweep",
+    "summarize",
+    "sweep_error",
+    "greedy_tune",
+    "robust_tune",
     "__version__",
 ]

@@ -1,0 +1,441 @@
+"""IR → NumPy-vectorized (batch) Python source rendering.
+
+``generate_batch_source`` turns an IR function — in practice the
+error-estimating adjoint — into a Python function that evaluates **N
+input points at once**: designated scalar parameters arrive as length-N
+``numpy`` arrays and every operation becomes an array-at-a-time
+elementwise operation.  This is the execution backend of the input-sweep
+engine (``repro.sweep``): one pass through the generated code replaces N
+calls of the scalar adjoint.
+
+Semantics: per lane, the vectorized function performs exactly the
+operations the scalar function would — data-dependent branches are
+*if-converted*: both branch bodies execute on the full batch and every
+store inside a branch becomes a masked blend ``t = where(m, value, t)``.
+Inactive lanes therefore compute (and discard) garbage; the caller runs
+the code under ``numpy.errstate(ignore)`` for that reason.
+
+Tape discipline: the reverse-mode adjoint pairs every ``Push`` with a
+``Pop`` in exact reverse order along any *scalar* execution path.  Under
+if-conversion both branches run, so the pairing is preserved by two
+rules:
+
+* pushes and pops execute *unconditionally* (only the popped value's
+  store is masked), keeping the stack depth lane-independent;
+* an ``if``/``else`` in the *backward* sweep (identified by containing
+  ``Pop`` nodes) renders its **else body first** — the forward sweep
+  pushed then-branch values before else-branch values, so the LIFO
+  order of the merged stream pops else before then.
+
+What cannot be vectorized raises :class:`UnvectorizableError` and the
+sweep engine falls back to a scalar loop: array parameters, loops whose
+trip counts depend on batched data (data-dependent ``while``/``break``),
+sensitivity traces under a mask, and user-bound scalar callables
+(external error models).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ir import nodes as N
+from repro.ir.types import ArrayType, DType
+from repro.ir.visitor import walk_expr, walk_stmts
+from repro.util.errors import ReproError
+
+
+class UnvectorizableError(ReproError):
+    """The function cannot be compiled to batch (array-at-a-time) form.
+
+    Callers are expected to catch this and fall back to a scalar loop —
+    it signals a structural limitation, not a bug.
+    """
+
+
+# --------------------------------------------------------------------------
+# Taint analysis: which names may hold per-lane (batched) values?
+# --------------------------------------------------------------------------
+
+
+def _reads(e: N.Expr) -> Iterable[str]:
+    for node in walk_expr(e):
+        if isinstance(node, N.Name):
+            yield node.id
+        elif isinstance(node, N.Index):
+            yield node.base
+
+
+def _taint_analysis(
+    fn: N.Function, batched: Set[str]
+) -> Tuple[Set[str], Set[str]]:
+    """Fixpoint taint propagation from batched parameters.
+
+    Returns ``(tainted_names, tainted_stacks)``.  A name is tainted when
+    its value may differ across lanes; a stack is tainted when any value
+    pushed onto it may.  Assignments under a tainted branch condition
+    taint their targets too (the blend mixes lanes), as do pops from a
+    tainted stack.
+    """
+    tainted: Set[str] = set(batched)
+    stacks: Set[str] = set()
+    changed = True
+
+    def expr_tainted(e: N.Expr) -> bool:
+        return any(r in tainted for r in _reads(e))
+
+    def taint(name: str) -> None:
+        nonlocal changed
+        if name not in tainted:
+            tainted.add(name)
+            changed = True
+
+    def visit(stmts: Sequence[N.Stmt], masked: bool) -> None:
+        nonlocal changed
+        for s in stmts:
+            if isinstance(s, N.Assign):
+                if isinstance(s.target, N.Name) and (
+                    masked or expr_tainted(s.value)
+                ):
+                    taint(s.target.id)
+            elif isinstance(s, N.VarDecl):
+                if s.init is not None and (masked or expr_tainted(s.init)):
+                    taint(s.name)
+            elif isinstance(s, N.Pop):
+                if isinstance(s.target, N.Name) and (
+                    masked or s.stack in stacks
+                ):
+                    taint(s.target.id)
+            elif isinstance(s, N.Push):
+                if (masked or expr_tainted(s.value)) and s.stack not in stacks:
+                    stacks.add(s.stack)
+                    changed = True
+            elif isinstance(s, N.If):
+                inner = masked or expr_tainted(s.cond)
+                visit(s.then, inner)
+                visit(s.orelse, inner)
+            elif isinstance(s, N.For):
+                visit(s.body, masked)
+            elif isinstance(s, N.While):
+                visit(s.body, masked)
+
+    while changed:
+        changed = False
+        visit(fn.body, False)
+    return tainted, stacks
+
+
+def _subtree_has(stmts: Sequence[N.Stmt], kinds: tuple) -> bool:
+    return any(isinstance(s, kinds) for s in walk_stmts(stmts))
+
+
+# --------------------------------------------------------------------------
+# Generation
+# --------------------------------------------------------------------------
+
+
+class _BatchGen:
+    def __init__(self, fn: N.Function, batched: Set[str]) -> None:
+        for p in fn.params:
+            if isinstance(p.type, ArrayType):
+                raise UnvectorizableError(
+                    f"{fn.name}: array parameter {p.name!r} is not "
+                    "supported by the batch backend"
+                )
+        unknown = batched - {p.name for p in fn.params}
+        if unknown:
+            raise UnvectorizableError(
+                f"{fn.name}: batched names are not parameters: "
+                f"{sorted(unknown)}"
+            )
+        self.fn = fn
+        self.tainted, self.tainted_stacks = _taint_analysis(fn, batched)
+        self.lines: List[str] = []
+        self.indent = 1
+        self.stacks: List[str] = []
+        self.traces: List[str] = []
+        #: name of the active lane-mask variable (None = all lanes)
+        self.mask: Optional[str] = None
+        self._fresh_counter = 0
+
+    # -- helpers ------------------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def fresh(self, prefix: str) -> str:
+        self._fresh_counter += 1
+        return f"{prefix}{self._fresh_counter}"
+
+    def expr_tainted(self, e: N.Expr) -> bool:
+        return any(r in self.tainted for r in _reads(e))
+
+    # -- expressions --------------------------------------------------------
+    def expr(self, e: N.Expr) -> str:
+        text = self._expr_raw(e)
+        if (
+            isinstance(e, (N.BinOp, N.Call))
+            and e.dtype in (DType.F32, DType.F16)
+            and not (
+                isinstance(e, N.BinOp)
+                and (e.op in N.CMPOPS or e.op in N.BOOLOPS)
+            )
+        ):
+            fn = "_c32" if e.dtype is DType.F32 else "_c16"
+            return f"{fn}({text})"
+        return text
+
+    def _expr_raw(self, e: N.Expr) -> str:
+        if isinstance(e, N.Const):
+            if isinstance(e.value, bool):
+                return "True" if e.value else "False"
+            return repr(e.value)
+        if isinstance(e, N.Name):
+            return e.id
+        if isinstance(e, N.Index):
+            raise UnvectorizableError(
+                f"{self.fn.name}: array indexing is not supported by the "
+                "batch backend"
+            )
+        if isinstance(e, N.BinOp):
+            if e.op in N.BOOLOPS:
+                fn = "_land" if e.op == "and" else "_lor"
+                return f"{fn}({self.expr(e.left)}, {self.expr(e.right)})"
+            return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+        if isinstance(e, N.UnaryOp):
+            if e.op == "-":
+                return f"(-{self.expr(e.operand)})"
+            return f"_lnot({self.expr(e.operand)})"
+        if isinstance(e, N.Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"_i_{e.fn}({args})"
+        if isinstance(e, N.Cast):
+            inner = self.expr(e.operand)
+            if e.to is DType.F32:
+                return f"_c32({inner})"
+            if e.to is DType.F16:
+                return f"_c16({inner})"
+            if e.to is DType.I64:
+                return f"_ci64({inner})"
+            return inner  # F64/B1: values are already held wide
+        raise TypeError(type(e).__name__)
+
+    # -- stores -------------------------------------------------------------
+    def _store(self, target: N.LValue, value: N.Expr) -> None:
+        if not isinstance(target, N.Name):
+            raise UnvectorizableError(
+                f"{self.fn.name}: array-element store is not supported by "
+                "the batch backend"
+            )
+        text = self.expr(value)
+        tdt = target.dtype or DType.F64
+        vdt = value.dtype or DType.F64
+        if tdt in (DType.F32, DType.F16) and vdt is not tdt:
+            text = f"_c32({text})" if tdt is DType.F32 else f"_c16({text})"
+        if self.mask is None:
+            self.emit(f"{target.id} = {text}")
+        else:
+            self.emit(
+                f"{target.id} = _where({self.mask}, {text}, {target.id})"
+            )
+
+    # -- statements ---------------------------------------------------------
+    def body(self, stmts: Sequence[N.Stmt]) -> None:
+        if not stmts:
+            self.emit("pass")
+            return
+        for s in stmts:
+            self.stmt(s)
+
+    def masked_body(self, stmts: Sequence[N.Stmt]) -> None:
+        """Like :meth:`body` but emits nothing for an empty block (masked
+        regions are flat — no Python suite needs a ``pass``)."""
+        for s in stmts:
+            self.stmt(s)
+
+    def stmt(self, s: N.Stmt) -> None:
+        if isinstance(s, N.VarDecl):
+            if s.init is None:
+                self.emit(f"{s.name} = 0.0")
+                return
+            tgt = N.Name(s.name)
+            tgt.dtype = s.dtype
+            # a declaration has no prior value to preserve, so it is
+            # never blended — even under a mask (CSE may declare temps
+            # inside branches); inactive lanes' values are only ever
+            # read by masked consumers
+            saved, self.mask = self.mask, None
+            self._store(tgt, s.init)
+            self.mask = saved
+        elif isinstance(s, N.Assign):
+            self._store(s.target, s.value)
+        elif isinstance(s, N.If):
+            self._if(s)
+        elif isinstance(s, N.For):
+            self._for(s)
+        elif isinstance(s, N.While):
+            self._while(s)
+        elif isinstance(s, N.Break):
+            if self.mask is not None:
+                raise UnvectorizableError(
+                    f"{self.fn.name}: 'break' under a data-dependent "
+                    "branch cannot be vectorized"
+                )
+            self.emit("break")
+        elif isinstance(s, N.Return):
+            self._emit_return([self.expr(s.value)])
+        elif isinstance(s, N.ReturnTuple):
+            self._emit_return([self.expr(v) for v in s.values])
+        elif isinstance(s, N.ExprStmt):
+            self.emit(self.expr(s.value))
+        elif isinstance(s, N.Push):
+            # unconditional even under a mask: stack depth must be
+            # lane-independent; inactive lanes' values are discarded by
+            # the matching masked pop
+            self.emit(f"_stk_{s.stack}.append({self.expr(s.value)})")
+        elif isinstance(s, N.Pop):
+            if not isinstance(s.target, N.Name):
+                raise UnvectorizableError(
+                    f"{self.fn.name}: pop into array element is not "
+                    "supported by the batch backend"
+                )
+            if self.mask is None:
+                self.emit(f"{s.target.id} = _stk_{s.stack}.pop()")
+            else:
+                self.emit(
+                    f"{s.target.id} = _where({self.mask}, "
+                    f"_stk_{s.stack}.pop(), {s.target.id})"
+                )
+        elif isinstance(s, N.PopDiscard):
+            self.emit(f"_stk_{s.stack}.pop()")
+        elif isinstance(s, N.TraceAppend):
+            if self.mask is not None:
+                raise UnvectorizableError(
+                    f"{self.fn.name}: sensitivity trace under a "
+                    "data-dependent branch cannot be vectorized"
+                )
+            self.emit(f"_tr_{s.trace}.append({self.expr(s.value)})")
+        else:
+            raise TypeError(type(s).__name__)
+
+    # -- control flow -------------------------------------------------------
+    def _if(self, s: N.If) -> None:
+        if not self.expr_tainted(s.cond):
+            # lane-uniform condition: a real Python branch — all lanes
+            # agree, so scalar push/pop pairing applies unchanged
+            self.emit(f"if {self.expr(s.cond)}:")
+            self.indent += 1
+            self.body(s.then)
+            self.indent -= 1
+            if s.orelse:
+                self.emit("else:")
+                self.indent += 1
+                self.body(s.orelse)
+                self.indent -= 1
+            return
+
+        has_pop = _subtree_has([s], (N.Pop, N.PopDiscard))
+        has_push = _subtree_has([s], (N.Push,))
+        if has_pop and has_push:
+            raise UnvectorizableError(
+                f"{self.fn.name}: branch mixes tape pushes and pops"
+            )
+        cond = self.fresh("_bc")
+        self.emit(f"{cond} = {self.expr(s.cond)}")
+        parent = self.mask
+        if parent is None:
+            then_mask = cond
+        else:
+            then_mask = self.fresh("_bm")
+            self.emit(f"{then_mask} = _land({parent}, {cond})")
+        blocks: List[Tuple[str, Sequence[N.Stmt]]] = [(then_mask, s.then)]
+        if s.orelse:
+            else_mask = self.fresh("_bm")
+            if parent is None:
+                self.emit(f"{else_mask} = _lnot({cond})")
+            else:
+                self.emit(f"{else_mask} = _land({parent}, _lnot({cond}))")
+            blocks.append((else_mask, s.orelse))
+        if has_pop:
+            # backward-sweep branch: the forward sweep pushed then-values
+            # before else-values, so LIFO pops the else body first
+            blocks.reverse()
+        for mask, block in blocks:
+            self.mask = mask
+            self.masked_body(block)
+        self.mask = parent
+
+    def _for(self, s: N.For) -> None:
+        if self.mask is not None:
+            raise UnvectorizableError(
+                f"{self.fn.name}: loop under a data-dependent branch "
+                "cannot be vectorized"
+            )
+        for e in (s.lo, s.hi, s.step):
+            if self.expr_tainted(e):
+                raise UnvectorizableError(
+                    f"{self.fn.name}: loop bound depends on batched data"
+                )
+        lo, hi, step = self.expr(s.lo), self.expr(s.hi), self.expr(s.step)
+        self.emit(f"for {s.var} in range({lo}, {hi}, {step}):")
+        self.indent += 1
+        self.body(s.body)
+        self.indent -= 1
+
+    def _while(self, s: N.While) -> None:
+        if self.mask is not None or self.expr_tainted(s.cond):
+            raise UnvectorizableError(
+                f"{self.fn.name}: while-loop condition depends on "
+                "batched data"
+            )
+        self.emit(f"while {self.expr(s.cond)}:")
+        self.indent += 1
+        self.body(s.body)
+        self.indent -= 1
+
+    # -- function -----------------------------------------------------------
+    def _emit_return(self, values: List[str]) -> None:
+        if self.mask is not None:
+            raise UnvectorizableError(
+                f"{self.fn.name}: return under a data-dependent branch"
+            )
+        parts = values + [f"_tr_{t}" for t in self.traces]
+        if len(parts) == 1:
+            self.emit(f"return {parts[0]}")
+        else:
+            self.emit(f"return ({', '.join(parts)})")
+
+    def generate(self) -> str:
+        fn = self.fn
+        for s in walk_stmts(fn.body):
+            if isinstance(s, N.Push) and s.stack not in self.stacks:
+                self.stacks.append(s.stack)
+            if (
+                isinstance(s, (N.Pop, N.PopDiscard))
+                and s.stack not in self.stacks
+            ):
+                self.stacks.append(s.stack)
+            if isinstance(s, N.TraceAppend) and s.trace not in self.traces:
+                self.traces.append(s.trace)
+        params = ", ".join(p.name for p in fn.params)
+        header = f"def {fn.name}({params}):"
+        for stack in self.stacks:
+            self.emit(f"_stk_{stack} = []")
+        for trace in self.traces:
+            self.emit(f"_tr_{trace} = []")
+        self.body(fn.body)
+        if not fn.body or not isinstance(
+            fn.body[-1], (N.Return, N.ReturnTuple)
+        ):
+            self._emit_return(["None"])
+        return header + "\n" + "\n".join(self.lines)
+
+
+def generate_batch_source(fn: N.Function, batched: Set[str]) -> str:
+    """Render ``fn`` as NumPy-vectorized batch Python source.
+
+    :param batched: names of scalar parameters that arrive as length-N
+        arrays; all other parameters are lane-uniform scalars.
+    :raises UnvectorizableError: if the function's structure cannot be
+        executed array-at-a-time (see module docstring) — callers fall
+        back to a scalar loop.
+    """
+    return _BatchGen(fn, set(batched)).generate()

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Set
 
+import numpy as np
+
 from repro.fp.precision import round_f16, round_f32
 from repro.frontend.intrinsics import INTRINSICS
 
@@ -38,6 +40,115 @@ def direct_bindings(approx: Optional[Set[str]] = None) -> Dict[str, object]:
         g[f"_i_{name}"] = impl
     g["_c32"] = round_f32
     g["_c16"] = round_f16
+    return g
+
+
+def _batch_fmax(x, y):
+    """Elementwise mirror of the scalar ``max(x, y)``.
+
+    NOT ``np.fmax``: that ignores NaNs, while Python's ``max`` — the
+    scalar-path implementation — propagates a NaN first argument
+    (``max(nan, b)`` returns ``b if b > nan else nan`` → nan).  The
+    comparison+select reproduces the scalar selection exactly.
+    """
+    return np.where(np.asarray(y) > np.asarray(x), y, x)
+
+
+def _batch_fmin(x, y):
+    """Elementwise mirror of the scalar ``min(x, y)`` (see _batch_fmax)."""
+    return np.where(np.asarray(y) < np.asarray(x), y, x)
+
+
+#: intrinsics whose numpy equivalent is *exact* (IEEE-defined
+#: operations / pure selections, bitwise-identical to the scalar
+#: implementations — NaN cases included)
+_NP_EXACT_INTRINSICS: Dict[str, Callable] = {
+    "sqrt": np.sqrt,
+    "fabs": np.fabs,
+    "fmax": _batch_fmax,
+    "fmin": _batch_fmin,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "copysign": np.copysign,
+}
+
+
+def exactwise(impl: Callable) -> Callable:
+    """Lift a scalar function to arrays by calling it per element.
+
+    Slower than a ufunc, but **bitwise identical** to the scalar path —
+    numpy's SIMD transcendentals (``np.exp`` etc.) may differ from
+    ``math.exp`` by an ulp, and error models of the form
+    ``x - (float)x`` amplify a one-ulp input difference catastrophically.
+    The sweep engine's per-point-match guarantee rests on this wrapper.
+    """
+
+    def wrapped(*args):
+        if not any(isinstance(a, np.ndarray) for a in args):
+            return impl(*args)
+        bargs = np.broadcast_arrays(*[np.asarray(a) for a in args])
+        if bargs[0].ndim == 0:
+            return impl(*[a.item() for a in bargs])
+        out = [
+            impl(*vals)
+            for vals in zip(*(a.tolist() for a in bargs))
+        ]
+        return np.asarray(out, dtype=np.float64)
+
+    wrapped.__name__ = getattr(impl, "__name__", "exactwise")
+    return wrapped
+
+
+def _batch_c32(x):
+    """Round to binary32 storage, elementwise, kept in f64."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float32).astype(np.float64)
+    return round_f32(float(x))
+
+
+def _batch_c16(x):
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float16).astype(np.float64)
+    return round_f16(float(x))
+
+
+def _batch_ci64(x):
+    """C-style truncating int cast, elementwise (both ``int()`` and
+    ``astype(int64)`` truncate toward zero)."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.int64)
+    return int(x)
+
+
+def _batch_step_ge(x, y):
+    return np.where(np.greater_equal(x, y), 1.0, 0.0)
+
+
+def batch_bindings() -> Dict[str, object]:
+    """Globals for NumPy-vectorized (batch) execution.
+
+    Exact IEEE operations bind to their ufuncs; transcendentals (and the
+    bit-trick FastApprox variants) go through :func:`exactwise` so every
+    lane reproduces the scalar path bit-for-bit.  The arithmetic between
+    calls — the bulk of an adjoint — is plain vectorized numpy.
+    """
+    g: Dict[str, object] = {"__builtins__": {"range": range, "int": int,
+                                             "float": float, "abs": abs,
+                                             "len": len, "bool": bool}}
+    for name, info in INTRINSICS.items():
+        impl = _NP_EXACT_INTRINSICS.get(name)
+        if name == "step_ge":
+            impl = _batch_step_ge
+        if impl is None:
+            impl = exactwise(info.impl)
+        g[f"_i_{name}"] = impl
+    g["_c32"] = _batch_c32
+    g["_c16"] = _batch_c16
+    g["_ci64"] = _batch_ci64
+    g["_where"] = np.where
+    g["_land"] = np.logical_and
+    g["_lor"] = np.logical_or
+    g["_lnot"] = np.logical_not
     return g
 
 

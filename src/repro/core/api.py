@@ -10,7 +10,8 @@ friendly calling convention.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.frontend.registry import Kernel
 from repro.ir import nodes as N
 from repro.ir.types import ArrayType
 from repro.util.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.batch import BatchReport
 
 KernelLike = Union[Kernel, N.Function]
 
@@ -158,6 +162,7 @@ class ErrorEstimator:
             minimal_pushes=minimal_pushes,
             extra_bindings=self.module.bindings(),
         )
+        self._batched = None  # lazily-built repro.sweep.BatchedErrorEstimator
 
     @property
     def source(self) -> str:
@@ -167,6 +172,16 @@ class ErrorEstimator:
     @property
     def adjoint_ir(self) -> N.Function:
         return self._runner.adjoint
+
+    @property
+    def primal_ir(self) -> N.Function:
+        """The primal IR the adjoint was generated from."""
+        return self._runner.primal
+
+    @property
+    def layout(self) -> Dict[str, object]:
+        """The adjoint's return-layout metadata (``meta['adjoint']``)."""
+        return self._runner.layout
 
     def execute(self, *args: object) -> ErrorReport:
         """Run the analysis; see :class:`ErrorReport`."""
@@ -202,6 +217,21 @@ class ErrorEstimator:
                 rep.total_error += contrib
         return rep
 
+    def execute_batch(self, *args: object) -> "BatchReport":
+        """Run the analysis over a **batch of input points** at once.
+
+        Each argument is either a lane-uniform scalar or a length-N
+        array sweeping that parameter; all arrays must share one N.
+        Uses the vectorized (array-at-a-time) adjoint backend when the
+        kernel's structure allows it and falls back to a scalar loop
+        otherwise — see :class:`repro.sweep.BatchedErrorEstimator`.
+        """
+        if self._batched is None:
+            from repro.sweep.batch import BatchedErrorEstimator
+
+            self._batched = BatchedErrorEstimator(self)
+        return self._batched.execute(*args)
+
 
 def gradient(k: KernelLike, **kwargs: object) -> Gradient:
     """Build the reverse-mode gradient of a kernel.
@@ -230,3 +260,60 @@ def estimate_error(
         print("Error in func:", report.total_error)
     """
     return ErrorEstimator(k, model=model, track=track, **kwargs)  # type: ignore[arg-type]
+
+
+# -- estimator reuse ----------------------------------------------------------
+#
+# Building an ErrorEstimator runs the reverse-mode transformation, the
+# optimization pipeline, and compilation — ~10-100ms of work that tuning
+# searches and sweep engines repeat for the *same* kernel/model pair over
+# and over.  The memo is content-addressed (IR fingerprint + model
+# fingerprint + options), so re-registered kernels with identical IR and
+# equal model configurations share one compiled estimator.
+
+_ESTIMATOR_MEMO: "OrderedDict[tuple, ErrorEstimator]" = OrderedDict()
+_ESTIMATOR_MEMO_MAX = 64
+
+
+def cached_error_estimator(
+    k: KernelLike,
+    model: Optional[ErrorModel] = None,
+    track: Sequence[str] = (),
+    opt_level: int = 2,
+    minimal_pushes: bool = True,
+) -> ErrorEstimator:
+    """Like :func:`estimate_error`, but memoized by content.
+
+    Models that close over arbitrary callables (``cacheable = False``)
+    and tracked-sensitivity estimators are never memoized.
+    """
+    if (model is not None and not model.cacheable) or track:
+        return ErrorEstimator(
+            k, model=model, track=track, opt_level=opt_level,
+            minimal_pushes=minimal_pushes,
+        )
+    from repro.ir.fingerprint import ir_fingerprint
+
+    key = (
+        ir_fingerprint(_as_ir(k)),
+        model.fingerprint() if model is not None else None,
+        opt_level,
+        minimal_pushes,
+    )
+    est = _ESTIMATOR_MEMO.get(key)
+    if est is None:
+        est = ErrorEstimator(
+            k, model=model, opt_level=opt_level,
+            minimal_pushes=minimal_pushes,
+        )
+        _ESTIMATOR_MEMO[key] = est
+        while len(_ESTIMATOR_MEMO) > _ESTIMATOR_MEMO_MAX:
+            _ESTIMATOR_MEMO.popitem(last=False)
+    else:
+        _ESTIMATOR_MEMO.move_to_end(key)
+    return est
+
+
+def clear_estimator_memo() -> None:
+    """Drop all memoized estimators (test isolation helper)."""
+    _ESTIMATOR_MEMO.clear()

@@ -52,6 +52,19 @@ class ErrorModel:
 
     name = "base"
 
+    #: whether results produced under this model may be memoized across
+    #: calls/processes — models closing over arbitrary Python callables
+    #: (:class:`ExternalModel`) must opt out
+    cacheable = True
+
+    def fingerprint(self) -> str:
+        """Stable identity string for result caching and estimator reuse.
+
+        Two model instances with the same fingerprint must generate the
+        same error code and the same host-side input-error values.
+        """
+        return self.name
+
     def error_expr(
         self,
         ctx: "AdjointContext",
@@ -87,6 +100,24 @@ class ErrorModel:
         """
         return 0.0
 
+    def input_error_batch(self, name: str, values, adjoints):
+        """Vectorized :meth:`input_error` for a *scalar* parameter over a
+        batch: ``values`` and ``adjoints`` are length-N arrays and the
+        result is the length-N array of per-sample contributions.
+
+        The default loops over :meth:`input_error`; the built-in models
+        override with closed-form numpy.
+        """
+        import numpy as np
+
+        return np.asarray(
+            [
+                self.input_error(name, float(v), float(a))
+                for v, a in zip(np.asarray(values), np.asarray(adjoints))
+            ],
+            dtype=np.float64,
+        )
+
 
 class TaylorModel(ErrorModel):
     """Default first-order Taylor model (paper Eq. 1).
@@ -102,6 +133,10 @@ class TaylorModel(ErrorModel):
         #: override: estimate as if every variable were stored at this
         #: precision (useful to ask "what if everything were f32?")
         self.precision = precision
+
+    def fingerprint(self) -> str:
+        p = self.precision.value if self.precision is not None else "-"
+        return f"{self.name}:{p}"
 
     def error_expr(self, ctx, target, adjoint, stmt):
         dt = target.dtype or DType.F64
@@ -121,6 +156,14 @@ class TaylorModel(ErrorModel):
         eps = machine_eps(self.precision or DType.F64)
         return float(np.sum(np.abs(eps * np.asarray(value) * np.asarray(adjoint))))
 
+    def input_error_batch(self, name, values, adjoints):
+        import numpy as np
+
+        eps = machine_eps(self.precision or DType.F64)
+        return np.abs(
+            eps * np.asarray(values, dtype=np.float64) * np.asarray(adjoints)
+        )
+
 
 class AdaptModel(ErrorModel):
     """The ADAPT-FP model (paper Eq. 2, Listing 3).
@@ -136,6 +179,9 @@ class AdaptModel(ErrorModel):
 
     def __init__(self, demote_to: DType = DType.F32) -> None:
         self.demote_to = demote_to
+
+    def fingerprint(self) -> str:
+        return f"{self.name}:{self.demote_to.value}"
 
     #: saturation for values that overflow the demoted format: their
     #: demotion delta is ±inf, and inf·0 adjoints would poison the total
@@ -167,6 +213,17 @@ class AdaptModel(ErrorModel):
             self._SATURATE,
         )
         return float(np.sum(np.abs(np.asarray(adjoint)) * delta))
+
+    def input_error_batch(self, name, values, adjoints):
+        import numpy as np
+
+        from repro.fp.precision import demotion_error
+
+        v = np.asarray(values, dtype=np.float64)
+        delta = np.clip(
+            np.abs(demotion_error(v, self.demote_to)), 0.0, self._SATURATE
+        )
+        return np.abs(np.asarray(adjoints)) * delta
 
 
 class ApproxModel(ErrorModel):
@@ -205,6 +262,15 @@ class ApproxModel(ErrorModel):
                 )
         self.var_to_fn = dict(var_to_fn)
         self.fallthrough = fallthrough
+
+    @property
+    def cacheable(self) -> bool:  # type: ignore[override]
+        return self.fallthrough is None or self.fallthrough.cacheable
+
+    def fingerprint(self) -> str:
+        m = ",".join(f"{v}={f}" for v, f in sorted(self.var_to_fn.items()))
+        ft = self.fallthrough.fingerprint() if self.fallthrough else "-"
+        return f"{self.name}:{m}:{ft}"
 
     def _lookup(self, name: str) -> Optional[str]:
         """Resolve a variable name to its mapped intrinsic.
@@ -289,6 +355,9 @@ class CenaModel(ErrorModel):
     def __init__(self, demote_to: DType = DType.F32) -> None:
         self.demote_to = demote_to
 
+    def fingerprint(self) -> str:
+        return f"{self.name}:{self.demote_to.value}"
+
     def error_expr(self, ctx, target, adjoint, stmt):
         dt = target.dtype or DType.F64
         if not dt.is_float:
@@ -323,6 +392,17 @@ class CenaModel(ErrorModel):
         )
         return float(np.sum(np.asarray(adjoint) * delta))
 
+    def input_error_batch(self, name, values, adjoints):
+        import numpy as np
+
+        from repro.fp.precision import demotion_error
+
+        v = np.asarray(values, dtype=np.float64)
+        delta = np.clip(
+            demotion_error(v, self.demote_to), -self._SATURATE, self._SATURATE
+        )
+        return np.asarray(adjoints) * delta
+
 
 class ExternalModel(ErrorModel):
     """Synthesize calls to a user-supplied Python error function.
@@ -334,6 +414,9 @@ class ExternalModel(ErrorModel):
     """
 
     name = "external"
+
+    #: closes over an arbitrary Python callable — never memoize results
+    cacheable = False
 
     def __init__(self, user_fn: Callable[[float, float, str], float]) -> None:
         self.user_fn = user_fn

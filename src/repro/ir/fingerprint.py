@@ -1,0 +1,32 @@
+"""Content-addressed IR fingerprints.
+
+The sweep result cache and the estimator-reuse memo key their entries by
+*what the function computes*, not by object identity: two kernels with
+identical IR (e.g. the same source re-registered, or the same precision
+configuration re-applied) hash to the same fingerprint and share cached
+results across calls — and, for the on-disk sweep cache, across
+processes.
+
+The fingerprint is the SHA-256 of the pretty-printed IR plus the
+parameter signature.  The printer renders every node kind (including the
+adjoint-only Push/Pop/TraceAppend), so any semantic change to the IR
+changes the digest; ``meta`` and source locations are deliberately
+excluded — they don't affect results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ir import nodes as N
+from repro.ir.printer import format_function
+
+
+def ir_fingerprint(fn: N.Function) -> str:
+    """Stable hex digest of an IR function's content."""
+    sig = ",".join(
+        f"{p.name}:{p.type}:{int(p.differentiable)}" for p in fn.params
+    )
+    ret = fn.ret_dtype.value if fn.ret_dtype is not None else "-"
+    payload = f"{fn.name}({sig})->{ret}\n{format_function(fn)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,336 @@
+"""Batched adjoint execution: N input points per call.
+
+:class:`BatchedErrorEstimator` wraps a compiled
+:class:`~repro.core.api.ErrorEstimator` and evaluates it over a batch of
+input points.  Two backends:
+
+* **vectorized** — the adjoint IR is re-rendered as NumPy
+  array-at-a-time code (:mod:`repro.codegen.npgen`): one pass through
+  the generated function replaces N scalar calls.  Per lane it performs
+  bit-identical operations to the scalar path (transcendentals included,
+  via :func:`repro.codegen.runtime.exactwise`).
+* **loop** — the scalar estimator called per point.  Used when the
+  kernel cannot be vectorized (array parameters, data-dependent trip
+  counts, sensitivity traces) — results are identical either way, only
+  slower.
+
+A batched variant is compiled lazily per *set of swept parameters* (the
+taint analysis — and therefore the generated code — depends on which
+parameters are arrays) and memoized on the estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen import runtime
+from repro.codegen.npgen import UnvectorizableError, generate_batch_source
+from repro.core.report import ErrorReport
+from repro.ir.types import ArrayType, DType
+from repro.util.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.api import ErrorEstimator
+
+
+@dataclass
+class BatchReport:
+    """Per-point error-estimation results for a batch of N inputs.
+
+    Mirrors :class:`~repro.core.report.ErrorReport` with a leading batch
+    axis: every field holds length-N arrays (``gradients`` of array
+    parameters hold ``(N, len)`` matrices under the loop backend).
+    """
+
+    n: int
+    #: primal return value per point
+    values: np.ndarray
+    #: accumulated FP error estimate per point
+    total_error: np.ndarray
+    #: per-variable error contributions, each length N
+    per_variable: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: d(value)/d(param) per point
+    gradients: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: which backend produced the results: ``vectorized`` or ``loop``
+    backend: str = "vectorized"
+    #: True when the report was served from a sweep cache
+    from_cache: bool = False
+
+    def point(self, i: int) -> ErrorReport:
+        """The scalar :class:`ErrorReport` of sample ``i``."""
+        rep = ErrorReport(value=float(self.values[i]))
+        rep.total_error = float(self.total_error[i])
+        rep.per_variable = {
+            v: float(a[i]) for v, a in self.per_variable.items()
+        }
+        rep.gradients = {
+            p: (float(a[i]) if np.ndim(a[i]) == 0 else np.asarray(a[i]))
+            for p, a in self.gradients.items()
+        }
+        return rep
+
+    def worst(self) -> int:
+        """Index of the sample with the largest total error."""
+        return int(np.argmax(self.total_error))
+
+    def copy(self) -> "BatchReport":
+        """Deep copy (fresh arrays) — the cache hands out copies so
+        callers mutating a result can never corrupt the cached entry."""
+        return BatchReport(
+            n=self.n,
+            values=np.array(self.values),
+            total_error=np.array(self.total_error),
+            per_variable={
+                v: np.array(a) for v, a in self.per_variable.items()
+            },
+            gradients={
+                g: np.array(a) for g, a in self.gradients.items()
+            },
+            backend=self.backend,
+            from_cache=self.from_cache,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for (de)serialization by the sweep cache."""
+        return {
+            "n": self.n,
+            "values": self.values,
+            "total_error": self.total_error,
+            "per_variable": dict(self.per_variable),
+            "gradients": dict(self.gradients),
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "BatchReport":
+        return cls(
+            n=int(d["n"]),
+            values=d["values"],  # type: ignore[arg-type]
+            total_error=d["total_error"],  # type: ignore[arg-type]
+            per_variable=dict(d["per_variable"]),  # type: ignore[arg-type]
+            gradients=dict(d["gradients"]),  # type: ignore[arg-type]
+            backend=str(d["backend"]),
+        )
+
+
+def _is_sweep_array(a: object) -> bool:
+    return (
+        isinstance(a, np.ndarray) and a.ndim >= 1
+    ) or isinstance(a, (list, tuple))
+
+
+class BatchedErrorEstimator:
+    """Batch execution façade over one :class:`ErrorEstimator`."""
+
+    def __init__(self, est: "ErrorEstimator") -> None:
+        self.est = est
+        # frozenset(batched param names) -> (raw callable, source) | None
+        self._variants: Dict[frozenset, Optional[Tuple[object, str]]] = {}
+
+    # -- variant compilation ------------------------------------------------
+    def _variant(
+        self, batched: frozenset
+    ) -> Optional[Tuple[object, str]]:
+        if batched not in self._variants:
+            adj = self.est.adjoint_ir
+            try:
+                src = generate_batch_source(adj, set(batched))
+            except UnvectorizableError:
+                self._variants[batched] = None
+                return None
+            g = runtime.batch_bindings()
+            for name, impl in self.est.module.bindings().items():
+                # user-bound scalar callables (external error models) are
+                # lifted elementwise so they flow through batch code
+                g[name] = (
+                    runtime.exactwise(impl) if callable(impl) else impl
+                )
+            ns: Dict[str, object] = {}
+            code = compile(src, f"<repro-batch:{adj.name}>", "exec")
+            exec(code, g, ns)  # noqa: S102 - our own generated source
+            self._variants[batched] = (ns[adj.name], src)
+        return self._variants[batched]
+
+    def batch_source(self, batched: Sequence[str]) -> Optional[str]:
+        """Generated vectorized source for a swept-parameter set (None if
+        the kernel is unvectorizable for that set)."""
+        v = self._variant(frozenset(batched))
+        return v[1] if v is not None else None
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, *args: object) -> BatchReport:
+        """Evaluate the estimator over a batch.
+
+        Each positional argument is either a lane-uniform value (scalar,
+        or a numpy array for an array parameter) or — for scalar
+        parameters only — a length-N array/list sweeping that parameter.
+        All swept arrays must share one length N.
+        """
+        primal = self.est.primal_ir
+        params = primal.params
+        if len(args) != len(params):
+            raise ExecutionError(
+                f"{primal.name}: expected {len(params)} arguments, "
+                f"got {len(args)}"
+            )
+        batched: List[str] = []
+        n: Optional[int] = None
+        for a, p in zip(args, params):
+            if isinstance(p.type, ArrayType):
+                continue  # array params are always lane-uniform
+            if _is_sweep_array(a):
+                m = len(a)  # type: ignore[arg-type]
+                if n is None:
+                    n = m
+                elif m != n:
+                    raise ExecutionError(
+                        f"{primal.name}: swept arrays disagree on batch "
+                        f"size ({n} vs {m} for {p.name!r})"
+                    )
+                batched.append(p.name)
+        if n == 0:
+            raise ExecutionError(
+                f"{primal.name}: empty sweep (length-0 arrays)"
+            )
+        if n is None:
+            n = 1
+
+        variant = None
+        if batched and not self.est._runner.compiled.traces:
+            variant = self._variant(frozenset(batched))
+        if variant is not None:
+            return self._execute_vectorized(args, batched, n, variant[0])
+        return self._execute_loop(args, batched, n)
+
+    # -- vectorized backend -------------------------------------------------
+    def _execute_vectorized(
+        self,
+        args: Sequence[object],
+        batched: List[str],
+        n: int,
+        raw: object,
+    ) -> BatchReport:
+        primal = self.est.primal_ir
+        full: List[object] = []
+        for a, p in zip(args, primal.params):
+            dt = p.type.dtype
+            if p.name in batched:
+                arr = np.asarray(
+                    a, dtype=np.int64 if dt is DType.I64 else np.float64
+                )
+                if dt in (DType.F32, DType.F16):
+                    from repro.fp.precision import round_to
+
+                    arr = np.asarray(round_to(arr, dt))
+                full.append(arr)
+            else:
+                v: object = a
+                if dt in (DType.F32, DType.F16) and isinstance(
+                    a, (int, float)
+                ):
+                    from repro.fp.precision import round_to
+
+                    v = round_to(float(a), dt)
+                full.append(v)
+        with np.errstate(all="ignore"):
+            result = raw(*full)  # type: ignore[operator]
+        if not isinstance(result, tuple):
+            result = (result,)
+        named: Dict[Tuple[str, ...], np.ndarray] = {}
+        for key, val in zip(self.est.layout["ret_names"], result):
+            named[tuple(key)] = np.broadcast_to(
+                np.asarray(val, dtype=np.float64), (n,)
+            ).copy()
+
+        rep = BatchReport(
+            n=n,
+            values=named[("value",)],
+            total_error=np.zeros(n),
+            backend="vectorized",
+        )
+        for key, val in named.items():
+            if key[0] == "grad":
+                rep.gradients[key[1]] = val
+            elif key[0] == "extra":
+                if key[1] == "fp_error":
+                    rep.total_error = val
+                elif key[1].startswith("delta:"):
+                    rep.per_variable[key[1][len("delta:"):]] = val
+        self._add_input_errors(rep, args, batched, n)
+        return rep
+
+    def _add_input_errors(
+        self,
+        rep: BatchReport,
+        args: Sequence[object],
+        batched: List[str],
+        n: int,
+    ) -> None:
+        # mirror of the scalar path: input variables are never assignment
+        # targets, so their representation error is added host-side from
+        # the final adjoints (Eq. 2 runs over inputs too)
+        model = self.est.module.model
+        primal = self.est.primal_ir
+        for i, p in enumerate(primal.params):
+            if p.name not in rep.gradients:
+                continue
+            if p.name in batched:
+                values = np.asarray(args[i], dtype=np.float64)
+            else:
+                values = np.full(n, float(args[i]))  # type: ignore[arg-type]
+            contrib = np.asarray(
+                model.input_error_batch(
+                    p.name, values, rep.gradients[p.name]
+                ),
+                dtype=np.float64,
+            )
+            if np.any(contrib != 0.0):
+                rep.per_variable[p.name] = (
+                    rep.per_variable.get(p.name, np.zeros(n)) + contrib
+                )
+                rep.total_error = rep.total_error + contrib
+
+    # -- loop backend -------------------------------------------------------
+    def _execute_loop(
+        self, args: Sequence[object], batched: List[str], n: int
+    ) -> BatchReport:
+        primal = self.est.primal_ir
+        reports: List[ErrorReport] = []
+        for i in range(n):
+            point: List[object] = []
+            for a, p in zip(args, primal.params):
+                if p.name in batched:
+                    v = a[i]  # type: ignore[index]
+                    point.append(
+                        int(v) if p.type.dtype is DType.I64 else float(v)
+                    )
+                elif isinstance(a, np.ndarray):
+                    # fresh copy per point: kernels may mutate array
+                    # arguments in place
+                    point.append(a.copy())
+                else:
+                    point.append(a)
+            reports.append(self.est.execute(*point))
+        per_vars = sorted({v for r in reports for v in r.per_variable})
+        grads = sorted({g for r in reports for g in r.gradients})
+        return BatchReport(
+            n=n,
+            values=np.asarray([r.value for r in reports]),
+            total_error=np.asarray([r.total_error for r in reports]),
+            per_variable={
+                v: np.asarray(
+                    [r.per_variable.get(v, 0.0) for r in reports]
+                )
+                for v in per_vars
+            },
+            gradients={
+                g: np.stack(
+                    [np.asarray(r.gradients[g]) for r in reports]
+                )
+                for g in grads
+            },
+            backend="loop",
+        )

@@ -1,0 +1,182 @@
+"""Content-addressed sweep result cache.
+
+Repeated error estimates over the same inputs are the hot path of any
+tuning search — a greedy/robust tuning loop, a threshold scan, a CI
+re-run.  The cache keys a :class:`~repro.sweep.batch.BatchReport` by
+*everything that determines it*:
+
+* the **IR fingerprint** of the primal kernel (content hash — covers
+  precision configurations, inlined callees, re-registered kernels),
+* the **error model fingerprint** (class + parameters; models closing
+  over arbitrary callables are uncacheable),
+* the estimator options (``opt_level``, ``minimal_pushes``) — they do
+  not change results in theory, but they change the generated code, so
+  they are keyed defensively,
+* the **input digest**: shapes, dtypes, and raw bytes of every
+  argument.
+
+Entries live in an in-process LRU and, optionally, in a directory of
+pickle files so results survive across processes (set ``directory=`` or
+the ``REPRO_SWEEP_CACHE`` environment variable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.models import ErrorModel
+from repro.ir import nodes as N
+from repro.ir.fingerprint import ir_fingerprint
+from repro.sweep.batch import BatchReport
+
+#: pickle protocol pinned for cross-version disk compatibility
+_PICKLE_PROTOCOL = 4
+
+
+def digest_inputs(args: Sequence[object]) -> str:
+    """SHA-256 digest of a positional argument tuple."""
+    h = hashlib.sha256()
+    for a in args:
+        if isinstance(a, np.ndarray):
+            arr = np.ascontiguousarray(a)
+            h.update(b"A")
+            h.update(str(arr.dtype).encode())
+            h.update(repr(arr.shape).encode())
+            h.update(arr.tobytes())
+        elif isinstance(a, np.generic):
+            # numpy scalars (np.int64 sizes, np.float64 bounds) digest
+            # by value, same key as the equivalent Python scalar
+            h.update(b"S")
+            h.update(repr(a.item()).encode())
+        elif isinstance(a, (bool, int, float)):
+            h.update(b"S")
+            h.update(repr(a).encode())
+        elif isinstance(a, (list, tuple)):
+            arr = np.asarray(a)
+            h.update(b"L")
+            h.update(str(arr.dtype).encode())
+            h.update(repr(arr.shape).encode())
+            h.update(arr.tobytes())
+        else:
+            raise TypeError(
+                f"cannot digest argument of type {type(a).__name__}"
+            )
+    return h.hexdigest()
+
+
+def make_key(
+    primal: N.Function,
+    model: ErrorModel,
+    args: Sequence[object],
+    opt_level: int = 2,
+    minimal_pushes: bool = True,
+) -> Optional[str]:
+    """Cache key for one sweep evaluation, or ``None`` if uncacheable."""
+    if not model.cacheable:
+        return None
+    h = hashlib.sha256()
+    h.update(ir_fingerprint(primal).encode())
+    h.update(b"|")
+    h.update(model.fingerprint().encode())
+    h.update(f"|{opt_level}|{int(minimal_pushes)}|".encode())
+    h.update(digest_inputs(args).encode())
+    return h.hexdigest()
+
+
+class SweepCache:
+    """Two-level (memory + optional disk) cache of batch reports."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        memory_entries: int = 128,
+    ) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_SWEEP_CACHE") or None
+        self.directory = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.memory_entries = memory_entries
+        self._mem: "OrderedDict[str, BatchReport]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- internals ----------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.pkl"
+
+    def _remember(self, key: str, report: BatchReport) -> None:
+        self._mem[key] = report
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.memory_entries:
+            self._mem.popitem(last=False)
+
+    # -- public -------------------------------------------------------------
+    def get(self, key: Optional[str]) -> Optional[BatchReport]:
+        """Look up a report; counts a hit or miss (``None`` key: miss)."""
+        if key is None:
+            self.misses += 1
+            return None
+        rep = self._mem.get(key)
+        if rep is None and self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with open(path, "rb") as f:
+                        rep = BatchReport.from_dict(pickle.load(f))
+                except (OSError, pickle.PickleError, KeyError, EOFError):
+                    rep = None  # corrupt entry: treat as miss
+                if rep is not None:
+                    self._remember(key, rep)
+        if rep is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._mem.move_to_end(key)
+        out = rep.copy()
+        out.from_cache = True
+        return out
+
+    def put(self, key: Optional[str], report: BatchReport) -> None:
+        if key is None:
+            return
+        # stored copy: the caller keeps (and may mutate) its own object
+        self._remember(key, report.copy())
+        if self.directory is not None:
+            path = self._path(key)
+            # atomic-ish write: concurrent sweeps must never observe a
+            # torn pickle
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(
+                        report.to_dict(), f, protocol=_PICKLE_PROTOCOL
+                    )
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        """Drop memory entries (disk entries are left in place)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    @property
+    def stats(self) -> str:
+        return f"hits={self.hits} misses={self.misses}"

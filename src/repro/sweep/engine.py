@@ -1,0 +1,119 @@
+"""Sweep orchestration: samples → batch evaluation → (cached) report.
+
+:func:`sweep_error` is the one-call entry point of the sweep subsystem::
+
+    from repro.sweep import sweep_error, random_sweep
+
+    report = sweep_error(
+        kernel,
+        samples=random_sweep({"x": (0.1, 10.0)}, n=1000, seed=7),
+        fixed={"n": 100},
+        model=AdaptModel(),
+        cache="~/.cache/repro-sweeps",
+    )
+    report.total_error        # (N,) per-point estimates
+
+It reuses compiled estimators across calls (content-addressed memo in
+:mod:`repro.core.api`), consults the result cache before evaluating,
+and prefers the vectorized batch backend with a transparent scalar-loop
+fallback.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.api import KernelLike, cached_error_estimator
+from repro.core.models import ErrorModel, TaylorModel
+from repro.ir import nodes as N
+from repro.sweep.batch import BatchReport
+from repro.sweep.cache import SweepCache, make_key
+from repro.util.errors import ExecutionError
+
+CacheLike = Union[None, str, Path, SweepCache]
+
+
+def _resolve_cache(cache: CacheLike) -> Optional[SweepCache]:
+    if cache is None or isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(directory=cache)
+
+
+def build_args(
+    primal: N.Function,
+    samples: Mapping[str, Sequence[float]],
+    fixed: Mapping[str, object],
+) -> List[object]:
+    """Zip a sweep and fixed values into positional arguments.
+
+    Every kernel parameter must appear in exactly one of ``samples``
+    (swept, as a length-N array) or ``fixed`` (lane-uniform).
+    """
+    overlap = set(samples) & set(fixed)
+    if overlap:
+        raise ExecutionError(
+            f"{primal.name}: parameters both swept and fixed: "
+            f"{sorted(overlap)}"
+        )
+    known = {p.name for p in primal.params}
+    unknown = (set(samples) | set(fixed)) - known
+    if unknown:
+        raise ExecutionError(
+            f"{primal.name}: unknown parameters: {sorted(unknown)}"
+        )
+    args: List[object] = []
+    for p in primal.params:
+        if p.name in samples:
+            args.append(np.asarray(samples[p.name]))
+        elif p.name in fixed:
+            args.append(fixed[p.name])
+        else:
+            raise ExecutionError(
+                f"{primal.name}: parameter {p.name!r} is neither swept "
+                "nor fixed"
+            )
+    return args
+
+
+def sweep_error(
+    k: KernelLike,
+    samples: Mapping[str, Sequence[float]],
+    fixed: Optional[Mapping[str, object]] = None,
+    model: Optional[ErrorModel] = None,
+    opt_level: int = 2,
+    minimal_pushes: bool = True,
+    cache: CacheLike = None,
+) -> BatchReport:
+    """Estimate FP error over a batch of input points.
+
+    :param k: kernel (or IR function) to analyze.
+    :param samples: ``{param: length-N array}`` — swept parameters (see
+        :mod:`repro.sweep.samplers`).
+    :param fixed: lane-uniform values for the remaining parameters.
+    :param model: error model (default: Taylor, Eq. 1).
+    :param cache: ``None``, a directory path, or a :class:`SweepCache` —
+        repeated estimates (same kernel content, model, inputs) are
+        served from it without re-running the adjoint.
+    """
+    model = model or TaylorModel()
+    est = cached_error_estimator(
+        k, model=model, opt_level=opt_level, minimal_pushes=minimal_pushes
+    )
+    args = build_args(est.primal_ir, dict(samples), dict(fixed or {}))
+    store = _resolve_cache(cache)
+    key: Optional[str] = None
+    if store is not None:
+        key = make_key(
+            est.primal_ir, model, args,
+            opt_level=opt_level, minimal_pushes=minimal_pushes,
+        )
+        hit = store.get(key)
+        if hit is not None:
+            return hit
+    report = est.execute_batch(*args)
+    if store is not None:
+        store.put(key, report)
+    return report

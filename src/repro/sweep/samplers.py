@@ -1,0 +1,130 @@
+"""Input samplers for sweep runs.
+
+Each sampler produces a *sweep*: a ``{param_name: length-N array}``
+mapping that the engine zips into batched positional arguments.  The
+paper's Discussion concedes that error estimates (and therefore tuning
+decisions) are input-dependent and that "callers should sweep inputs" —
+these are the standard ways to build that sweep:
+
+* :func:`grid_sweep` — Cartesian product of per-parameter axes
+  (linear or log spacing, or explicit points),
+* :func:`random_sweep` — uniform / log-uniform random sampling with an
+  **explicit seed** (reproducibility is part of the cache key story),
+* :func:`explicit_sweep` — user-supplied arrays, validated and
+  normalized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+Axis = Union[Tuple[float, float, int], Tuple[float, float, int, str], Sequence[float]]
+Sweep = Dict[str, np.ndarray]
+
+
+def _axis_points(name: str, spec: Axis) -> np.ndarray:
+    if isinstance(spec, tuple) and len(spec) in (3, 4) and isinstance(
+        spec[2], (int, np.integer)
+    ):
+        lo, hi, count = float(spec[0]), float(spec[1]), int(spec[2])
+        spacing = spec[3] if len(spec) == 4 else "linear"
+        if count < 1:
+            raise ValueError(f"axis {name!r}: count must be >= 1")
+        if spacing == "linear":
+            return np.linspace(lo, hi, count)
+        if spacing == "log":
+            if lo <= 0 or hi <= 0:
+                raise ValueError(
+                    f"axis {name!r}: log spacing needs positive bounds"
+                )
+            return np.geomspace(lo, hi, count)
+        raise ValueError(
+            f"axis {name!r}: unknown spacing {spacing!r} "
+            "(expected 'linear' or 'log')"
+        )
+    arr = np.asarray(spec, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"axis {name!r}: expected a non-empty 1-D array")
+    return arr
+
+
+def grid_sweep(axes: Mapping[str, Axis]) -> Sweep:
+    """Cartesian-product sweep.
+
+    Each axis is ``(lo, hi, count)``, ``(lo, hi, count, 'log')``, or an
+    explicit 1-D array of points.  The result sweeps every combination
+    (N = product of axis sizes), in ``meshgrid(indexing='ij')`` order.
+
+    Example::
+
+        grid_sweep({"lo": (0.0, 1.0, 5), "hi": (1.0, 3.0, 7)})  # N = 35
+    """
+    if not axes:
+        raise ValueError("grid_sweep: at least one axis required")
+    names = list(axes)
+    points = [_axis_points(n, axes[n]) for n in names]
+    mesh = np.meshgrid(*points, indexing="ij")
+    return {n: m.reshape(-1) for n, m in zip(names, mesh)}
+
+
+def random_sweep(
+    bounds: Mapping[str, Tuple[float, float]],
+    n: int,
+    seed: int,
+    log: Iterable[str] = (),
+) -> Sweep:
+    """Random sweep: ``n`` points, uniform per parameter within bounds.
+
+    :param bounds: ``{param: (lo, hi)}``.
+    :param seed: **required** RNG seed — sweeps must be reproducible so
+        result-cache keys (input digests) are stable across runs.
+    :param log: parameter names sampled log-uniformly (positive bounds).
+    """
+    if n < 1:
+        raise ValueError("random_sweep: n must be >= 1")
+    rng = np.random.default_rng(seed)
+    logset = set(log)
+    unknown = logset - set(bounds)
+    if unknown:
+        raise ValueError(
+            f"random_sweep: log parameters not in bounds: {sorted(unknown)}"
+        )
+    out: Sweep = {}
+    for name, (lo, hi) in bounds.items():
+        if name in logset:
+            if lo <= 0 or hi <= 0:
+                raise ValueError(
+                    f"random_sweep: log-uniform {name!r} needs positive "
+                    "bounds"
+                )
+            out[name] = np.exp(
+                rng.uniform(np.log(lo), np.log(hi), n)
+            )
+        else:
+            out[name] = rng.uniform(lo, hi, n)
+    return out
+
+
+def explicit_sweep(arrays: Mapping[str, Sequence[float]]) -> Sweep:
+    """Normalize user-supplied arrays into a sweep (equal-length 1-D)."""
+    if not arrays:
+        raise ValueError("explicit_sweep: at least one array required")
+    out: Sweep = {}
+    n = None
+    for name, a in arrays.items():
+        arr = np.asarray(a)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(
+                f"explicit_sweep: {name!r} must be a non-empty 1-D array"
+            )
+        if n is None:
+            n = arr.size
+        elif arr.size != n:
+            raise ValueError(
+                f"explicit_sweep: length mismatch ({n} vs {arr.size} "
+                f"for {name!r})"
+            )
+        out[name] = arr
+    return out

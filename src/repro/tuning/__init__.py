@@ -11,7 +11,8 @@ program (actual error) and costing it with the performance model
 """
 
 from repro.tuning.config import PrecisionConfig, apply_precision
-from repro.tuning.greedy import greedy_tune, TuningResult
+from repro.tuning.greedy import greedy_select, greedy_tune, TuningResult
+from repro.tuning.robust import robust_tune
 from repro.tuning.validate import validate_config, ConfigValidation
 from repro.tuning.perforation import (
     iteration_sensitivity,
@@ -22,7 +23,9 @@ from repro.tuning.perforation import (
 __all__ = [
     "PrecisionConfig",
     "apply_precision",
+    "greedy_select",
     "greedy_tune",
+    "robust_tune",
     "TuningResult",
     "validate_config",
     "ConfigValidation",

@@ -10,20 +10,29 @@
 Exactly that: variables are sorted by their estimated demotion-error
 contribution (the ``_delta_<var>`` registers under the ADAPT model) and
 demoted greedily while the running sum stays within the threshold.
+
+:func:`greedy_tune` decides from **one** input point — the paper's
+workflow.  Its Discussion concedes the result is input-dependent;
+:func:`repro.tuning.robust.robust_tune` is the distribution-robust
+variant that feeds *aggregated* contributions from a whole input sweep
+through the same greedy core.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.api import estimate_error
+from repro.core.api import cached_error_estimator
 from repro.core.models import AdaptModel, ErrorModel
 from repro.core.report import ErrorReport
 from repro.frontend.registry import Kernel
 from repro.ir import nodes as N
 from repro.ir.types import DType
 from repro.tuning.config import PrecisionConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.batch import BatchReport
 
 #: registers that are analysis artifacts, never demotion candidates
 _EXCLUDED = {"_ret"}
@@ -36,15 +45,47 @@ class TuningResult:
     config: PrecisionConfig
     #: estimated total error of the chosen configuration
     estimated_error: float
-    #: the full error report the decision was based on
-    report: ErrorReport = field(repr=False, default=None)  # type: ignore[assignment]
+    #: the full error report the decision was based on — for
+    #: ``robust_tune`` this is the report of the worst-case sample
+    report: Optional[ErrorReport] = field(repr=False, default=None)
     #: per-candidate estimated contributions, ascending
     ranking: List = field(default_factory=list)
     threshold: float = 0.0
+    #: the per-point sweep results behind a ``robust_tune`` decision
+    sweep: Optional["BatchReport"] = field(repr=False, default=None)
 
     @property
     def demoted(self) -> List[str]:
         return self.config.demoted_names
+
+
+def greedy_select(
+    contrib: Dict[str, float],
+    threshold: float,
+    candidates: Optional[Sequence[str]] = None,
+) -> Tuple[List[Tuple[str, float]], List[str], float]:
+    """The greedy demotion core shared by point and sweep tuning.
+
+    Filters analysis artifacts, restricts to ``candidates`` when given,
+    ranks ascending by contribution, and demotes while the accumulated
+    estimate stays within ``threshold``.
+
+    :returns: ``(ranking, chosen, accumulated_error)``.
+    """
+    filtered = {
+        v: e
+        for v, e in contrib.items()
+        if v not in _EXCLUDED
+        and (candidates is None or v in candidates)
+    }
+    ranking = sorted(filtered.items(), key=lambda kv: kv[1])
+    chosen: List[str] = []
+    acc = 0.0
+    for var, err in ranking:
+        if acc + err <= threshold:
+            chosen.append(var)
+            acc += err
+    return ranking, chosen, acc
 
 
 def greedy_tune(
@@ -59,7 +100,9 @@ def greedy_tune(
 
     :param k: the kernel to tune.
     :param args: representative inputs (the paper's Discussion notes the
-        result is input-dependent; callers should sweep inputs).
+        result is input-dependent; sweep inputs with
+        :func:`~repro.tuning.robust.robust_tune` instead of relying on
+        one point).
     :param threshold: maximum acceptable accumulated estimated error.
     :param model: error model; default is the ADAPT demotion model
         (Eq. 2), as in the paper's mixed-precision benchmarks.
@@ -67,21 +110,11 @@ def greedy_tune(
         variable with an error register).
     :param demote_to: target precision (binary32 by default).
     """
-    est = estimate_error(k, model=model or AdaptModel(demote_to))
+    est = cached_error_estimator(k, model=model or AdaptModel(demote_to))
     report = est.execute(*args)
-    contrib = {
-        v: e
-        for v, e in report.per_variable.items()
-        if v not in _EXCLUDED
-        and (candidates is None or v in candidates)
-    }
-    ranking = sorted(contrib.items(), key=lambda kv: kv[1])
-    chosen: List[str] = []
-    acc = 0.0
-    for var, err in ranking:
-        if acc + err <= threshold:
-            chosen.append(var)
-            acc += err
+    ranking, chosen, acc = greedy_select(
+        report.per_variable, threshold, candidates
+    )
     return TuningResult(
         config=PrecisionConfig.demote(chosen, to=demote_to),
         estimated_error=acc,
