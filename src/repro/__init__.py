@@ -44,6 +44,19 @@ from repro.sweep import (
 )
 from repro.tuning import greedy_tune, robust_tune
 
+# the Pareto precision-search subsystem: `repro.search` is the package
+# (so `repro.search.search(...)` and `python -m repro.search` work);
+# its front/result/registry types are re-exported at top level
+from repro import search  # noqa: E402  (subsystem module, kept last)
+from repro.search import (
+    ParetoFront,
+    SearchResult,
+    SearchScenario,
+    STRATEGIES,
+    get_strategy,
+    register_strategy,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -74,5 +87,12 @@ __all__ = [
     "sweep_error",
     "greedy_tune",
     "robust_tune",
+    "search",
+    "ParetoFront",
+    "SearchResult",
+    "SearchScenario",
+    "STRATEGIES",
+    "get_strategy",
+    "register_strategy",
     "__version__",
 ]

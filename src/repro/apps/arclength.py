@@ -61,6 +61,33 @@ def make_workload(size: int) -> Tuple[int, float]:
 #: kernel instrumented for error analysis / benchmarking
 INSTRUMENTED = arclength
 
+
+def search_scenario(size: int = 100, n_samples: int = 32, seed: int = 3):
+    """Pareto precision-search scenario on :func:`arclength`, sweeping
+    the step width ``h`` (i.e. the integration resolution)."""
+    from repro.search.scenario import SearchScenario
+    from repro.sweep.samplers import random_sweep
+
+    samples = random_sweep(
+        {"h": (math.pi / (4 * size), math.pi / size)},
+        n=n_samples,
+        seed=seed,
+    )
+    return SearchScenario(
+        name=NAME,
+        kernel=arclength,
+        points=[make_workload(size)],
+        threshold=DEFAULT_THRESHOLD,
+        candidates=TUNING_CANDIDATES,
+        samples=samples,
+        fixed={"n": size},
+        budget=32,
+        description=(
+            "Arc-length quadrature: Table I candidates with the step "
+            "width swept"
+        ),
+    )
+
 #: exact arc length for validation, computed by fine-grained reference
 def reference_value(n: int = 1_000_000) -> float:
     """High-resolution reference arc length (plain Python, f64)."""

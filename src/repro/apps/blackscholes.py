@@ -131,6 +131,49 @@ def point_args(workload: Tuple[object, ...], i: int) -> Tuple[object, ...]:
 
 INSTRUMENTED = bs_total
 
+#: demotion candidates for the precision search (source-level names;
+#: cndf locals match their inlined copies through the config rules)
+SEARCH_CANDIDATES = (
+    "login", "sqrtin", "expin", "expin2", "xlogterm", "xsqrtterm",
+    "xpowerterm", "xden", "xd1", "xd2", "futurevalue", "price",
+)
+
+
+def search_scenario(
+    n_points: int = 4, n_samples: int = 64, seed: int = 404
+):
+    """Pareto precision-search scenario on :func:`bs_price`.
+
+    Validation points come from the PARSEC-style random portfolio; the
+    robust-error sweep spans spot price and volatility (the two inputs
+    the option price is most sensitive to).
+    """
+    from repro.search.scenario import SearchScenario
+    from repro.sweep.samplers import random_sweep
+
+    workload = make_workload(max(n_points, 4), seed=seed)
+    points = [point_args(workload, i) for i in range(n_points)]
+    samples = random_sweep(
+        {"sptprice": (25.0, 150.0), "volatility": (0.05, 0.65)},
+        n=n_samples,
+        seed=seed,
+    )
+    threshold = 2e-6
+    return SearchScenario(
+        name=NAME,
+        kernel=bs_price,
+        points=points,
+        threshold=threshold,
+        candidates=SEARCH_CANDIDATES,
+        samples=samples,
+        fixed={"strike": 100.0, "rate": 0.05, "otime": 0.5, "otype": 0},
+        budget=48,
+        description=(
+            "European option pricing: search the demotion space of the "
+            f"pricing locals under a {threshold:g} error budget"
+        ),
+    )
+
 
 def closed_form_call(S: float, K: float, r: float, v: float, t: float) -> float:
     """Exact Black-Scholes call via the error function (test oracle)."""

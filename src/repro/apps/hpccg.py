@@ -263,6 +263,29 @@ def make_workload(
 INSTRUMENTED = hpccg_cg
 
 
+def search_scenario(nz: int = 2, max_iter: int = 6):
+    """Pareto precision-search scenario on the CG iteration.
+
+    Small domain and short iteration keep the pure-Python adjoint and
+    the per-candidate counting runs laptop-sized; the candidates are
+    the Fig. 9 vectors plus the CG scalars.
+    """
+    from repro.search.scenario import SearchScenario
+
+    return SearchScenario(
+        name=NAME,
+        kernel=hpccg_cg,
+        points=[make_workload(nz, max_iter=max_iter)],
+        threshold=DEFAULT_THRESHOLD,
+        candidates=TUNING_CANDIDATES,
+        budget=24,
+        description=(
+            "HPCCG conjugate gradient: Fig. 9 vectors and CG scalars "
+            "under the paper's 1e-10 threshold"
+        ),
+    )
+
+
 def reference_solve(nz: int) -> np.ndarray:
     """Dense numpy reference solution of the same system (tests)."""
     vals, inds, nnz, b = generate_matrix(NX, NY, nz)

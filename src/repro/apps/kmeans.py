@@ -97,6 +97,35 @@ def make_workload(
 INSTRUMENTED = kmeans_cost
 
 
+def search_scenario(size: int = 24, n_workloads: int = 2):
+    """Pareto precision-search scenario on :func:`kmeans_cost`.
+
+    k-Means has no scalar inputs worth sweeping (the data is the
+    input), so robustness comes from validating against several
+    generated workloads; the candidates are the paper's Table III
+    variables, where the cast-cost effect (demoting only ``attributes``
+    gives no speedup) makes the cost axis genuinely interesting.
+    """
+    from repro.search.scenario import SearchScenario
+
+    points = [
+        make_workload(size, seed=2023 + 7 * i)
+        for i in range(max(n_workloads, 1))
+    ]
+    return SearchScenario(
+        name=NAME,
+        kernel=kmeans_cost,
+        points=points,
+        threshold=DEFAULT_THRESHOLD,
+        candidates=TUNING_CANDIDATES,
+        budget=16,
+        description=(
+            "Rodinia k-Means assignment cost: Table III demotion "
+            "candidates under the paper's 1e-6 threshold"
+        ),
+    )
+
+
 def lloyd_iterations(
     attrs: np.ndarray, k: int, iters: int = 5, seed: int = 7
 ) -> np.ndarray:

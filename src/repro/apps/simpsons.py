@@ -49,3 +49,30 @@ INSTRUMENTED = simpson
 
 #: exact integral of x·sin(x) over [0, π]
 EXACT_VALUE = math.pi
+
+
+def search_scenario(size: int = 200, n_samples: int = 48, seed: int = 11):
+    """Pareto precision-search scenario on :func:`simpson`, sweeping
+    the integration domain as in the robust-tuning example."""
+    from repro.search.scenario import SearchScenario
+    from repro.sweep.samplers import random_sweep
+
+    samples = random_sweep(
+        {"lo": (0.0, 0.5), "hi": (math.pi / 2, math.pi)},
+        n=n_samples,
+        seed=seed,
+    )
+    return SearchScenario(
+        name=NAME,
+        kernel=simpson,
+        points=[make_workload(size)],
+        threshold=DEFAULT_THRESHOLD,
+        candidates=TUNING_CANDIDATES,
+        samples=samples,
+        fixed={"n": size},
+        budget=32,
+        description=(
+            "Simpson integration: Table I candidates, integration "
+            "domain swept for distribution robustness"
+        ),
+    )

@@ -270,6 +270,13 @@ def estimate_error(
 # and over.  The memo is content-addressed (IR fingerprint + model
 # fingerprint + options), so re-registered kernels with identical IR and
 # equal model configurations share one compiled estimator.
+#
+# Process sharing: compiled estimators hold code objects and cannot be
+# pickled, so the memo is shared with worker processes by *inheritance*
+# — a fork-started pool snapshots whatever the parent memoized
+# (copy-on-write), and each worker's memo then grows independently.
+# Parallel search drivers (repro.search.ParallelEvaluator) prewarm the
+# parent memo before forking for exactly this reason.
 
 _ESTIMATOR_MEMO: "OrderedDict[tuple, ErrorEstimator]" = OrderedDict()
 _ESTIMATOR_MEMO_MAX = 64
@@ -312,6 +319,19 @@ def cached_error_estimator(
     else:
         _ESTIMATOR_MEMO.move_to_end(key)
     return est
+
+
+def estimator_memo_stats() -> Dict[str, int]:
+    """Occupancy of the process-wide estimator memo.
+
+    Useful for sizing parallel search runs: entries memoized in the
+    parent before a fork-started worker pool spawns are inherited by
+    every worker for free; entries built afterwards are per-worker.
+    """
+    return {
+        "entries": len(_ESTIMATOR_MEMO),
+        "capacity": _ESTIMATOR_MEMO_MAX,
+    }
 
 
 def clear_estimator_memo() -> None:

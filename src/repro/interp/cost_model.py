@@ -223,6 +223,51 @@ def _stmt_cost(s: N.Stmt, trips, model, approx) -> float:
     return 0.0
 
 
+def static_config_cost(
+    fn: N.Function,
+    config,
+    trip_counts: Optional[Dict[str, float]] = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> float:
+    """Static cycle estimate of ``fn`` under a precision configuration.
+
+    Applies the configuration to a clone of the IR (dtype re-inference
+    places the promotion casts the cost model charges) and costs it
+    analytically — nothing is compiled or executed.
+
+    :param config: a :class:`repro.tuning.PrecisionConfig` (empty/falsy
+        configs cost the reference itself).
+    """
+    # local import: repro.tuning.validate imports this module at load
+    from repro.tuning.config import apply_precision
+
+    mixed = apply_precision(fn, config) if config else fn
+    return static_function_cost(mixed, trip_counts or {}, model, approx)
+
+
+def config_cycle_delta(
+    fn: N.Function,
+    config,
+    trip_counts: Optional[Dict[str, float]] = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> float:
+    """Per-config cycle delta versus the uniform-f64 reference.
+
+    ``static_config_cost(fn, config) - static_function_cost(fn)``,
+    computed without recompiling (or rerunning) the reference: demotion
+    savings are negative, cast-dominated configurations (the k-Means
+    "no speedup" effect) come out positive.  This is the cheap analytic
+    screen — the exact per-config numbers come from the counting run
+    the candidate evaluator performs.
+    """
+    trips = trip_counts or {}
+    return static_config_cost(
+        fn, config, trips, model, approx
+    ) - static_function_cost(fn, trips, model, approx)
+
+
 def _static_trip(s: N.For) -> float:
     if (
         isinstance(s.lo, N.Const)

@@ -1,0 +1,65 @@
+"""Cost-aware Pareto precision-search subsystem (beyond the paper).
+
+The paper's mixed-precision workflow is a single greedy demotion pass
+driven by error contributions alone; its Discussion concedes the result
+is input-dependent and says nothing about the error/performance
+trade-off.  This subsystem treats tuning as what it is — a
+multi-objective search over (error, modelled cycles):
+
+* :mod:`~repro.search.evaluate` — :class:`CandidateEvaluator` scores a
+  configuration by actually executing it (actual error + counted
+  cycles, via :mod:`repro.tuning.validate`) and, when an input
+  distribution is given, by a distribution-robust estimated error from
+  the batched sweep engine (content-addressed cache included);
+* :mod:`~repro.search.strategies` — the :class:`SearchStrategy`
+  interface and registry: the paper's greedy pass as a baseline
+  adapter, Precimonious-style delta debugging, simulated annealing with
+  random restarts (exhaustive enumeration as the small-kernel
+  fallback), and plain exhaustive search;
+* :mod:`~repro.search.parallel` — :class:`ParallelEvaluator` fans
+  candidate pools out over forked worker processes, bit-identical to
+  the serial path, with compiled-estimator construction memoized per
+  worker;
+* :mod:`~repro.search.pareto` — :class:`ParetoFront` with dominance
+  pruning and per-candidate provenance;
+* :mod:`~repro.search.api` — the :func:`search` driver and
+  :class:`SearchResult`;
+* :mod:`~repro.search.scenario` — per-app :class:`SearchScenario`
+  bundles backing the ``python -m repro.search --kernel <app>`` CLI.
+"""
+
+from repro.search.api import SearchResult, search
+from repro.search.evaluate import (
+    CandidateEvaluator,
+    EvaluatedCandidate,
+    config_key,
+)
+from repro.search.parallel import ParallelEvaluator
+from repro.search.pareto import ParetoFront, dominates
+from repro.search.scenario import SearchScenario
+from repro.search.strategies import (
+    DEFAULT_STRATEGIES,
+    STRATEGIES,
+    SearchProblem,
+    SearchStrategy,
+    get_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "CandidateEvaluator",
+    "DEFAULT_STRATEGIES",
+    "EvaluatedCandidate",
+    "ParallelEvaluator",
+    "ParetoFront",
+    "STRATEGIES",
+    "SearchProblem",
+    "SearchResult",
+    "SearchScenario",
+    "SearchStrategy",
+    "config_key",
+    "dominates",
+    "get_strategy",
+    "register_strategy",
+    "search",
+]

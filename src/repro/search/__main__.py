@@ -1,0 +1,121 @@
+"""Command-line precision search over a registered app kernel.
+
+Usage::
+
+    python -m repro.search --kernel blackscholes
+    python -m repro.search --kernel kmeans --budget 32 --workers 4
+    python -m repro.search --list
+
+Each benchmark app ships a :class:`~repro.search.scenario.SearchScenario`
+(kernel, validation points, input sweep, candidate set, threshold); the
+CLI runs the search and prints the Pareto front plus the comparison
+against the paper's greedy baseline.  ``--json`` dumps the full result
+for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.search.strategies import DEFAULT_STRATEGIES, STRATEGIES
+
+
+def _scenarios():
+    from repro.apps import ALL_APPS
+
+    return {
+        name: mod
+        for name, mod in ALL_APPS.items()
+        if hasattr(mod, "search_scenario")
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.search",
+        description="Cost-aware Pareto precision search over app kernels",
+    )
+    ap.add_argument(
+        "--kernel",
+        help="app scenario to search (see --list)",
+    )
+    ap.add_argument(
+        "--list", action="store_true", help="list available scenarios"
+    )
+    ap.add_argument(
+        "--budget", type=int, default=None,
+        help="max computed candidate evaluations (default: scenario)",
+    )
+    ap.add_argument(
+        "--workers", type=int, default=0,
+        help=">= 2 evaluates candidate pools in that many processes",
+    )
+    ap.add_argument(
+        "--strategies", default=",".join(DEFAULT_STRATEGIES),
+        help=f"comma-separated strategy names ({sorted(STRATEGIES)})",
+    )
+    ap.add_argument(
+        "--threshold", type=float, default=None,
+        help="error threshold override (default: scenario)",
+    )
+    ap.add_argument("--seed", type=int, default=0, help="strategy RNG seed")
+    ap.add_argument(
+        "--cache", default=None,
+        help="sweep result cache directory (content-addressed)",
+    )
+    ap.add_argument(
+        "--json", type=Path, default=None,
+        help="write the full result as JSON to this path",
+    )
+    args = ap.parse_args(argv)
+
+    scenarios = _scenarios()
+    if args.list or not args.kernel:
+        print("available scenarios:")
+        for name, mod in sorted(scenarios.items()):
+            scen = mod.search_scenario()
+            print(
+                f"  {name:14s} kernel={scen.kernel.ir.name:14s} "
+                f"threshold={scen.threshold:g} "
+                f"candidates={len(scen.candidates)}"
+            )
+        return 0 if args.list else 2
+    if args.kernel not in scenarios:
+        print(
+            f"unknown kernel {args.kernel!r} "
+            f"(available: {sorted(scenarios)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    scen = scenarios[args.kernel].search_scenario()
+    overrides = {
+        "strategies": tuple(
+            s for s in args.strategies.split(",") if s
+        ),
+        "workers": args.workers,
+        "seed": args.seed,
+        "cache": args.cache,
+    }
+    if args.budget is not None:
+        overrides["budget"] = args.budget
+    if args.threshold is not None:
+        overrides["threshold"] = args.threshold
+    result = scen.run(**overrides)
+
+    print(result.summary())
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    ok = len(result.front) > 0 and result.front.is_consistent()
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

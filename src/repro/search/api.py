@@ -1,0 +1,301 @@
+"""The ``repro.search.search`` entry point and its result type.
+
+One call runs the whole multi-objective precision search::
+
+    from repro import search as psearch
+    from repro.apps import blackscholes as bs
+
+    result = psearch.search(
+        bs.bs_price,
+        points=[bs.point_args(bs.make_workload(16), i) for i in range(4)],
+        threshold=1e-6,
+        samples={"sptprice": spt, "volatility": vol},
+        fixed={"strike": 100.0, "rate": 0.05, "otime": 0.5, "otype": 0},
+        budget=48,
+        workers=4,
+    )
+    print(result.front)          # the (error, cycles) Pareto front
+    result.best_under(1e-6)      # cheapest config within threshold
+
+The driver wires the pieces together: per-candidate contributions are
+estimated once with the ADAPT demotion model (aggregated over the input
+sweep when one is given, exactly like ``robust_tune``), the chosen
+strategies run in sequence over a shared budget and a shared
+(optionally process-parallel) evaluator, and the Pareto front is
+assembled from the full evaluation history.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.api import KernelLike, cached_error_estimator
+from repro.core.models import AdaptModel
+from repro.frontend.registry import Kernel
+from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.ir import nodes as N
+from repro.ir.types import DType
+from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
+from repro.search.parallel import ParallelEvaluator
+from repro.search.pareto import ParetoFront
+from repro.search.strategies import (
+    DEFAULT_STRATEGIES,
+    SearchProblem,
+    get_strategy,
+)
+from repro.sweep.aggregate import AggregatorSpec, resolve_aggregator
+from repro.sweep.cache import SweepCache
+from repro.sweep.engine import CacheLike, sweep_error
+from repro.tuning.config import matches_inlined
+
+#: inlining suffixes appended to callee locals (possibly stacked)
+_INLINE_SUFFIX = re.compile(r"(?:_in\d+)+$")
+
+
+def _as_ir(k: KernelLike) -> N.Function:
+    return k.ir if isinstance(k, Kernel) else k
+
+
+@dataclass
+class SearchResult:
+    """Everything a precision search produced."""
+
+    kernel: str
+    front: ParetoFront
+    #: every computed candidate, in deterministic evaluation order
+    evaluations: List[EvaluatedCandidate]
+    #: the paper-style greedy choice (when the greedy strategy ran)
+    baseline: Optional[EvaluatedCandidate]
+    threshold: float
+    budget: int
+    strategies: Tuple[str, ...]
+    candidates: Tuple[str, ...]
+    #: estimated demotion contributions the strategies ranked by
+    contributions: Dict[str, float]
+    #: whether worker processes actually evaluated candidate pools
+    parallel: bool = False
+
+    @property
+    def n_evaluated(self) -> int:
+        return len(self.evaluations)
+
+    def best_under(
+        self, threshold: Optional[float] = None
+    ) -> Optional[EvaluatedCandidate]:
+        """Cheapest front point within the (default: search) threshold."""
+        return self.front.best_under(
+            self.threshold if threshold is None else threshold
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        best = self.best_under()
+        return {
+            "kernel": self.kernel,
+            "threshold": self.threshold,
+            "budget": self.budget,
+            "strategies": list(self.strategies),
+            "candidates": list(self.candidates),
+            "n_evaluated": self.n_evaluated,
+            "parallel": self.parallel,
+            "front": self.front.to_dicts(),
+            "baseline": self.baseline.to_dict() if self.baseline else None,
+            "best_under_threshold": best.to_dict() if best else None,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"search({self.kernel}): {self.n_evaluated} configs "
+            f"evaluated, front size {len(self.front)}, "
+            f"threshold {self.threshold:g}"
+        ]
+        lines.append(str(self.front))
+        if self.baseline is not None:
+            lines.append(
+                f"greedy baseline: error={self.baseline.error:.4g} "
+                f"cycles={self.baseline.cycles:.1f} "
+                f"{self.baseline.config.describe()}"
+            )
+            best = self.best_under()
+            if best is not None:
+                lines.append(
+                    f"best under threshold: error={best.error:.4g} "
+                    f"cycles={best.cycles:.1f} [{best.strategy}] "
+                    f"{best.config.describe()}"
+                )
+        return "\n".join(lines)
+
+
+def _resolve_cache(cache: CacheLike) -> Optional[SweepCache]:
+    if cache is None or isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(directory=cache)
+
+
+def _register_contributions(
+    fn: N.Function,
+    points: Sequence[Sequence[object]],
+    samples: Optional[Mapping[str, Sequence[float]]],
+    fixed: Optional[Mapping[str, object]],
+    demote_to: DType,
+    aggregate: AggregatorSpec,
+    cache: Optional[SweepCache],
+) -> Dict[str, float]:
+    """Per-register estimated demotion contributions (ADAPT model),
+    aggregated across the input sweep when one is given."""
+    model = AdaptModel(demote_to)
+    if samples is not None:
+        batch = sweep_error(
+            fn, samples=samples, fixed=fixed, model=model, cache=cache
+        )
+        _, agg = resolve_aggregator(aggregate)
+        return {
+            v: float(agg(np.asarray(a)))
+            for v, a in batch.per_variable.items()
+        }
+    est = cached_error_estimator(fn, model=model)
+    report = est.execute(*points[0])
+    return dict(report.per_variable)
+
+
+def _derive_candidates(registers: Mapping[str, float]) -> Tuple[str, ...]:
+    """Source-level candidate names from error-register names.
+
+    Inlined callee locals (``expin_in1``) fold back onto their source
+    name (``expin``); analysis artifacts (``_ret``, compiler temps)
+    are excluded."""
+    names: Set[str] = set()
+    for reg in registers:
+        if reg.startswith("_"):
+            continue
+        names.add(_INLINE_SUFFIX.sub("", reg))
+    return tuple(sorted(names))
+
+
+def search(
+    k: KernelLike,
+    points: Sequence[Sequence[object]],
+    threshold: float,
+    candidates: Optional[Sequence[str]] = None,
+    samples: Optional[Mapping[str, Sequence[float]]] = None,
+    fixed: Optional[Mapping[str, object]] = None,
+    demote_to: DType = DType.F32,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    budget: int = 64,
+    workers: int = 0,
+    cache: CacheLike = None,
+    aggregate: AggregatorSpec = "max",
+    estimate_model=None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+    seed: int = 0,
+    error_metric: str = "worst",
+) -> SearchResult:
+    """Multi-objective precision search over (error, modelled cycles).
+
+    :param k: kernel (or IR function) to search.
+    :param points: validation input tuples; each candidate is executed
+        at every point (actual error, counted cycles).
+    :param threshold: error budget the feasibility-driven strategies
+        (greedy baseline, delta debugging, annealing) aim for; the
+        front itself spans all trade-offs regardless.
+    :param candidates: demotion candidates (default: every source-level
+        variable with an error register).
+    :param samples: optional swept inputs — adds a distribution-robust
+        estimated-error term to every candidate's score and aggregates
+        the contribution ranking across the distribution.
+    :param fixed: lane-uniform values for unswept parameters.
+    :param demote_to: target precision (binary32 by default).
+    :param strategies: registered strategy names, run in order over the
+        shared budget (default ``("greedy", "delta", "anneal")``).
+    :param budget: maximum number of *computed* candidate evaluations
+        (memoized re-proposals are free).
+    :param workers: ``>= 2`` fans candidate pools out over that many
+        forked worker processes; results are bit-identical to serial.
+    :param cache: optional sweep result cache (shared by the
+        contribution sweep and every candidate sweep).
+    :param aggregate: sweep aggregation (default worst-case ``"max"``).
+    :param seed: RNG seed for the stochastic strategies.
+    :param error_metric: how actual and estimated errors combine into
+        the Pareto error axis (``"worst"``, ``"actual"``,
+        ``"estimate"``).
+    """
+    fn = _as_ir(k)
+    if points and not isinstance(points[0], (tuple, list)):
+        raise TypeError(
+            "points must be a sequence of argument tuples, e.g. "
+            "[(n, h), ...] — got a flat sequence"
+        )
+    store = _resolve_cache(cache)
+    ev_cls = ParallelEvaluator if workers and workers >= 2 else CandidateEvaluator
+    ev_kwargs = dict(
+        samples=samples,
+        fixed=fixed,
+        estimate_model=estimate_model,
+        cost_model=cost_model,
+        approx=approx,
+        aggregate=aggregate,
+        cache=store,
+        error_metric=error_metric,
+    )
+    if ev_cls is ParallelEvaluator:
+        ev_kwargs["workers"] = int(workers)
+    evaluator = ev_cls(fn, points, **ev_kwargs)
+    try:
+        evaluator.prepare()
+        registers = _register_contributions(
+            fn, evaluator.points, samples, fixed, demote_to, aggregate,
+            store,
+        )
+        if candidates is None:
+            cand = _derive_candidates(registers)
+        else:
+            cand = tuple(candidates)
+        contributions = {
+            c: sum(
+                e for r, e in registers.items() if matches_inlined(r, c)
+            )
+            for c in cand
+        }
+        problem = SearchProblem(
+            evaluator=evaluator,
+            candidates=cand,
+            threshold=float(threshold),
+            contributions=contributions,
+            demote_to=demote_to,
+            budget=int(budget),
+            seed=int(seed),
+        )
+        names = tuple(strategies)
+        for name in names:
+            if problem.exhausted:
+                break
+            get_strategy(name).run(problem)
+        front = ParetoFront(evaluator.history)
+        parallel = bool(getattr(evaluator, "parallel", False))
+    finally:
+        evaluator.close()
+    return SearchResult(
+        kernel=fn.name,
+        front=front,
+        evaluations=list(evaluator.history),
+        baseline=problem.baseline,
+        threshold=float(threshold),
+        budget=int(budget),
+        strategies=names,
+        candidates=cand,
+        contributions=contributions,
+        parallel=parallel,
+    )

@@ -1,0 +1,316 @@
+"""Candidate evaluation: score one :class:`PrecisionConfig` on both axes.
+
+A candidate's fitness is two numbers:
+
+* **error** — how much the demoted program deviates from the uniform-f64
+  reference.  Measured two ways and combined conservatively: the
+  *actual* error of executing the demoted program at the validation
+  points (:mod:`repro.tuning.validate`), and — when an input
+  distribution is supplied — the *estimated* worst-case error of the
+  demoted program over the whole sweep (the PR-1 batch engine with the
+  Taylor model, served through the content-addressed result cache so
+  re-proposed configurations are free).
+* **cycles** — modelled execution cost of the demoted program, from the
+  cycle-counting code variant summed over the validation points.
+
+:class:`CandidateEvaluator` owns the reference measurements (run once),
+a result memo keyed by configuration content (strategies re-propose the
+same subsets constantly), and the evaluation history in deterministic
+order — the substrate the Pareto front is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.api import KernelLike
+from repro.frontend.registry import Kernel
+from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.ir import nodes as N
+from repro.ir.types import DType
+from repro.sweep.aggregate import AggregatorSpec, resolve_aggregator
+from repro.sweep.engine import CacheLike, sweep_error
+from repro.tuning.config import PrecisionConfig, apply_precision
+from repro.tuning.validate import (
+    ReferencePoint,
+    counting_runner,
+    modelled_speedup,
+)
+
+#: how the actual and estimated errors combine into the Pareto error axis
+ErrorMetric = str  # "worst" | "actual" | "estimate"
+
+
+@dataclass
+class EvaluatedCandidate:
+    """One scored precision configuration, with provenance."""
+
+    #: canonical content key (sorted ``name:dtype`` pairs)
+    key: str
+    config: PrecisionConfig
+    #: worst actual |reference - mixed| over the validation points
+    actual_error: float
+    #: per-validation-point actual errors
+    point_errors: Tuple[float, ...]
+    #: aggregated estimated error over the input sweep (None: no sweep)
+    estimated_error: Optional[float]
+    #: Pareto error objective (see ``error_metric``)
+    error: float
+    #: modelled mixed cycles summed over the validation points
+    cycles: float
+    #: modelled reference cycles summed over the validation points
+    cycles_reference: float
+    #: strategy that first proposed this configuration
+    strategy: str = ""
+    #: global evaluation index (deterministic discovery order)
+    index: int = -1
+
+    @property
+    def speedup(self) -> float:
+        """Modelled speedup versus the uniform-f64 reference (shares
+        the zero-cost/degenerate policy of
+        :func:`repro.tuning.validate.modelled_speedup`)."""
+        return modelled_speedup(
+            self.cycles_reference,
+            self.cycles,
+            what=f"configuration {self.config.describe()}",
+        )
+
+    @property
+    def speedup_or_none(self) -> Optional[float]:
+        """:attr:`speedup`, or ``None`` for a degenerate candidate —
+        the non-raising form used by display and serialization."""
+        if self.cycles == 0.0 and self.cycles_reference > 0.0:
+            return None
+        return self.speedup
+
+    @property
+    def demoted(self) -> List[str]:
+        return self.config.demoted_names
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "demoted": self.demoted,
+            "config": self.config.describe(),
+            "error": self.error,
+            "actual_error": self.actual_error,
+            "estimated_error": self.estimated_error,
+            "cycles": self.cycles,
+            "cycles_reference": self.cycles_reference,
+            # degenerate configs serialize as null rather than raising
+            "speedup": self.speedup_or_none,
+            "strategy": self.strategy,
+            "index": self.index,
+        }
+
+
+def config_key(config: PrecisionConfig) -> str:
+    """Canonical content key of a configuration."""
+    return ",".join(
+        f"{n}:{dt.value}" for n, dt in sorted(config.demotions.items())
+    )
+
+
+class CandidateEvaluator:
+    """Scores precision configurations against one search scenario.
+
+    :param k: kernel under search.
+    :param points: validation input tuples — the demoted program is
+        executed (with cycle counting) at each; the actual-error axis is
+        the worst deviation, the cycle axis the summed cost.
+    :param samples: optional swept inputs ``{param: length-N array}``;
+        when given, each candidate also gets a distribution-robust
+        estimated error from the batch sweep engine.
+    :param fixed: lane-uniform values for unswept parameters.
+    :param aggregate: how per-sample estimates reduce (default worst
+        case, matching ``robust_tune``).
+    :param cache: optional :class:`repro.sweep.SweepCache` (or directory)
+        for the per-candidate sweeps — configurations re-proposed across
+        strategies, runs, or processes become cache hits.
+    :param error_metric: ``"worst"`` (default; max of actual and
+        estimated), ``"actual"``, or ``"estimate"``.
+    """
+
+    def __init__(
+        self,
+        k: KernelLike,
+        points: Sequence[Sequence[object]],
+        samples: Optional[Mapping[str, Sequence[float]]] = None,
+        fixed: Optional[Mapping[str, object]] = None,
+        estimate_model=None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        approx: Optional[Set[str]] = None,
+        aggregate: AggregatorSpec = "max",
+        cache: CacheLike = None,
+        error_metric: ErrorMetric = "worst",
+    ) -> None:
+        if not points:
+            raise ValueError("at least one validation point is required")
+        if error_metric not in ("worst", "actual", "estimate"):
+            raise ValueError(f"unknown error metric {error_metric!r}")
+        if error_metric == "estimate" and samples is None:
+            raise ValueError(
+                "error_metric='estimate' requires an input sweep"
+            )
+        self.fn: N.Function = k.ir if isinstance(k, Kernel) else k
+        self.points = [tuple(p) for p in points]
+        self.samples = dict(samples) if samples is not None else None
+        self.fixed = dict(fixed) if fixed else {}
+        self.cost_model = cost_model
+        self.approx = approx
+        self.error_metric = error_metric
+        self.cache = cache
+        self._agg_name, self._agg = resolve_aggregator(aggregate)
+        if estimate_model is None:
+            from repro.core.models import TaylorModel
+
+            estimate_model = TaylorModel()
+        self.estimate_model = estimate_model
+
+        self._references: Optional[List[ReferencePoint]] = None
+        #: content key -> evaluated candidate (dedup across strategies)
+        self.memo: Dict[str, EvaluatedCandidate] = {}
+        #: computed candidates in deterministic evaluation order
+        self.history: List[EvaluatedCandidate] = []
+        self.n_computed = 0
+        self.n_memo_hits = 0
+
+    # -- preparation --------------------------------------------------------
+    def prepare(self) -> None:
+        """Measure the reference points (and prewarm the reference
+        sweep) once.  Idempotent; called implicitly by evaluation and
+        explicitly by :class:`ParallelEvaluator` before forking so
+        workers inherit the compiled artifacts."""
+        if self._references is not None:
+            return
+        # one compiled counting variant serves every validation point
+        run = counting_runner(self.fn, self.cost_model, self.approx)
+        self._references = [
+            ReferencePoint(*run(args)) for args in self.points
+        ]
+        if self.samples is not None:
+            # prewarm: reference estimate (also populates the estimator
+            # memo with the reference adjoint pre-fork)
+            sweep_error(
+                self.fn,
+                samples=self.samples,
+                fixed=self.fixed,
+                model=self.estimate_model,
+                cache=self.cache,
+            )
+
+    @property
+    def references(self) -> List[ReferencePoint]:
+        self.prepare()
+        assert self._references is not None
+        return self._references
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(
+        self, config: PrecisionConfig, strategy: str = ""
+    ) -> EvaluatedCandidate:
+        """Score one configuration (memoized by content)."""
+        return self.evaluate_many([config], strategy)[0]
+
+    def evaluate_many(
+        self, configs: Sequence[PrecisionConfig], strategy: str = ""
+    ) -> List[EvaluatedCandidate]:
+        """Score a pool of configurations, preserving order.
+
+        Configurations already scored (this run) are served from the
+        memo; the rest go through :meth:`_compute_many` — the hook the
+        parallel evaluator overrides to fan the pool out over worker
+        processes.  Results merge deterministically: indices are
+        assigned in submission order regardless of which worker finished
+        first.
+        """
+        self.prepare()
+        keys = [config_key(c) for c in configs]
+        fresh: "Dict[str, PrecisionConfig]" = {}
+        for c, key in zip(configs, keys):
+            if key in self.memo:
+                self.n_memo_hits += 1
+            elif key not in fresh:
+                fresh[key] = c
+        if fresh:
+            computed = self._compute_many(list(fresh.values()))
+            for key, cand in zip(fresh, computed):
+                cand.index = len(self.history)
+                cand.strategy = strategy
+                self.memo[key] = cand
+                self.history.append(cand)
+                self.n_computed += 1
+        return [self.memo[key] for key in keys]
+
+    # -- computation --------------------------------------------------------
+    def _compute_many(
+        self, configs: Sequence[PrecisionConfig]
+    ) -> List[EvaluatedCandidate]:
+        """Serial pool computation (overridden by ParallelEvaluator)."""
+        return [self._compute(c) for c in configs]
+
+    def _compute(self, config: PrecisionConfig) -> EvaluatedCandidate:
+        """Score one configuration from scratch (pure: no memo access,
+        no index assignment — safe to run in a worker process)."""
+        refs = self.references
+        if config:
+            mixed_fn = apply_precision(self.fn, config)
+            run = counting_runner(mixed_fn, self.cost_model, self.approx)
+            errors: List[float] = []
+            cycles = 0.0
+            for ref, args in zip(refs, self.points):
+                value, cost = run(args)
+                errors.append(abs(ref.value - value))
+                cycles += cost
+        else:
+            mixed_fn = self.fn
+            errors = [0.0 for _ in refs]
+            cycles = sum(r.cost for r in refs)
+        cycles_ref = sum(r.cost for r in refs)
+
+        estimated: Optional[float] = None
+        if self.samples is not None:
+            batch = sweep_error(
+                mixed_fn,
+                samples=self.samples,
+                fixed=self.fixed,
+                model=self.estimate_model,
+                cache=self.cache,
+            )
+            estimated = float(
+                self._agg(np.asarray(batch.total_error, dtype=np.float64))
+            )
+
+        actual = max(errors)
+        if self.error_metric == "actual" or estimated is None:
+            objective = actual
+        elif self.error_metric == "estimate":
+            objective = estimated
+        else:  # "worst"
+            objective = max(actual, estimated)
+        return EvaluatedCandidate(
+            key=config_key(config),
+            config=config,
+            actual_error=actual,
+            point_errors=tuple(errors),
+            estimated_error=estimated,
+            error=objective,
+            cycles=cycles,
+            cycles_reference=cycles_ref,
+        )
+
+    def close(self) -> None:
+        """Release resources (no-op for the serial evaluator)."""
+        return None

@@ -1,0 +1,112 @@
+"""Parallel candidate evaluation over a fork-started worker pool.
+
+Scoring a candidate is compile-and-run heavy (apply the precision
+config, compile the counting variant, run the validation points, sweep
+the input distribution), and strategies propose candidates in pools —
+greedy ladders, delta-debugging partitions, exhaustive enumerations.
+:class:`ParallelEvaluator` fans those pools out over a
+``multiprocessing`` pool while keeping results **bit-identical** to the
+serial path:
+
+* workers are *forked* after :meth:`CandidateEvaluator.prepare`, so the
+  parent's measured references and memoized compiled estimators
+  (:mod:`repro.core.api`) are inherited copy-on-write — the
+  per-process estimator memo then grows independently in each worker,
+  i.e. compiled-adjoint construction is memoized per worker;
+* each worker computes with exactly the same generated code and inputs
+  as the serial evaluator would, so every float matches bit for bit;
+* results merge deterministically in submission order (``pool.map``
+  preserves order; evaluation indices are assigned by the parent).
+
+On platforms without the ``fork`` start method (or with ``workers <=
+1``) the evaluator degrades to the serial path transparently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence
+
+from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
+from repro.tuning.config import PrecisionConfig
+
+#: the evaluator the forked workers compute with (inherited at fork
+#: time; compiled artifacts cannot be pickled, so initargs won't do)
+_FORK_EVALUATOR: Optional[CandidateEvaluator] = None
+
+
+def _worker_compute(config: PrecisionConfig) -> EvaluatedCandidate:
+    assert _FORK_EVALUATOR is not None, "worker forked without evaluator"
+    return _FORK_EVALUATOR._compute(config)
+
+
+class ParallelEvaluator(CandidateEvaluator):
+    """A :class:`CandidateEvaluator` whose pool computations fan out
+    over ``workers`` forked processes.
+
+    Accepts the same constructor arguments plus ``workers``.  Use as a
+    context manager (or call :meth:`close`) to reap the pool.
+    """
+
+    def __init__(self, *args, workers: int = 2, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.workers = max(int(workers), 0)
+        self._pool = None
+        self._pool_failed = False
+
+    # -- pool lifecycle -----------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Whether worker processes are actually in use."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        global _FORK_EVALUATOR
+        if self._pool is not None or self._pool_failed or self.workers < 2:
+            return self._pool
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            self._pool_failed = True  # no fork (e.g. Windows): serial
+            return None
+        # prepare() BEFORE forking: references and the reference
+        # estimator compile once in the parent and are inherited by
+        # every worker
+        self.prepare()
+        _FORK_EVALUATOR = self
+        try:
+            self._pool = ctx.Pool(processes=self.workers)
+        except OSError:
+            self._pool = None
+            self._pool_failed = True
+        finally:
+            _FORK_EVALUATOR = None
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- computation --------------------------------------------------------
+    def _compute_many(
+        self, configs: Sequence[PrecisionConfig]
+    ) -> List[EvaluatedCandidate]:
+        pool = self._ensure_pool() if len(configs) > 1 else None
+        if pool is None:
+            return super()._compute_many(configs)
+        return pool.map(_worker_compute, list(configs), chunksize=1)

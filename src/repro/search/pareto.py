@@ -1,0 +1,125 @@
+"""Pareto front over (error, modelled cycles) with dominance pruning.
+
+A precision search is a bi-objective optimization: lower error and
+fewer modelled cycles both matter, and no single configuration wins
+both in general.  The :class:`ParetoFront` keeps the non-dominated set
+of :class:`~repro.search.evaluate.EvaluatedCandidate` results, pruning
+dominated points as better ones arrive and preserving per-candidate
+provenance (which strategy proposed it, at which evaluation index).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.search.evaluate import EvaluatedCandidate
+
+
+def dominates(a: "EvaluatedCandidate", b: "EvaluatedCandidate") -> bool:
+    """True if ``a`` is no worse than ``b`` on both objectives and
+    strictly better on at least one.
+
+    NaN objectives (a numerically broken configuration — e.g. an
+    overflowing demotion producing inf-inf) participate in no dominance
+    relation: NaN comparisons are all false, which would otherwise let
+    a broken-but-cheap candidate "dominate" on cycles alone.
+    """
+    if math.isnan(a.error) or math.isnan(b.error):
+        return False
+    if a.error > b.error or a.cycles > b.cycles:
+        return False
+    return a.error < b.error or a.cycles < b.cycles
+
+
+class ParetoFront:
+    """The non-dominated set of evaluated precision configurations.
+
+    Insertion is deterministic: a candidate is rejected if any current
+    member dominates it or ties it exactly on both objectives (first
+    arrival wins ties); otherwise it joins and every member it
+    dominates is pruned.
+    """
+
+    def __init__(
+        self, points: Optional[Iterable["EvaluatedCandidate"]] = None
+    ) -> None:
+        self._points: List["EvaluatedCandidate"] = []
+        for p in points or ():
+            self.add(p)
+
+    def add(self, cand: "EvaluatedCandidate") -> bool:
+        """Offer a candidate; returns True if it joined the front."""
+        if math.isnan(cand.error) or math.isnan(cand.cycles):
+            return False  # broken config: no place on a Pareto front
+        for p in self._points:
+            if dominates(p, cand):
+                return False
+            if p.error == cand.error and p.cycles == cand.cycles:
+                return False  # exact objective tie: first arrival wins
+        self._points = [
+            p for p in self._points if not dominates(cand, p)
+        ]
+        self._points.append(cand)
+        return True
+
+    @property
+    def points(self) -> List["EvaluatedCandidate"]:
+        """Members sorted by modelled cycles (ascending), then error."""
+        return sorted(
+            self._points, key=lambda p: (p.cycles, p.error, p.key)
+        )
+
+    def best_under(
+        self, threshold: float
+    ) -> Optional["EvaluatedCandidate"]:
+        """Cheapest member whose error stays within ``threshold``."""
+        ok = [p for p in self._points if p.error <= threshold]
+        if not ok:
+            return None
+        return min(ok, key=lambda p: (p.cycles, p.error, p.key))
+
+    def is_consistent(self) -> bool:
+        """No member dominates another (the front invariant)."""
+        pts = self._points
+        return not any(
+            dominates(a, b)
+            for i, a in enumerate(pts)
+            for j, b in enumerate(pts)
+            if i != j
+        )
+
+    def covers(self, cand: "EvaluatedCandidate") -> bool:
+        """True if some member dominates or matches ``cand`` — i.e. the
+        front is at least as good as this candidate."""
+        if math.isnan(cand.error):
+            # a numerically broken candidate is beaten by any valid point
+            return len(self._points) > 0
+        return any(
+            dominates(p, cand)
+            or (p.error <= cand.error and p.cycles <= cand.cycles)
+            for p in self._points
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator["EvaluatedCandidate"]:
+        return iter(self.points)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """JSON-able summary of the front (sorted by cycles)."""
+        return [p.to_dict() for p in self.points]
+
+    def __str__(self) -> str:
+        lines = [f"ParetoFront({len(self._points)} points)"]
+        for p in self.points:
+            sp = p.speedup_or_none
+            speedup = "   n/a" if sp is None else f"{sp:6.3f}x"
+            lines.append(
+                f"  cycles={p.cycles:12.1f}  error={p.error:.4g}  "
+                f"speedup={speedup}  [{p.strategy}#{p.index}] "
+                f"{p.config.describe()}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Search scenarios: the per-app bundle of everything a search needs.
+
+Each benchmark app (:mod:`repro.apps`) exposes a ``search_scenario()``
+returning one of these — kernel, validation points, input sweep, the
+candidate demotion set, and the error threshold — so the CLI
+(``python -m repro.search --kernel <app>``), the benchmarks, and the
+tests all drive the same definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.core.api import KernelLike
+
+
+@dataclass
+class SearchScenario:
+    """A ready-to-run precision-search problem."""
+
+    name: str
+    kernel: KernelLike
+    #: validation input tuples (actual error / cycle measurement)
+    points: Sequence[Sequence[object]]
+    threshold: float
+    candidates: Tuple[str, ...]
+    #: optional swept inputs for the distribution-robust error estimate
+    samples: Optional[Mapping[str, Sequence[float]]] = None
+    fixed: Optional[Mapping[str, object]] = field(default=None)
+    #: default evaluation budget for CLI/benchmark runs
+    budget: int = 48
+    description: str = ""
+
+    def run(self, **overrides):
+        """Run :func:`repro.search.search` on this scenario.
+
+        Keyword overrides are passed through (``budget=``, ``workers=``,
+        ``strategies=``, ``threshold=``, ...).
+        """
+        from repro.search.api import search
+
+        kwargs = {
+            "candidates": self.candidates,
+            "samples": self.samples,
+            "fixed": self.fixed,
+            "budget": self.budget,
+        }
+        threshold = overrides.pop("threshold", self.threshold)
+        kwargs.update(overrides)
+        return search(self.kernel, self.points, threshold, **kwargs)

@@ -17,7 +17,11 @@ re-run.  The cache keys a :class:`~repro.sweep.batch.BatchReport` by
 
 Entries live in an in-process LRU and, optionally, in a directory of
 pickle files so results survive across processes (set ``directory=`` or
-the ``REPRO_SWEEP_CACHE`` environment variable).
+the ``REPRO_SWEEP_CACHE`` environment variable).  The disk tier is
+LRU-bounded (``max_disk_bytes`` / ``max_disk_entries``, or the
+``REPRO_SWEEP_CACHE_BYTES`` environment variable) so long search runs
+cannot grow it without bound; :meth:`SweepCache.cache_stats` reports
+hit/miss/eviction counters and current occupancy.
 """
 
 from __future__ import annotations
@@ -98,21 +102,102 @@ class SweepCache:
         self,
         directory: Optional[Union[str, Path]] = None,
         memory_entries: int = 128,
+        max_disk_bytes: Optional[int] = None,
+        max_disk_entries: Optional[int] = None,
     ) -> None:
         if directory is None:
             directory = os.environ.get("REPRO_SWEEP_CACHE") or None
         self.directory = Path(directory) if directory else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        if max_disk_bytes is None:
+            env = os.environ.get("REPRO_SWEEP_CACHE_BYTES")
+            max_disk_bytes = int(env) if env else None
         self.memory_entries = memory_entries
+        self.max_disk_bytes = max_disk_bytes
+        self.max_disk_entries = max_disk_entries
         self._mem: "OrderedDict[str, BatchReport]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: running (bytes, entries) estimate of the disk tier; None
+        #: until the first authoritative scan.  Kept incrementally so
+        #: puts under the caps never rescan the directory; overwrites
+        #: overcount conservatively (the next eviction scan corrects)
+        self._disk_usage = None
+        # reconcile immediately: opening a capped cache over an
+        # already-oversized directory trims it to the caps
+        self._evict_disk()
 
     # -- internals ----------------------------------------------------------
     def _path(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / f"{key}.pkl"
+
+    def _disk_entries(self):
+        """Disk entries oldest-access first: ``[(path, mtime, size)]``."""
+        if self.directory is None:
+            return []
+        entries = []
+        for p in self.directory.glob("*.pkl"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            entries.append((p, st.st_mtime, st.st_size))
+        # mtime tracks last access (refreshed on hit); path breaks ties
+        # deterministically
+        entries.sort(key=lambda e: (e[1], str(e[0])))
+        return entries
+
+    def _over_caps(self, total: int, count: int) -> bool:
+        return (
+            self.max_disk_bytes is not None and total > self.max_disk_bytes
+        ) or (
+            self.max_disk_entries is not None
+            and count > self.max_disk_entries
+        )
+
+    def _evict_disk(self) -> None:
+        """Enforce the disk caps by dropping least-recently-used files.
+
+        Authoritative: rescans the directory and refreshes the running
+        usage estimate."""
+        if self.directory is None or (
+            self.max_disk_bytes is None and self.max_disk_entries is None
+        ):
+            return
+        entries = self._disk_entries()
+        total = sum(size for _, _, size in entries)
+        count = len(entries)
+        for path, _, size in entries:
+            if not self._over_caps(total, count):
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            count -= 1
+            self.evictions += 1
+        self._disk_usage = (total, count)
+
+    def _note_disk_put(self, path: Path) -> None:
+        """Account one written file; evict only when the running
+        estimate crosses the caps (no per-put directory scan)."""
+        if self.max_disk_bytes is None and self.max_disk_entries is None:
+            return
+        if self._disk_usage is None:
+            self._evict_disk()
+            return
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        total, count = self._disk_usage
+        self._disk_usage = (total + size, count + 1)
+        if self._over_caps(*self._disk_usage):
+            self._evict_disk()
 
     def _remember(self, key: str, report: BatchReport) -> None:
         self._mem[key] = report
@@ -127,6 +212,21 @@ class SweepCache:
             self.misses += 1
             return None
         rep = self._mem.get(key)
+        if (
+            rep is not None
+            and self.directory is not None
+            and (
+                self.max_disk_bytes is not None
+                or self.max_disk_entries is not None
+            )
+        ):
+            # a memory-tier hit is still a *use*: refresh the disk
+            # twin's mtime so LRU eviction doesn't drop hot entries it
+            # never sees being read (only relevant under the caps)
+            try:
+                os.utime(self._path(key), None)
+            except OSError:
+                pass
         if rep is None and self.directory is not None:
             path = self._path(key)
             if path.exists():
@@ -137,6 +237,12 @@ class SweepCache:
                     rep = None  # corrupt entry: treat as miss
                 if rep is not None:
                     self._remember(key, rep)
+                    try:
+                        # refresh recency so LRU eviction spares hot
+                        # entries
+                        os.utime(path, None)
+                    except OSError:
+                        pass
         if rep is None:
             self.misses += 1
             return None
@@ -169,6 +275,8 @@ class SweepCache:
                     os.unlink(tmp)
                 except OSError:
                     pass
+            else:
+                self._note_disk_put(path)
 
     def clear(self) -> None:
         """Drop memory entries (disk entries are left in place)."""
@@ -177,6 +285,23 @@ class SweepCache:
     def __len__(self) -> int:
         return len(self._mem)
 
+    def cache_stats(self) -> dict:
+        """Counters and occupancy of both tiers, as a plain dict."""
+        entries = self._disk_entries()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "memory_entries": len(self._mem),
+            "disk_entries": len(entries),
+            "disk_bytes": sum(size for _, _, size in entries),
+            "max_disk_bytes": self.max_disk_bytes,
+            "max_disk_entries": self.max_disk_entries,
+        }
+
     @property
     def stats(self) -> str:
-        return f"hits={self.hits} misses={self.misses}"
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions}"
+        )

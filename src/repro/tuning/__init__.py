@@ -8,6 +8,12 @@ program (actual error) and costing it with the performance model
 (speedup) — the workflow behind Tables I and III.  The loop-split
 ("perforation") analysis of the HPCCG study (Fig. 9) lives in
 :mod:`repro.tuning.perforation`.
+
+Beyond the single greedy pass, the multi-objective search subsystem
+(:mod:`repro.search`: Pareto fronts over error × modelled cycles,
+delta-debugging and annealing strategies, parallel candidate
+evaluation) is re-exported here — ``repro.tuning.search`` is
+``repro.search.search``.
 """
 
 from repro.tuning.config import PrecisionConfig, apply_precision
@@ -29,7 +35,40 @@ __all__ = [
     "TuningResult",
     "validate_config",
     "ConfigValidation",
+    "measure_reference",
+    "ReferencePoint",
     "iteration_sensitivity",
     "find_split_iteration",
     "estimate_split_speedup",
+    # lazy re-exports of the Pareto search subsystem (see __getattr__)
+    "search",
+    "ParetoFront",
+    "SearchResult",
+    "STRATEGIES",
+    "get_strategy",
+    "register_strategy",
 ]
+
+from repro.tuning.validate import measure_reference, ReferencePoint  # noqa: E402
+
+#: names forwarded to :mod:`repro.search` on attribute access — lazy
+#: because the search subsystem imports the tuning submodules (config,
+#: greedy) and an eager import here would be circular
+_SEARCH_EXPORTS = (
+    "search",
+    "ParetoFront",
+    "SearchResult",
+    "STRATEGIES",
+    "get_strategy",
+    "register_strategy",
+)
+
+
+def __getattr__(name: str):
+    if name in _SEARCH_EXPORTS:
+        from repro import search as _search
+
+        return getattr(_search, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -5,12 +5,18 @@ uniform-f64 reference to obtain the *actual* introduced error (the
 "Actual Error" columns of Tables I and III), and compare simulated
 cycle counts to obtain the speedup (the performance substitution of
 DESIGN.md — pure Python cannot observe f32 hardware speedups).
+
+Search loops validate many configurations against one reference:
+:func:`measure_reference` runs the reference once and the result feeds
+every subsequent :func:`validate_config` call via its ``reference``
+parameter, and :func:`counting_runner` compiles a cost-counting variant
+once for evaluation at several input points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set, Union
+from typing import Callable, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -19,6 +25,33 @@ from repro.frontend.registry import Kernel
 from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.ir import nodes as N
 from repro.tuning.config import PrecisionConfig, apply_precision
+
+
+@dataclass
+class ReferencePoint:
+    """One reference (uniform-f64) execution: value and modelled cost."""
+
+    value: float
+    cost: float
+
+
+def modelled_speedup(
+    cost_reference: float, cost_mixed: float, what: str = "configuration"
+) -> float:
+    """Speedup policy shared by every (reference, mixed) cycle pair.
+
+    A zero-cost kernel (both programs cost 0 cycles) is trivially 1.0;
+    a *degenerate* pair (mixed cost 0 against a non-zero reference)
+    raises instead of silently reporting 1.0.
+    """
+    if cost_reference == 0.0 and cost_mixed == 0.0:
+        return 1.0
+    if cost_mixed == 0.0:
+        raise ValueError(
+            f"degenerate {what}: zero mixed cycle count against "
+            f"reference cost {cost_reference}"
+        )
+    return cost_reference / cost_mixed
 
 
 @dataclass
@@ -32,12 +65,64 @@ class ConfigValidation:
     cost_reference: float
     cost_mixed: float
 
+    def __post_init__(self) -> None:
+        if self.cost_reference < 0 or self.cost_mixed < 0:
+            raise ValueError(
+                "negative modelled cycle count "
+                f"(reference={self.cost_reference}, "
+                f"mixed={self.cost_mixed}) — the cost model is broken"
+            )
+
+    @property
+    def is_zero_cost(self) -> bool:
+        """Both programs cost nothing — a zero-work kernel."""
+        return self.cost_reference == 0.0 and self.cost_mixed == 0.0
+
+    @property
+    def degenerate(self) -> bool:
+        """The mixed program reports zero cycles against a non-trivial
+        reference — a broken configuration, not a real speedup."""
+        return self.cost_mixed == 0.0 and self.cost_reference > 0.0
+
     @property
     def speedup(self) -> float:
-        """Modelled execution speedup of the mixed configuration."""
-        if self.cost_mixed <= 0:
-            return 1.0
-        return self.cost_reference / self.cost_mixed
+        """Modelled execution speedup of the mixed configuration
+        (see :func:`modelled_speedup` for the edge-case policy)."""
+        return modelled_speedup(
+            self.cost_reference,
+            self.cost_mixed,
+            what=f"configuration {self.config.describe()}",
+        )
+
+
+def counting_runner(
+    fn: N.Function,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> Callable[[Sequence[object]], Tuple[float, float]]:
+    """Compile ``fn`` with cycle counting once; return a point runner.
+
+    The runner maps an argument tuple to ``(value, cost)``.  Array
+    arguments are copied per call so repeated runs stay independent
+    (kernels may mutate arrays in place).
+    """
+    compiled = compile_raw(
+        fn, counting=True, cost_model=cost_model, approx=approx
+    )
+
+    def run(args: Sequence[object]) -> Tuple[float, float]:
+        call_args = [
+            a.copy() if isinstance(a, np.ndarray) else a for a in args
+        ]
+        value, extras = compiled(*call_args)  # type: ignore[misc]
+        cost = float(extras["cost"])
+        if cost < 0:
+            raise ValueError(
+                f"{fn.name}: negative modelled cycle count {cost}"
+            )
+        return float(value), cost
+
+    return run
 
 
 def _run_counting(
@@ -45,17 +130,20 @@ def _run_counting(
     args: Sequence[object],
     cost_model: CostModel,
     approx: Optional[Set[str]] = None,
-):
-    compiled = compile_raw(
-        fn, counting=True, cost_model=cost_model, approx=approx
-    )
-    # arrays are mutated in place; copy so reference/mixed runs are
-    # independent
-    call_args = [
-        a.copy() if isinstance(a, np.ndarray) else a for a in args
-    ]
-    value, extras = compiled(*call_args)  # type: ignore[misc]
-    return float(value), float(extras["cost"])
+) -> Tuple[float, float]:
+    return counting_runner(fn, cost_model, approx)(args)
+
+
+def measure_reference(
+    k: Union[Kernel, N.Function],
+    args: Sequence[object],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> ReferencePoint:
+    """Run the uniform-f64 reference once; reusable across validations."""
+    fn = k.ir if isinstance(k, Kernel) else k
+    value, cost = _run_counting(fn, args, cost_model, approx)
+    return ReferencePoint(value=value, cost=cost)
 
 
 def validate_config(
@@ -64,22 +152,29 @@ def validate_config(
     args: Sequence[object],
     cost_model: CostModel = DEFAULT_COST_MODEL,
     approx: Optional[Set[str]] = None,
+    reference: Optional[ReferencePoint] = None,
 ) -> ConfigValidation:
-    """Execute reference and demoted programs; measure error and cost."""
+    """Execute reference and demoted programs; measure error and cost.
+
+    :param reference: a prior :func:`measure_reference` result for the
+        same kernel/args/cost model — skips recompiling and rerunning
+        the reference (the hot path of candidate-evaluation loops).
+    """
     fn = k.ir if isinstance(k, Kernel) else k
-    ref_value, ref_cost = _run_counting(fn, args, cost_model, approx)
+    if reference is None:
+        reference = measure_reference(fn, args, cost_model, approx)
     if config:
         mixed_fn = apply_precision(fn, config)
         mixed_value, mixed_cost = _run_counting(
             mixed_fn, args, cost_model, approx
         )
     else:
-        mixed_value, mixed_cost = ref_value, ref_cost
+        mixed_value, mixed_cost = reference.value, reference.cost
     return ConfigValidation(
         config=config,
-        reference_value=ref_value,
+        reference_value=reference.value,
         mixed_value=mixed_value,
-        actual_error=abs(ref_value - mixed_value),
-        cost_reference=ref_cost,
+        actual_error=abs(reference.value - mixed_value),
+        cost_reference=reference.cost,
         cost_mixed=mixed_cost,
     )

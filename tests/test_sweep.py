@@ -4,6 +4,7 @@ distribution-robust tuning (repro.tuning.robust)."""
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 import pytest
@@ -20,6 +21,7 @@ from repro.codegen.npgen import UnvectorizableError, generate_batch_source
 from repro.frontend.registry import kernel
 from repro.ir.fingerprint import ir_fingerprint
 from repro.sweep import (
+    BatchReport,
     SweepCache,
     explicit_sweep,
     grid_sweep,
@@ -490,6 +492,88 @@ class TestSweepCache:
         )
         assert rep.n == 5
         assert list((tmp_path / "sweeps").glob("*.pkl"))
+
+
+class TestCacheEviction:
+    """Disk-tier size caps, LRU eviction order, and cache_stats()."""
+
+    def _report(self, n=4):
+        return BatchReport(
+            n=n,
+            values=np.zeros(n),
+            total_error=np.zeros(n),
+        )
+
+    def test_entry_cap_evicts_oldest(self, tmp_path):
+        cache = SweepCache(directory=tmp_path, max_disk_entries=2)
+        for i, key in enumerate(["k0", "k1", "k2", "k3"]):
+            cache.put(key, self._report())
+            os.utime(tmp_path / f"{key}.pkl", (i, i))  # force ordering
+            cache._evict_disk()
+        names = {p.stem for p in tmp_path.glob("*.pkl")}
+        assert names == {"k2", "k3"}
+        assert cache.evictions == 2
+
+    def test_byte_cap_evicts_until_under(self, tmp_path):
+        cache = SweepCache(directory=tmp_path)
+        cache.put("k0", self._report())
+        entry_size = (tmp_path / "k0.pkl").stat().st_size
+        cache.max_disk_bytes = 2 * entry_size
+        for i, key in enumerate(["k1", "k2", "k3"]):
+            cache.put(key, self._report())
+            os.utime(tmp_path / f"{key}.pkl", (i + 1, i + 1))
+            cache._evict_disk()
+        files = list(tmp_path.glob("*.pkl"))
+        assert len(files) == 2
+        assert sum(p.stat().st_size for p in files) <= 2 * entry_size
+        assert cache.evictions == 2
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        cache = SweepCache(directory=tmp_path, max_disk_entries=2)
+        cache.put("old", self._report())
+        os.utime(tmp_path / "old.pkl", (1, 1))
+        cache.put("mid", self._report())
+        os.utime(tmp_path / "mid.pkl", (2, 2))
+        # a *disk* hit on `old` bumps its mtime past `mid`
+        fresh = SweepCache(directory=tmp_path, max_disk_entries=2)
+        assert fresh.get("old") is not None
+        fresh.put("new", self._report())
+        names = {p.stem for p in tmp_path.glob("*.pkl")}
+        assert names == {"old", "new"}
+        assert fresh.evictions == 1
+
+    def test_cache_stats_counters(self, tmp_path):
+        cache = SweepCache(
+            directory=tmp_path, max_disk_entries=1, max_disk_bytes=None
+        )
+        cache.put("a", self._report())
+        cache.get("a")
+        cache.get("missing")
+        cache.put("b", self._report())
+        os.utime(tmp_path / "b.pkl", None)
+        cache._evict_disk()
+        stats = cache.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] >= 1
+        assert stats["disk_entries"] == 1
+        assert stats["disk_bytes"] > 0
+        assert stats["max_disk_entries"] == 1
+        assert "evictions" in cache.stats
+
+    def test_env_var_byte_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_BYTES", "12345")
+        cache = SweepCache(directory=tmp_path)
+        assert cache.max_disk_bytes == 12345
+
+    def test_unbounded_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_BYTES", raising=False)
+        cache = SweepCache(directory=tmp_path)
+        assert cache.max_disk_bytes is None
+        for i in range(6):
+            cache.put(f"k{i}", self._report())
+        assert len(list(tmp_path.glob("*.pkl"))) == 6
+        assert cache.evictions == 0
 
 
 # -- estimator reuse -----------------------------------------------------------
