@@ -1,0 +1,249 @@
+"""Candidate-evaluation benchmark: config-batched pools vs per-candidate.
+
+Times scoring a pool of K precision configurations — K configs × N
+validation points, the hot path of ``repro.search`` — through the
+compile-once config-batched lane engine against the PR-2 per-candidate
+path (one ``apply_precision`` + compile + scalar point loop per
+config), asserting along the way that every per-candidate number
+(actual error, point errors, modelled cycles, the Pareto error axis)
+matches the scalar path **bit for bit** (``max_rel_diff == 0``).
+
+Run as a script to (re)generate ``BENCH_eval.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_eval.py              # K=256
+    PYTHONPATH=src python benchmarks/bench_eval.py --k 64       # smaller pool
+    PYTHONPATH=src python benchmarks/bench_eval.py --seed 7     # new pool draw
+
+Under pytest (``pytest benchmarks/``) the module runs a scaled-down
+version of the same checks (agreement is asserted exactly; the speedup
+assertion is conservative to stay robust on loaded CI machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.codegen.compile import clear_config_kernel_cache  # noqa: E402
+from repro.ir.types import DType  # noqa: E402
+from repro.search.evaluate import (  # noqa: E402
+    CandidateEvaluator,
+    EvaluatedCandidate,
+    config_key,
+)
+from repro.tuning.config import PrecisionConfig  # noqa: E402
+
+#: default pool size (the acceptance bar is a >= 64-candidate pool;
+#: larger pools amortize the numpy per-op overhead further, which is
+#: the point of config-batching)
+DEFAULT_K = 384
+
+
+def _scenario(app: str):
+    """Kernel, validation points, and demotion candidates per app."""
+    if app == "blackscholes":
+        from repro.apps import blackscholes as bs
+
+        wl = bs.make_workload(8)
+        return (
+            bs.bs_price.ir,
+            [bs.point_args(wl, i) for i in range(4)],
+            bs.SEARCH_CANDIDATES,
+        )
+    if app == "kmeans":
+        from repro.apps import kmeans as km
+
+        # the Table III candidates plus every other float local, so
+        # the pool can exceed 64 distinct configurations
+        return (
+            km.kmeans_cost.ir,
+            [km.make_workload(16, seed=2023 + 7 * i) for i in range(2)],
+            ("attributes", "clusters", "sum", "total", "best", "d"),
+        )
+    raise KeyError(app)
+
+
+def make_pool(
+    candidates: Sequence[str], k: int, seed: int
+) -> List[PrecisionConfig]:
+    """Deterministic pool of ``k`` distinct configurations.
+
+    Mimics real proposal pools: the greedy ladder prefixes first, then
+    random subsets with per-variable f32/f16 mixes.
+    """
+    names = sorted(candidates)
+    rng = np.random.default_rng(seed)
+    pool: List[PrecisionConfig] = []
+    seen = set()
+
+    def admit(cfg: PrecisionConfig) -> None:
+        key = config_key(cfg)
+        if cfg and key not in seen and len(pool) < k:
+            seen.add(key)
+            pool.append(cfg)
+
+    for i in range(1, len(names) + 1):
+        admit(PrecisionConfig.demote(names[:i]))
+    limit = 0
+    while len(pool) < k and limit < 100 * k:
+        limit += 1
+        demotions = {
+            n: (DType.F32 if rng.random() < 0.75 else DType.F16)
+            for n in names
+            if rng.random() < 0.5
+        }
+        admit(PrecisionConfig(demotions))
+    if len(pool) < k:
+        raise ValueError(
+            f"only {len(pool)} distinct configs possible for {names}"
+        )
+    return pool
+
+
+def _rel_diff(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    denom = max(abs(a), abs(b))
+    if denom == 0.0:
+        return 0.0
+    return abs(a - b) / denom
+
+
+def compare_candidates(
+    xs: Sequence[EvaluatedCandidate], ys: Sequence[EvaluatedCandidate]
+) -> float:
+    """Worst relative difference across every scored axis."""
+    worst = 0.0
+    for x, y in zip(xs, ys):
+        assert x.key == y.key
+        worst = max(worst, _rel_diff(x.actual_error, y.actual_error))
+        worst = max(worst, _rel_diff(x.error, y.error))
+        worst = max(worst, _rel_diff(x.cycles, y.cycles))
+        for pe_x, pe_y in zip(x.point_errors, y.point_errors):
+            worst = max(worst, _rel_diff(pe_x, pe_y))
+    return worst
+
+
+def run_app(app: str, k: int, seed: int) -> Dict[str, object]:
+    fn, points, candidates = _scenario(app)
+    pool = make_pool(candidates, k, seed)
+
+    # per-candidate path (the PR-2 hot path): apply_precision + compile
+    # + scalar point loop, once per configuration
+    scalar_ev = CandidateEvaluator(fn, points, config_batch=False)
+    scalar_ev.prepare()
+    t0 = time.perf_counter()
+    scalar = scalar_ev.evaluate_many(pool)
+    scalar_s = time.perf_counter() - t0
+
+    # config-batched path, cold: the timed region includes generating
+    # and compiling the lane kernel (it happens once per kernel
+    # fingerprint; later pools are pure lowering + execution)
+    clear_config_kernel_cache()
+    batched_ev = CandidateEvaluator(fn, points, config_batch=True)
+    t0 = time.perf_counter()
+    batched_ev.prepare()
+    batched = batched_ev.evaluate_many(pool)
+    batched_s = time.perf_counter() - t0
+
+    assert batched_ev.pool_mode is not None, f"{app}: lane engine unused"
+    assert batched_ev.n_pool_lanes >= len(pool), (
+        f"{app}: pool not scored on lanes "
+        f"({batched_ev.n_pool_lanes} < {len(pool)})"
+    )
+    max_rel_diff = compare_candidates(scalar, batched)
+    return {
+        "app": app,
+        "k": len(pool),
+        "n_points": len(points),
+        "candidates": len(candidates),
+        "seed": seed,
+        "mode": batched_ev.pool_mode,
+        "per_candidate_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s if batched_s > 0 else 0.0,
+        "max_rel_diff": max_rel_diff,
+        "pool_lanes": batched_ev.n_pool_lanes,
+        "pool_runs": batched_ev.n_pool_runs,
+    }
+
+
+def build_report(k: int, seed: int) -> Dict[str, object]:
+    return {
+        "benchmark": "eval",
+        "description": (
+            "config-batched candidate evaluation (compile-once "
+            "precision-parameterized lane kernel; K configs x N "
+            "validation points per execution) vs the per-candidate "
+            "apply_precision + compile + scalar-loop path"
+        ),
+        "k": k,
+        "seed": seed,
+        "results": [
+            run_app("blackscholes", k, seed),
+            run_app("kmeans", k, seed),
+        ],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--k", type=int, default=DEFAULT_K,
+        help="configurations per pool (acceptance bar: >= 64)",
+    )
+    ap.add_argument(
+        "--seed", type=int, default=0,
+        help="pool-generation seed (recorded in the report)",
+    )
+    ap.add_argument(
+        "--out", type=Path, default=_REPO_ROOT / "BENCH_eval.json"
+    )
+    args = ap.parse_args(argv)
+    report = build_report(args.k, args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    for r in report["results"]:  # type: ignore[union-attr]
+        print(
+            f"{r['app']:14s} k={r['k']:4d} n={r['n_points']}  "
+            f"per-candidate {r['per_candidate_s']*1e3:8.1f} ms  "
+            f"batched {r['batched_s']*1e3:7.1f} ms  "
+            f"speedup {r['speedup']:6.1f}x  "
+            f"max_rel_diff {r['max_rel_diff']:.3g}  [{r['mode']}]"
+        )
+    print(f"wrote {args.out}")
+    ok = all(
+        r["max_rel_diff"] == 0.0
+        and (r["speedup"] >= 10.0 or r["k"] < 64)
+        for r in report["results"]  # type: ignore[union-attr]
+    )
+    return 0 if ok else 1
+
+
+# -- pytest smoke version -----------------------------------------------------
+
+
+def test_eval_blackscholes_matches_and_beats_per_candidate():
+    r = run_app("blackscholes", k=24, seed=0)
+    assert r["max_rel_diff"] == 0.0
+    assert r["mode"] == "grid"
+    # the full benchmark shows >>10x; keep CI robust on noisy machines
+    assert r["speedup"] > 2.0
+
+
+def test_eval_kmeans_matches():
+    r = run_app("kmeans", k=24, seed=0)
+    assert r["max_rel_diff"] == 0.0
+    assert r["mode"] == "perpoint"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

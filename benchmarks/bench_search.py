@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 _REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from repro.codegen.compile import clear_config_kernel_cache  # noqa: E402
 from repro.core.api import (  # noqa: E402
     clear_estimator_memo,
     estimator_memo_stats,
@@ -56,20 +57,25 @@ def _front_fingerprint(res: SearchResult) -> List[tuple]:
     return [(p.key, p.error, p.cycles) for p in res.front.points]
 
 
-def run_app(app: str, budget: Optional[int], workers: int) -> Dict[str, object]:
+def run_app(
+    app: str, budget: Optional[int], workers: int, seed: int = 0
+) -> Dict[str, object]:
     scen = _scenario(app, budget)
     # cold start for both timed runs: the process-wide estimator memo
-    # would otherwise hand the second run the first run's compiles
+    # and config-kernel cache would otherwise hand the second run the
+    # first run's compiles
     clear_estimator_memo()
+    clear_config_kernel_cache()
     t0 = time.perf_counter()
-    serial = scen.run(seed=0)
+    serial = scen.run(seed=seed)
     serial_s = time.perf_counter() - t0
     # how much compiled-estimator reuse the serial run enjoyed (forked
     # workers inherit whatever is memoized pre-fork)
     memo_after_serial = estimator_memo_stats()
     clear_estimator_memo()
+    clear_config_kernel_cache()
     t0 = time.perf_counter()
-    parallel = scen.run(seed=0, workers=workers)
+    parallel = scen.run(seed=seed, workers=workers)
     parallel_s = time.perf_counter() - t0
 
     assert len(serial.front) > 0, f"{app}: empty Pareto front"
@@ -86,7 +92,9 @@ def run_app(app: str, budget: Optional[int], workers: int) -> Dict[str, object]:
     return {
         "app": app,
         "budget": scen.budget,
+        "seed": seed,
         "n_evaluated": serial.n_evaluated,
+        "eval_stats": serial.stats["evaluator"] if serial.stats else None,
         "front_size": len(serial.front),
         "dominance_consistent": serial.front.is_consistent(),
         "baseline_covered": baseline_covered,
@@ -101,11 +109,14 @@ def run_app(app: str, budget: Optional[int], workers: int) -> Dict[str, object]:
     }
 
 
-def build_report(budget: Optional[int], workers: int) -> Dict[str, object]:
+def build_report(
+    budget: Optional[int], workers: int, seed: int = 0
+) -> Dict[str, object]:
     import os
 
     return {
         "benchmark": "search",
+        "seed": seed,
         "description": (
             "cost-aware Pareto precision search (greedy ladder + "
             "delta debugging + annealing) vs the paper's one-shot "
@@ -115,8 +126,8 @@ def build_report(budget: Optional[int], workers: int) -> Dict[str, object]:
         ),
         "cpu_count": os.cpu_count(),
         "results": [
-            run_app("blackscholes", budget, workers),
-            run_app("kmeans", budget, workers),
+            run_app("blackscholes", budget, workers, seed),
+            run_app("kmeans", budget, workers, seed),
         ],
     }
 
@@ -129,10 +140,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     ap.add_argument("--workers", type=int, default=2)
     ap.add_argument(
+        "--seed", type=int, default=0,
+        help="strategy RNG seed (recorded in the report for "
+             "reproducible search trajectories)",
+    )
+    ap.add_argument(
         "--out", type=Path, default=_REPO_ROOT / "BENCH_search.json"
     )
     args = ap.parse_args(argv)
-    report = build_report(args.budget, args.workers)
+    report = build_report(args.budget, args.workers, args.seed)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for r in report["results"]:  # type: ignore[union-attr]
         best = r["best_under_threshold"]

@@ -12,12 +12,36 @@ from repro.codegen.pygen import generate_source
 from repro.codegen.compile import (
     compile_primal,
     compile_raw,
+    clear_config_kernel_cache,
+    config_kernel_cache_stats,
+    config_lane_kernel,
+    lower_config_pool,
     CompiledFunction,
+    ConfigLaneKernel,
+    ConfigLoweringError,
+    LoweredConfigPool,
+)
+from repro.codegen.npgen import (
+    ConfigLaneProgram,
+    UnvectorizableError,
+    generate_batch_source,
+    generate_config_lane_source,
 )
 
 __all__ = [
     "generate_source",
+    "generate_batch_source",
+    "generate_config_lane_source",
     "compile_primal",
     "compile_raw",
+    "clear_config_kernel_cache",
+    "config_kernel_cache_stats",
+    "config_lane_kernel",
+    "lower_config_pool",
     "CompiledFunction",
+    "ConfigLaneKernel",
+    "ConfigLaneProgram",
+    "ConfigLoweringError",
+    "LoweredConfigPool",
+    "UnvectorizableError",
 ]

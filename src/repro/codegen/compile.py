@@ -9,16 +9,36 @@ exit to preserve the IR's by-reference array semantics.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.codegen import runtime
+from repro.codegen.npgen import (
+    _FLOAT_DTYPES,
+    ConfigLaneProgram,
+    generate_config_lane_source,
+)
 from repro.codegen.pygen import generate_source
-from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.interp.cost_model import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    expr_cost,
+    store_cost,
+)
 from repro.ir import nodes as N
-from repro.ir.types import ArrayType
-from repro.util.errors import ExecutionError
+from repro.ir.fingerprint import ir_fingerprint
+from repro.ir.types import (
+    PROMOTION_RANK,
+    ArrayType,
+    DType,
+    ScalarType,
+)
+from repro.ir.typecheck import infer_types
+from repro.ir.visitor import walk_stmts
+from repro.util.errors import ExecutionError, ReproError
 
 
 class CompiledFunction:
@@ -147,3 +167,839 @@ def compile_raw(
 def compile_primal(fn: N.Function, approx: Optional[Set[str]] = None) -> CompiledFunction:
     """Compile the plain primal (direct bindings, no counting)."""
     return compile_raw(fn, dispatch=False, counting=False, approx=approx)
+
+
+# --------------------------------------------------------------------------
+# Config-batched kernels: compile once per fingerprint, lower per pool
+# --------------------------------------------------------------------------
+#
+# The precision-search hot path scores K configurations of one kernel.
+# A :class:`ConfigLaneKernel` is that kernel compiled ONCE in the
+# precision-parameterized form of :mod:`repro.codegen.npgen`
+# (``generate_config_lane_source``); :func:`lower_config_pool` then
+# derives, per proposal pool, the lane parameters (rounding selectors,
+# cycle-charge vectors, constant values) that specialize the compiled
+# code to each configuration at *runtime*.  Lowering runs the exact
+# dtype re-inference ``apply_precision`` performs — so each lane's
+# rounding points and cycle charges match the per-config scalar path
+# bit for bit — but compiles nothing.
+
+
+class ConfigLoweringError(ReproError):
+    """A configuration pool cannot be lowered onto the compiled lanes.
+
+    Signals a structural/semantic limitation (e.g. a config targeting a
+    non-float variable, or a per-config adjoint whose optimized shape
+    diverged from the baseline).  Callers fall back to the per-config
+    scalar path — results are identical either way, only slower.
+    """
+
+
+def _dtype_code(dt: Optional[DType]) -> int:
+    if dt is DType.F32:
+        return 1
+    if dt is DType.F16:
+        return 2
+    return 0
+
+
+def _site_dtype(kind: str, node: object) -> Optional[DType]:
+    if kind == "param":
+        return node.type.dtype  # type: ignore[attr-defined]
+    return getattr(node, "dtype", None)
+
+
+def _charge_value(
+    site,
+    cost_model: CostModel,
+    approx: Optional[Set[str]],
+) -> float:
+    """Evaluate one charge site against current node dtypes — the same
+    ``expr_cost``/``store_cost`` arithmetic pygen bakes into counting
+    code."""
+    s = site.node
+    if site.kind == "decl":
+        tgt = N.Name(s.name)
+        tgt.dtype = s.dtype
+        return expr_cost(s.init, cost_model, approx) + store_cost(
+            tgt, s.init, cost_model
+        )
+    if site.kind == "store":
+        return expr_cost(s.value, cost_model, approx) + store_cost(
+            s.target, s.value, cost_model
+        )
+    if site.kind == "if":
+        return expr_cost(s.cond, cost_model, approx)
+    if site.kind == "while":
+        return 1.0 + expr_cost(s.cond, cost_model, approx)
+    raise KeyError(site.kind)
+
+
+@dataclass
+class LoweredConfigPool:
+    """Lane parameters specializing a compiled kernel to K configs."""
+
+    k: int
+    #: per round site: ``None`` or a :class:`runtime.LaneSelector`
+    selectors: List[object]
+    #: per charge site: float (lane-uniform) or ``(K, 1)`` array
+    charges: List[object]
+    #: per float-constant site: float (lane-uniform) or ``(K, 1)`` array
+    consts: List[object]
+
+
+def _pack_row(row: np.ndarray, k: int) -> object:
+    """Collapse a lane-uniform row to a scalar, else a (K, 1) column."""
+    if np.all(row == row[0]):
+        return float(row[0])
+    return row.reshape(k, 1).copy()
+
+
+def _pack_rows(rows: np.ndarray, k: int) -> List[object]:
+    return [_pack_row(row, k) for row in rows]
+
+
+def lower_config_pool_reference(
+    program: ConfigLaneProgram,
+    configs: Sequence[object],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> LoweredConfigPool:
+    """Reference lowering: one full type-inference pass per config.
+
+    Applies each configuration's storage dtypes to the program's IR *in
+    place* (restored afterwards) and re-runs the shared type inference —
+    exactly what ``apply_precision`` does on a clone — then reads each
+    site's dtype/cost off the re-typed nodes.  No cloning, no code
+    generation, no compilation.
+
+    This is the semantics oracle: :func:`lower_config_pool` (the
+    vectorized production path) must produce identical lane parameters,
+    and the test suite asserts it does.
+
+    :raises KeyError: if a configuration names unknown variables (the
+        same error the scalar path raises).
+    :raises ConfigLoweringError: if a configuration targets a variable
+        whose baseline storage is not a float (the scalar path would
+        change integer semantics; callers fall back to it).
+    """
+    from repro.tuning.config import resolve_targets
+
+    fn = program.fn
+    k = len(configs)
+    if k == 0:
+        raise ValueError("empty configuration pool")
+    decls = [s for s in walk_stmts(fn.body) if isinstance(s, N.VarDecl)]
+    base_params = [p.type for p in fn.params]
+    base_decls = [d.dtype for d in decls]
+    rs = np.zeros((len(program.round_sites), k), dtype=np.int8)
+    ch = np.zeros((len(program.charge_sites), k), dtype=np.float64)
+    cs = np.zeros((len(program.const_sites), k), dtype=np.float64)
+
+    def restore() -> None:
+        for p, t in zip(fn.params, base_params):
+            p.type = t
+        for d, t in zip(decls, base_decls):
+            d.dtype = t
+
+    try:
+        for j, config in enumerate(configs):
+            targets = resolve_targets(fn, config)
+            for name in targets:
+                if program.var_baseline.get(name) not in _FLOAT_DTYPES:
+                    raise ConfigLoweringError(
+                        f"{fn.name}: config targets non-float "
+                        f"variable {name!r}"
+                    )
+            restore()
+            for p in fn.params:
+                dt = targets.get(p.name)
+                if dt is not None:
+                    p.type = (
+                        ArrayType(dt)
+                        if isinstance(p.type, ArrayType)
+                        else ScalarType(dt)
+                    )
+            for d in decls:
+                dt = targets.get(d.name)
+                if dt is not None:
+                    d.dtype = dt
+            infer_types(fn)
+            for i, site in enumerate(program.round_sites):
+                rs[i, j] = _dtype_code(_site_dtype(site.kind, site.node))
+            for i, site in enumerate(program.charge_sites):
+                ch[i, j] = _charge_value(site, cost_model, approx)
+            for i, cnode in enumerate(program.const_sites):
+                cs[i, j] = cnode.value
+    finally:
+        restore()
+        infer_types(fn)
+    return LoweredConfigPool(
+        k=k,
+        selectors=[
+            runtime.LaneSelector.from_codes(rs[i])
+            for i in range(len(program.round_sites))
+        ],
+        charges=_pack_rows(ch, k),
+        consts=_pack_rows(cs, k),
+    )
+
+
+# -- vectorized lowering (the production path) ------------------------------
+#
+# The reference lowering above re-types the whole IR once per config —
+# O(K × IR) Python work that dominates pool evaluation once execution
+# itself is vectorized.  The production path below computes the same
+# lane parameters in ONE memoized expression-evaluation pass: every
+# variable's dtype becomes a (K,) *code vector* and the typing lattice
+# (``repro.ir.types.promote`` is a rank max) plus the cost-model
+# arithmetic evaluate vectorized over all K configs at once.
+
+#: dtype codes = the shared promotion ranks (repro.ir.types), so
+#: ``promote`` is ``max``: the B1-vs-B1 case, where promote returns B1,
+#: is preserved because max(0, 0) = 0, and any mix involving a numeric
+#: ranks above B1, matching promote's boolean-to-integer rule
+_RANK_CODE = PROMOTION_RANK
+_CODE_ORDER = tuple(
+    sorted(_RANK_CODE, key=_RANK_CODE.__getitem__)
+)
+#: rank code -> rounding-selector code (0 keep, 1 f32, 2 f16)
+_SEL_MAP = np.array(
+    [
+        {DType.F32: 1, DType.F16: 2}.get(dt, 0)
+        for dt in _CODE_ORDER
+    ],
+    dtype=np.int8,
+)
+_F64_CODE = _RANK_CODE[DType.F64]
+#: floats occupy the top of the promotion order; ``code >= _FLOAT_MIN``
+#: is the vectorized ``is_float`` test (checked here so a lattice
+#: change in repro.ir.types cannot silently break the lowering)
+_FLOAT_MIN = min(_RANK_CODE[dt] for dt in _FLOAT_DTYPES)
+assert all(
+    (_RANK_CODE[dt] >= _FLOAT_MIN) == (dt in _FLOAT_DTYPES)
+    for dt in _RANK_CODE
+)
+
+
+class _LoweringPlan:
+    """Per-program precomputation shared by every pool lowering."""
+
+    def __init__(self, program: ConfigLaneProgram) -> None:
+        fn = program.fn
+        self.base_codes: Dict[str, int] = {
+            name: _RANK_CODE[dt]
+            for name, dt in program.var_baseline.items()
+        }
+        #: resolvable names in the order resolve_targets scans them,
+        #: each with its set of inlined-prefix keys that can match it
+        names = [p.name for p in fn.params] + [
+            s.name
+            for s in walk_stmts(fn.body)
+            if isinstance(s, N.VarDecl)
+        ]
+        self.name_match: List[Tuple[str, frozenset]] = []
+        seen = set()
+        for name in names:
+            if name in seen:
+                continue
+            seen.add(name)
+            prefixes = frozenset(
+                name[:i]
+                for i in range(1, len(name))
+                if name[i:].startswith("_in")
+            )
+            self.name_match.append((name, prefixes))
+
+
+def _plan_for(program: ConfigLaneProgram) -> _LoweringPlan:
+    plan = getattr(program, "_plan", None)
+    if plan is None:
+        plan = _LoweringPlan(program)
+        program._plan = plan  # type: ignore[attr-defined]
+    return plan
+
+
+def _fast_targets(
+    plan: _LoweringPlan, fn_name: str, config
+) -> Dict[str, DType]:
+    """Vector-lowering twin of ``tuning.config.resolve_targets``.
+
+    Same semantics (exact keys win over inlined-prefix matches, first
+    config key in insertion order wins among prefixes, unmatched keys
+    raise), evaluated against the plan's precomputed prefix sets.
+    """
+    demotions = config.demotions
+    matched = set()
+    out: Dict[str, DType] = {}
+    for name, prefixes in plan.name_match:
+        dt = demotions.get(name)
+        if dt is not None:
+            matched.add(name)
+            out[name] = dt
+            continue
+        if prefixes:
+            for key, kdt in demotions.items():
+                if key in prefixes:
+                    matched.add(key)
+                    out[name] = kdt
+                    break
+    missing = set(demotions) - matched
+    if missing:
+        raise KeyError(
+            f"{fn_name}: unknown variables in precision config: "
+            f"{sorted(missing)}"
+        )
+    return out
+
+
+class _PoolEval:
+    """Memoized vectorized evaluation of expression dtypes and costs.
+
+    ``codes`` are promotion-rank code scalars (config-uniform) or
+    ``(K,)`` vectors; ``cost`` mirrors ``interp.cost_model.expr_cost``
+    exactly, evaluated per lane.
+    """
+
+    def __init__(
+        self,
+        env: Dict[str, object],
+        cost_model: CostModel,
+        approx: Optional[Set[str]],
+    ) -> None:
+        self.env = env
+        self.cm = cost_model
+        self.approx = approx
+        self._memo: Dict[int, Tuple[object, object]] = {}
+        per = lambda table: np.array(  # noqa: E731
+            [table[dt] for dt in _CODE_ORDER], dtype=np.float64
+        )
+        self.add = per(cost_model.add)
+        self.mul = per(cost_model.mul)
+        self.div = per(cost_model.div)
+        self.array_access = per(cost_model.array_access)
+        self.scalar_store = per(cost_model.scalar_store)
+        self._call_tables: Dict[str, np.ndarray] = {}
+
+    def _call_table(self, fname: str) -> np.ndarray:
+        tab = self._call_tables.get(fname)
+        if tab is None:
+            tab = np.array(
+                [
+                    self.cm.call_cost(fname, dt, self.approx)
+                    for dt in _CODE_ORDER
+                ],
+                dtype=np.float64,
+            )
+            self._call_tables[fname] = tab
+        return tab
+
+    @staticmethod
+    def _max(a: object, b: object) -> object:
+        if isinstance(a, int) and isinstance(b, int):
+            return max(a, b)
+        return np.maximum(a, b)
+
+    @staticmethod
+    def _cast_term(src: object, dst: object, cast_cost: float) -> object:
+        """Cost of an implicit float-to-float conversion, per lane."""
+        if isinstance(src, int) and isinstance(dst, int):
+            return (
+                cast_cost
+                if (
+                    src >= _FLOAT_MIN
+                    and dst >= _FLOAT_MIN
+                    and src != dst
+                )
+                else 0.0
+            )
+        need = (
+            np.greater_equal(src, _FLOAT_MIN)
+            & np.greater_equal(dst, _FLOAT_MIN)
+            & np.not_equal(src, dst)
+        )
+        return np.where(need, cast_cost, 0.0)
+
+    def expr(self, e: N.Expr) -> Tuple[object, object]:
+        """Return ``(codes, cost)`` of evaluating ``e`` once."""
+        hit = self._memo.get(id(e))
+        if hit is not None:
+            return hit
+        out = self._expr(e)
+        self._memo[id(e)] = out
+        return out
+
+    def _expr(self, e: N.Expr) -> Tuple[object, object]:
+        cm = self.cm
+        if isinstance(e, N.Const):
+            if isinstance(e.value, bool):
+                return 0, 0.0
+            if isinstance(e.value, int):
+                return 1, 0.0
+            return _F64_CODE, 0.0
+        if isinstance(e, N.Name):
+            return self.env[e.id], 0.0
+        if isinstance(e, N.Index):
+            _, ci = self.expr(e.index)
+            codes = self.env[e.base]
+            return codes, ci + self.array_access[codes]
+        if isinstance(e, N.BinOp):
+            lc, lcost = self.expr(e.left)
+            rc, rcost = self.expr(e.right)
+            cost = lcost + rcost
+            if e.op in N.CMPOPS:
+                return 0, cost + cm.compare
+            if e.op in N.BOOLOPS:
+                return 0, cost + cm.boolean
+            codes = self._max(lc, rc)
+            if e.op == "/":
+                codes = self._max(codes, _F64_CODE)
+            if e.op in ("+", "-"):
+                cost = cost + self.add[codes]
+            elif e.op == "*":
+                cost = cost + self.mul[codes]
+            else:  # "/", "//", "%"
+                cost = cost + self.div[codes]
+            cost = cost + self._cast_term(lc, codes, cm.cast)
+            cost = cost + self._cast_term(rc, codes, cm.cast)
+            return codes, cost
+        if isinstance(e, N.UnaryOp):
+            oc, ocost = self.expr(e.operand)
+            codes = 0 if e.op == "not" else oc
+            return codes, ocost + cm.negate
+        if isinstance(e, N.Call):
+            # intrinsic args promote from I64 up
+            codes: object = _RANK_CODE[DType.I64]
+            cost: object = 0.0
+            for a in e.args:
+                ac, acost = self.expr(a)
+                codes = self._max(codes, ac)
+                cost = cost + acost
+            if isinstance(codes, int):
+                if codes < _FLOAT_MIN:
+                    codes = _F64_CODE
+            else:
+                codes = np.where(codes < _FLOAT_MIN, _F64_CODE, codes)
+            return codes, cost + self._call_table(e.fn)[codes]
+        if isinstance(e, N.Cast):
+            oc, ocost = self.expr(e.operand)
+            codes = _RANK_CODE[e.to]
+            return codes, ocost + self._cast_term(oc, codes, cm.cast)
+        raise TypeError(type(e).__name__)
+
+    def store_cost(self, target, value_codes: object) -> object:
+        """Mirror of ``interp.cost_model.store_cost``, per lane."""
+        if isinstance(target, N.Index):
+            tdt = self.env[target.base]
+            c = self.array_access[tdt]
+        else:
+            tdt = self.env[target.id]
+            c = self.scalar_store[tdt]
+        return c + self._cast_term(value_codes, tdt, self.cm.cast)
+
+
+def lower_config_pool(
+    program: ConfigLaneProgram,
+    configs: Sequence[object],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> LoweredConfigPool:
+    """Derive lane parameters for a pool of precision configurations.
+
+    Vectorized over the config axis: one memoized expression-evaluation
+    pass computes every site's per-lane dtype selector and cycle charge
+    for all K configurations at once.  Produces exactly the parameters
+    :func:`lower_config_pool_reference` (one type-inference pass per
+    config — the scalar path's own machinery) would; the test suite
+    holds the two to bitwise agreement.
+
+    :raises KeyError: if a configuration names unknown variables (the
+        same error the scalar path raises).
+    :raises ConfigLoweringError: if a configuration targets a variable
+        whose baseline storage is not a float.
+    """
+    k = len(configs)
+    if k == 0:
+        raise ValueError("empty configuration pool")
+    plan = _plan_for(program)
+    fn = program.fn
+    env: Dict[str, object] = dict(plan.base_codes)
+    for j, config in enumerate(configs):
+        targets = _fast_targets(plan, fn.name, config)
+        for name, dt in targets.items():
+            base = plan.base_codes[name]
+            if base < _FLOAT_MIN:
+                raise ConfigLoweringError(
+                    f"{fn.name}: config targets non-float "
+                    f"variable {name!r}"
+                )
+            cur = env[name]
+            if isinstance(cur, int):
+                cur = np.full(k, cur, dtype=np.int64)
+                env[name] = cur
+            cur[j] = _RANK_CODE[dt]
+
+    ev = _PoolEval(env, cost_model, approx)
+
+    def sel_codes(codes: object) -> np.ndarray:
+        if isinstance(codes, int):
+            return np.full(k, _SEL_MAP[codes], dtype=np.int8)
+        return _SEL_MAP[codes]
+
+    selectors: List[object] = []
+    for site in program.round_sites:
+        if site.kind in ("expr", "index"):
+            codes, _ = ev.expr(site.node)  # type: ignore[arg-type]
+        elif site.kind == "store":
+            node = site.node
+            name = node.base if isinstance(node, N.Index) else node.id  # type: ignore[union-attr]
+            codes = env[name]
+        elif site.kind == "decl":
+            codes = env[site.node.name]  # type: ignore[attr-defined]
+        else:  # "param"
+            codes = env[site.node.name]  # type: ignore[attr-defined]
+        if isinstance(codes, int) and _SEL_MAP[codes] == 0:
+            selectors.append(None)
+        else:
+            selectors.append(
+                runtime.LaneSelector.from_codes(sel_codes(codes))
+            )
+
+    charges: List[object] = []
+    for site in program.charge_sites:
+        s = site.node
+        if site.kind == "decl":
+            vc, vcost = ev.expr(s.init)  # type: ignore[attr-defined]
+            tdt = env[s.name]  # type: ignore[attr-defined]
+            cost = (
+                vcost
+                + ev.scalar_store[tdt]
+                + ev._cast_term(vc, tdt, cost_model.cast)
+            )
+        elif site.kind == "store":
+            vc, vcost = ev.expr(s.value)  # type: ignore[attr-defined]
+            cost = vcost + ev.store_cost(s.target, vc)  # type: ignore[attr-defined]
+        elif site.kind == "if":
+            _, cost = ev.expr(s.cond)  # type: ignore[attr-defined]
+        else:  # "while"
+            _, cost = ev.expr(s.cond)  # type: ignore[attr-defined]
+            cost = cost + 1.0
+        if isinstance(cost, float):
+            charges.append(float(cost))
+        else:
+            charges.append(
+                _pack_row(np.asarray(cost, dtype=np.float64), k)
+            )
+    consts: List[object] = [
+        float(c.value) for c in program.const_sites  # type: ignore[union-attr]
+    ]
+    return LoweredConfigPool(
+        k=k, selectors=selectors, charges=charges, consts=consts
+    )
+
+
+# -- structural pairing (used to lower pools onto *derived* functions) ------
+
+
+def _pair_fail(what: str) -> "ConfigLoweringError":
+    return ConfigLoweringError(
+        f"variant function structure diverged from baseline ({what})"
+    )
+
+
+def _pair_expr(a: N.Expr, b: N.Expr, out: Dict[int, object]) -> None:
+    if type(a) is not type(b):
+        raise _pair_fail(f"{type(a).__name__} vs {type(b).__name__}")
+    out[id(a)] = b
+    if isinstance(a, N.Const):
+        if type(a.value) is not type(b.value):  # type: ignore[union-attr]
+            raise _pair_fail("constant kind")
+        if not isinstance(a.value, float) and a.value != b.value:  # type: ignore[union-attr]
+            # non-float constants are inlined in the generated source,
+            # so a value change cannot be expressed as a lane parameter
+            raise _pair_fail("non-float constant value")
+    elif isinstance(a, N.Name):
+        if a.id != b.id:  # type: ignore[union-attr]
+            raise _pair_fail("name")
+    elif isinstance(a, N.Index):
+        if a.base != b.base:  # type: ignore[union-attr]
+            raise _pair_fail("index base")
+        _pair_expr(a.index, b.index, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.BinOp):
+        if a.op != b.op:  # type: ignore[union-attr]
+            raise _pair_fail("operator")
+        _pair_expr(a.left, b.left, out)  # type: ignore[union-attr]
+        _pair_expr(a.right, b.right, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.UnaryOp):
+        if a.op != b.op:  # type: ignore[union-attr]
+            raise _pair_fail("operator")
+        _pair_expr(a.operand, b.operand, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.Call):
+        if a.fn != b.fn or len(a.args) != len(b.args):  # type: ignore[union-attr]
+            raise _pair_fail("call")
+        for xa, xb in zip(a.args, b.args):  # type: ignore[union-attr]
+            _pair_expr(xa, xb, out)
+    elif isinstance(a, N.Cast):
+        if a.to is not b.to:  # type: ignore[union-attr]
+            raise _pair_fail("cast target")
+        _pair_expr(a.operand, b.operand, out)  # type: ignore[union-attr]
+
+
+def _pair_lvalue(a: N.LValue, b: N.LValue, out: Dict[int, object]) -> None:
+    if type(a) is not type(b):
+        raise _pair_fail("lvalue kind")
+    out[id(a)] = b
+    if isinstance(a, N.Name):
+        if a.id != b.id:  # type: ignore[union-attr]
+            raise _pair_fail("store target")
+    else:
+        if a.base != b.base:  # type: ignore[union-attr]
+            raise _pair_fail("store base")
+        _pair_expr(a.index, b.index, out)  # type: ignore[union-attr]
+
+
+def _pair_stmt(a: N.Stmt, b: N.Stmt, out: Dict[int, object]) -> None:
+    if type(a) is not type(b):
+        raise _pair_fail(f"{type(a).__name__} vs {type(b).__name__}")
+    out[id(a)] = b
+    if isinstance(a, N.VarDecl):
+        if a.name != b.name:  # type: ignore[union-attr]
+            raise _pair_fail("decl name")
+        if (a.init is None) != (b.init is None):  # type: ignore[union-attr]
+            raise _pair_fail("decl initializer")
+        if a.init is not None:
+            _pair_expr(a.init, b.init, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.Assign):
+        _pair_lvalue(a.target, b.target, out)  # type: ignore[union-attr]
+        _pair_expr(a.value, b.value, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.For):
+        if a.var != b.var:  # type: ignore[union-attr]
+            raise _pair_fail("loop variable")
+        _pair_expr(a.lo, b.lo, out)  # type: ignore[union-attr]
+        _pair_expr(a.hi, b.hi, out)  # type: ignore[union-attr]
+        _pair_expr(a.step, b.step, out)  # type: ignore[union-attr]
+        _pair_body(a.body, b.body, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.While):
+        _pair_expr(a.cond, b.cond, out)  # type: ignore[union-attr]
+        _pair_body(a.body, b.body, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.If):
+        _pair_expr(a.cond, b.cond, out)  # type: ignore[union-attr]
+        _pair_body(a.then, b.then, out)  # type: ignore[union-attr]
+        _pair_body(a.orelse, b.orelse, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.Return):
+        _pair_expr(a.value, b.value, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.ReturnTuple):
+        if len(a.values) != len(b.values):  # type: ignore[union-attr]
+            raise _pair_fail("return arity")
+        for xa, xb in zip(a.values, b.values):  # type: ignore[union-attr]
+            _pair_expr(xa, xb, out)
+    elif isinstance(a, N.ExprStmt):
+        _pair_expr(a.value, b.value, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.Push):
+        if a.stack != b.stack:  # type: ignore[union-attr]
+            raise _pair_fail("stack")
+        _pair_expr(a.value, b.value, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.Pop):
+        if a.stack != b.stack:  # type: ignore[union-attr]
+            raise _pair_fail("stack")
+        _pair_lvalue(a.target, b.target, out)  # type: ignore[union-attr]
+    elif isinstance(a, N.PopDiscard):
+        if a.stack != b.stack:  # type: ignore[union-attr]
+            raise _pair_fail("stack")
+    elif isinstance(a, N.TraceAppend):
+        if a.trace != b.trace:  # type: ignore[union-attr]
+            raise _pair_fail("trace")
+        _pair_expr(a.value, b.value, out)  # type: ignore[union-attr]
+
+
+def _pair_body(
+    xs: Sequence[N.Stmt], ys: Sequence[N.Stmt], out: Dict[int, object]
+) -> None:
+    if len(xs) != len(ys):
+        raise _pair_fail("body length")
+    for a, b in zip(xs, ys):
+        _pair_stmt(a, b, out)
+
+
+def pair_functions(a: N.Function, b: N.Function) -> Dict[int, object]:
+    """Map ``id(node) -> node`` between two structurally equal functions.
+
+    Constants may differ in (float) value and every node may differ in
+    dtype annotations — that is the whole point: ``b`` is typically a
+    per-config derivation of ``a`` (a demoted clone, or the adjoint of a
+    demoted primal) whose lane parameters we want to read off.
+
+    :raises ConfigLoweringError: on any structural divergence.
+    """
+    if len(a.params) != len(b.params):
+        raise _pair_fail("parameter count")
+    out: Dict[int, object] = {}
+    for pa, pb in zip(a.params, b.params):
+        if pa.name != pb.name:
+            raise _pair_fail("parameter name")
+        out[id(pa)] = pb
+    _pair_body(a.body, b.body, out)
+    return out
+
+
+def lower_config_pool_zip(
+    program: ConfigLaneProgram,
+    variants: Sequence[N.Function],
+) -> LoweredConfigPool:
+    """Lower a pool by pairing the program against per-config *derived*
+    functions (e.g. adjoints regenerated from demoted primals).
+
+    Used when the per-config function cannot be produced by dtype
+    re-assignment alone; each variant must be structurally identical to
+    the program's baseline function (verified node by node).  Charge
+    sites are not supported — counting code goes through
+    :func:`lower_config_pool`.
+    """
+    if program.charge_sites:
+        raise ConfigLoweringError(
+            "zip lowering does not support counting programs"
+        )
+    k = len(variants)
+    if k == 0:
+        raise ValueError("empty variant pool")
+    rs = np.zeros((len(program.round_sites), k), dtype=np.int8)
+    cs = np.zeros((len(program.const_sites), k), dtype=np.float64)
+    for j, var_fn in enumerate(variants):
+        mapping = pair_functions(program.fn, var_fn)
+        for i, site in enumerate(program.round_sites):
+            node = mapping[id(site.node)]
+            rs[i, j] = _dtype_code(_site_dtype(site.kind, node))
+        for i, cnode in enumerate(program.const_sites):
+            cs[i, j] = mapping[id(cnode)].value  # type: ignore[attr-defined]
+    return LoweredConfigPool(
+        k=k,
+        selectors=[
+            runtime.LaneSelector.from_codes(rs[i])
+            for i in range(len(program.round_sites))
+        ],
+        charges=[],
+        consts=_pack_rows(cs, k),
+    )
+
+
+class ConfigLaneKernel:
+    """A compiled precision-parameterized kernel.
+
+    Compiled once per IR fingerprint; specialized to each proposal pool
+    by :meth:`lower` (cheap — typing passes only) and executed on all
+    lanes at once by calling :attr:`raw` with the pool's lane
+    parameters appended.
+    """
+
+    def __init__(self, program: ConfigLaneProgram, raw: Callable) -> None:
+        self.program = program
+        self.raw = raw
+
+    @property
+    def source(self) -> str:
+        return self.program.source
+
+    def lower(
+        self,
+        configs: Sequence[object],
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        approx: Optional[Set[str]] = None,
+    ) -> LoweredConfigPool:
+        return lower_config_pool(
+            self.program, configs, cost_model=cost_model, approx=approx
+        )
+
+    def __call__(self, pool: LoweredConfigPool, *args: object) -> object:
+        with np.errstate(all="ignore"):
+            return self.raw(
+                *args, pool.selectors, pool.charges, pool.consts
+            )
+
+
+#: fingerprint-keyed memo of compiled config-lane kernels.  A precision
+#: *configuration* is not part of the key — configurations are runtime
+#: lane parameters — but anything that changes the generated code is:
+#: the IR content, the batched-input set, counting, the execution mode,
+#: and the approx-intrinsic set (baked into the runtime bindings).
+_CONFIG_KERNEL_MEMO: "OrderedDict[tuple, ConfigLaneKernel]" = OrderedDict()
+_CONFIG_KERNEL_MEMO_MAX = 32
+_CONFIG_KERNEL_COUNTERS = {"hits": 0, "misses": 0, "unvectorizable": 0}
+
+
+def config_lane_kernel(
+    fn: N.Function,
+    batched: Set[str] = frozenset(),
+    counting: bool = False,
+    allow_arrays: bool = False,
+    approx: Optional[Set[str]] = None,
+    extra_bindings: Optional[Dict[str, object]] = None,
+    use_cache: bool = True,
+) -> ConfigLaneKernel:
+    """Get (or build) the compiled config-lane kernel for ``fn``.
+
+    Keyed by content fingerprint: re-registered kernels with identical
+    IR share one compiled kernel, while *any* semantic change to the IR
+    misses the cache — a pool of configurations can never reuse a stale
+    kernel because configurations enter at lowering time, not compile
+    time.
+
+    :raises UnvectorizableError: when ``fn`` cannot be rendered in
+        config-batched form (callers fall back to the scalar path).
+    """
+    from repro.codegen.npgen import UnvectorizableError
+
+    key = None
+    if use_cache and extra_bindings is None:
+        key = (
+            ir_fingerprint(fn),
+            frozenset(batched),
+            counting,
+            allow_arrays,
+            frozenset(approx or ()),
+        )
+        hit = _CONFIG_KERNEL_MEMO.get(key)
+        if hit is not None:
+            _CONFIG_KERNEL_COUNTERS["hits"] += 1
+            _CONFIG_KERNEL_MEMO.move_to_end(key)
+            return hit
+    _CONFIG_KERNEL_COUNTERS["misses"] += 1
+    try:
+        program = generate_config_lane_source(
+            fn,
+            batched=set(batched),
+            counting=counting,
+            allow_arrays=allow_arrays,
+        )
+    except UnvectorizableError:
+        _CONFIG_KERNEL_COUNTERS["unvectorizable"] += 1
+        raise
+    g = runtime.config_lane_bindings(approx=approx)
+    if extra_bindings:
+        g.update(extra_bindings)
+    code = compile(
+        program.source, filename=f"<repro-config:{fn.name}>", mode="exec"
+    )
+    ns: Dict[str, object] = {}
+    exec(code, g, ns)  # noqa: S102 - compiling our own generated source
+    kernel = ConfigLaneKernel(program, ns[fn.name])  # type: ignore[arg-type]
+    if key is not None:
+        _CONFIG_KERNEL_MEMO[key] = kernel
+        while len(_CONFIG_KERNEL_MEMO) > _CONFIG_KERNEL_MEMO_MAX:
+            _CONFIG_KERNEL_MEMO.popitem(last=False)
+    return kernel
+
+
+def config_kernel_cache_stats() -> Dict[str, int]:
+    """Occupancy and hit/miss counters of the config-kernel memo."""
+    return {
+        "entries": len(_CONFIG_KERNEL_MEMO),
+        "capacity": _CONFIG_KERNEL_MEMO_MAX,
+        **_CONFIG_KERNEL_COUNTERS,
+    }
+
+
+def clear_config_kernel_cache() -> None:
+    """Drop all memoized config-lane kernels (test isolation helper)."""
+    _CONFIG_KERNEL_MEMO.clear()
+    for key in _CONFIG_KERNEL_COUNTERS:
+        _CONFIG_KERNEL_COUNTERS[key] = 0

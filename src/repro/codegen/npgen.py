@@ -32,10 +32,18 @@ sweep engine falls back to a scalar loop: array parameters, loops whose
 trip counts depend on batched data (data-dependent ``while``/``break``),
 sensitivity traces under a mask, and user-bound scalar callables
 (external error models).
+
+A second generator builds on the same machinery for the **config
+axis**: :func:`generate_config_lane_source` renders a kernel once with
+every potential demotion point as a runtime rounding site and every
+dtype-dependent cycle charge as a runtime lane vector, so K precision
+configurations evaluate in one execution — see the section comment
+below and :mod:`repro.codegen.compile` for pool lowering.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.ir import nodes as N
@@ -97,6 +105,14 @@ def _taint_analysis(
                     masked or expr_tainted(s.value)
                 ):
                     taint(s.target.id)
+                elif isinstance(s.target, N.Index) and (
+                    masked
+                    or expr_tainted(s.value)
+                    or expr_tainted(s.target.index)
+                ):
+                    # a lane-variable store into an array element makes
+                    # every later read of that array lane-variable too
+                    taint(s.target.base)
             elif isinstance(s, N.VarDecl):
                 if s.init is not None and (masked or expr_tainted(s.init)):
                     taint(s.name)
@@ -134,13 +150,20 @@ def _subtree_has(stmts: Sequence[N.Stmt], kinds: tuple) -> bool:
 
 
 class _BatchGen:
-    def __init__(self, fn: N.Function, batched: Set[str]) -> None:
-        for p in fn.params:
-            if isinstance(p.type, ArrayType):
-                raise UnvectorizableError(
-                    f"{fn.name}: array parameter {p.name!r} is not "
-                    "supported by the batch backend"
-                )
+    def __init__(
+        self,
+        fn: N.Function,
+        batched: Set[str],
+        extra_taint: Set[str] = frozenset(),
+        allow_arrays: bool = False,
+    ) -> None:
+        if not allow_arrays:
+            for p in fn.params:
+                if isinstance(p.type, ArrayType):
+                    raise UnvectorizableError(
+                        f"{fn.name}: array parameter {p.name!r} is not "
+                        "supported by the batch backend"
+                    )
         unknown = batched - {p.name for p in fn.params}
         if unknown:
             raise UnvectorizableError(
@@ -148,7 +171,10 @@ class _BatchGen:
                 f"{sorted(unknown)}"
             )
         self.fn = fn
-        self.tainted, self.tainted_stacks = _taint_analysis(fn, batched)
+        self.allow_arrays = allow_arrays
+        self.tainted, self.tainted_stacks = _taint_analysis(
+            fn, set(batched) | set(extra_taint)
+        )
         self.lines: List[str] = []
         self.indent = 1
         self.stacks: List[str] = []
@@ -427,6 +453,358 @@ class _BatchGen:
         ):
             self._emit_return(["None"])
         return header + "\n" + "\n".join(self.lines)
+
+
+# --------------------------------------------------------------------------
+# Config-batched (precision-parameterized) generation
+# --------------------------------------------------------------------------
+#
+# The search hot path evaluates K precision configurations of one kernel.
+# Instead of rewriting the IR and recompiling per configuration, the
+# config-lane generator renders the kernel ONCE with every potential
+# demotion point turned into a *runtime rounding site*:
+#
+#     xd1 = _rnd(_rs[7], ((rate + xpowerterm) * otime + xlogterm) / xden)
+#
+# ``_rs[7]`` is a per-lane selector (None, or (K, 1) masks choosing
+# f32/f16 rounding per config lane), so one execution of the generated
+# code evaluates all K configurations at once — each lane performing,
+# bit for bit, the operations the per-config scalar code would.  Cycle
+# accounting becomes runtime too: every statement pygen would charge a
+# (dtype-dependent) constant for charges a per-lane vector ``_ch[i]``
+# instead, and float constants are passed through ``_cs`` so adjoint
+# variants whose constants depend on storage precision (machine-epsilon
+# factors in error models) can share the same compiled code.
+#
+# The selector/charge/constant vectors for a concrete pool of configs
+# are derived by :func:`repro.codegen.compile.lower_config_pool`, which
+# runs the *same* dtype re-inference the scalar path's
+# ``apply_precision`` uses — that, plus the shared numpy runtime of the
+# input-sweep engine, is what makes the lanes bit-identical.
+
+
+@dataclass
+class RoundSite:
+    """One potential rounding point in the generated code.
+
+    ``kind`` is one of ``"expr"`` (operation result), ``"index"``
+    (array-element read), ``"store"`` (assignment target), ``"decl"``
+    (declaration initializer), or ``"param"`` (entry rounding of an
+    incoming argument); ``node`` is the IR node whose lowered dtype
+    decides the per-lane selector.
+    """
+
+    kind: str
+    node: object
+
+
+@dataclass
+class ChargeSite:
+    """One cycle-accounting point whose cost depends on lane dtypes.
+
+    ``kind``: ``"store"`` (Assign), ``"decl"`` (VarDecl with init),
+    ``"if"`` (branch condition), ``"while"`` (per-iteration condition
+    plus bookkeeping).  Mirrors exactly where pygen's counting mode
+    emits ``_cost +=`` statements.
+    """
+
+    kind: str
+    node: object
+
+
+@dataclass
+class ConfigLaneProgram:
+    """A config-batched rendering of one IR function plus its site maps.
+
+    The generated function's signature is the IR function's parameters
+    followed by ``_rs`` (rounding selectors), ``_ch`` (charge vectors)
+    and ``_cs`` (float-constant values) — the per-pool lane parameters
+    produced by lowering.
+    """
+
+    fn: N.Function
+    source: str
+    counting: bool
+    allow_arrays: bool
+    batched: frozenset
+    round_sites: List[RoundSite]
+    charge_sites: List[ChargeSite]
+    const_sites: List[N.Const]
+    #: baseline storage dtype of every variable (pre-demotion)
+    var_baseline: dict
+
+
+_FLOAT_DTYPES = (DType.F64, DType.F32, DType.F16)
+
+
+class _ConfigLaneGen(_BatchGen):
+    """Config-lane variant of the batch generator.
+
+    Inherits the if-conversion / masking / tape machinery of
+    :class:`_BatchGen` and replaces every *static* precision decision
+    (rounding wrappers chosen by inferred dtypes, cycle constants baked
+    by the cost model) with indexed runtime sites.
+    """
+
+    def __init__(
+        self,
+        fn: N.Function,
+        batched: Set[str],
+        counting: bool,
+        allow_arrays: bool,
+    ) -> None:
+        from repro.ir.typecheck import collect_var_dtypes
+
+        self.var_baseline = collect_var_dtypes(fn)
+        config_taint = {
+            name
+            for name, dt in self.var_baseline.items()
+            if dt in _FLOAT_DTYPES
+        }
+        super().__init__(
+            fn,
+            set(batched),
+            extra_taint=config_taint,
+            allow_arrays=allow_arrays,
+        )
+        self.counting = counting
+        self.round_sites: List[RoundSite] = []
+        self.charge_sites: List[ChargeSite] = []
+        self.const_sites: List[N.Const] = []
+
+    # -- site registration ---------------------------------------------------
+    def _round_site(self, kind: str, node: object) -> int:
+        self.round_sites.append(RoundSite(kind, node))
+        return len(self.round_sites) - 1
+
+    def _emit_charge(self, kind: str, node: object) -> None:
+        if not self.counting:
+            return
+        self.charge_sites.append(ChargeSite(kind, node))
+        i = len(self.charge_sites) - 1
+        if self.mask is None:
+            self.emit(f"_cost = _cost + _ch[{i}]")
+        else:
+            self.emit(
+                f"_cost = _cost + _where({self.mask}, _ch[{i}], 0.0)"
+            )
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, e: N.Expr) -> str:
+        text = self._expr_raw(e)
+        dt = e.dtype or DType.F64
+        if dt not in _FLOAT_DTYPES:
+            return text
+        if isinstance(e, N.BinOp) and (
+            e.op in N.CMPOPS or e.op in N.BOOLOPS
+        ):
+            return text
+        if isinstance(e, (N.BinOp, N.Call)):
+            return f"_rnd(_rs[{self._round_site('expr', e)}], {text})"
+        if isinstance(e, N.Index):
+            # arrays are passed unrounded and lane-uniform; demoted
+            # storage rounds at every element read (idempotent, so it
+            # matches the scalar path's round-once-on-entry exactly)
+            return f"_rnd(_rs[{self._round_site('index', e)}], {text})"
+        return text
+
+    def _expr_raw(self, e: N.Expr) -> str:
+        if isinstance(e, N.Const):
+            if isinstance(e.value, bool):
+                return "True" if e.value else "False"
+            if isinstance(e.value, float):
+                self.const_sites.append(e)
+                return f"_cs[{len(self.const_sites) - 1}]"
+            return repr(e.value)
+        if isinstance(e, N.Index):
+            if not self.allow_arrays:
+                raise UnvectorizableError(
+                    f"{self.fn.name}: array indexing is not supported "
+                    "by the grid backend"
+                )
+            if self.expr_tainted(e.index):
+                raise UnvectorizableError(
+                    f"{self.fn.name}: array index depends on lane data"
+                )
+            return f"{e.base}[{self.expr(e.index)}]"
+        return super()._expr_raw(e)
+
+    # -- stores --------------------------------------------------------------
+    def _store(self, target: N.LValue, value: N.Expr) -> None:
+        text = self.expr(value)
+        if isinstance(target, N.Index):
+            if not self.allow_arrays:
+                raise UnvectorizableError(
+                    f"{self.fn.name}: array-element store is not "
+                    "supported by the grid backend"
+                )
+            if self.mask is not None:
+                raise UnvectorizableError(
+                    f"{self.fn.name}: array-element store under a "
+                    "data-dependent branch cannot be config-batched"
+                )
+            if self.expr_tainted(target.index):
+                raise UnvectorizableError(
+                    f"{self.fn.name}: array store index depends on "
+                    "lane data"
+                )
+            site = self._round_site("store", target)
+            self.emit(
+                f"{target.base}[{self.expr(target.index)}] = "
+                f"_rnd(_rs[{site}], {text})"
+            )
+            return
+        base_dt = self.var_baseline.get(target.id, DType.F64)
+        if base_dt in _FLOAT_DTYPES:
+            text = f"_rnd(_rs[{self._round_site('store', target)}], {text})"
+        if self.mask is None:
+            self.emit(f"{target.id} = {text}")
+        else:
+            self.emit(
+                f"{target.id} = _where({self.mask}, {text}, {target.id})"
+            )
+
+    # -- statements ----------------------------------------------------------
+    def stmt(self, s: N.Stmt) -> None:
+        if isinstance(s, N.VarDecl):
+            if s.init is None:
+                self.emit(f"{s.name} = 0.0")
+                return
+            text = self.expr(s.init)
+            if s.dtype in _FLOAT_DTYPES:
+                text = f"_rnd(_rs[{self._round_site('decl', s)}], {text})"
+            # declarations are never blended, even under a mask (see
+            # _BatchGen.stmt)
+            self.emit(f"{s.name} = {text}")
+            self._emit_charge("decl", s)
+            return
+        if isinstance(s, N.Assign):
+            self._store(s.target, s.value)
+            self._emit_charge("store", s)
+            return
+        super().stmt(s)
+
+    # -- control flow ---------------------------------------------------------
+    def _if(self, s: N.If) -> None:
+        # pygen charges the condition before entering either arm
+        self._emit_charge("if", s)
+        super()._if(s)
+
+    def _for(self, s: N.For) -> None:
+        if self.mask is not None:
+            raise UnvectorizableError(
+                f"{self.fn.name}: loop under a data-dependent branch "
+                "cannot be vectorized"
+            )
+        for e in (s.lo, s.hi, s.step):
+            if self.expr_tainted(e):
+                raise UnvectorizableError(
+                    f"{self.fn.name}: loop bound depends on batched data"
+                )
+        lo, hi, step = self.expr(s.lo), self.expr(s.hi), self.expr(s.step)
+        self.emit(f"for {s.var} in range({lo}, {hi}, {step}):")
+        self.indent += 1
+        if self.counting:
+            self.emit("_cost = _cost + 1.0")  # loop bookkeeping
+        self.body(s.body)
+        self.indent -= 1
+
+    def _while(self, s: N.While) -> None:
+        if self.mask is not None or self.expr_tainted(s.cond):
+            raise UnvectorizableError(
+                f"{self.fn.name}: while-loop condition depends on "
+                "batched data"
+            )
+        self.emit(f"while {self.expr(s.cond)}:")
+        self.indent += 1
+        self._emit_charge("while", s)
+        self.body(s.body)
+        self.indent -= 1
+
+    # -- function ------------------------------------------------------------
+    def _emit_return(self, values: List[str]) -> None:
+        if self.mask is not None:
+            raise UnvectorizableError(
+                f"{self.fn.name}: return under a data-dependent branch"
+            )
+        parts = values + [f"_tr_{t}" for t in self.traces]
+        if self.counting:
+            parts.append("_cost")
+        if len(parts) == 1:
+            self.emit(f"return {parts[0]}")
+        else:
+            self.emit(f"return ({', '.join(parts)})")
+
+    def generate(self) -> str:
+        fn = self.fn
+        for s in walk_stmts(fn.body):
+            if isinstance(s, N.Push) and s.stack not in self.stacks:
+                self.stacks.append(s.stack)
+            if (
+                isinstance(s, (N.Pop, N.PopDiscard))
+                and s.stack not in self.stacks
+            ):
+                self.stacks.append(s.stack)
+            if isinstance(s, N.TraceAppend) and s.trace not in self.traces:
+                self.traces.append(s.trace)
+        params = [p.name for p in fn.params] + ["_rs", "_ch", "_cs"]
+        header = f"def {fn.name}({', '.join(params)}):"
+        for stack in self.stacks:
+            self.emit(f"_stk_{stack} = []")
+        for trace in self.traces:
+            self.emit(f"_tr_{trace} = []")
+        if self.counting:
+            self.emit("_cost = 0.0")
+        for p in fn.params:
+            # demoted parameter storage rounds the incoming value, per
+            # lane (the scalar path rounds in CompiledFunction.__call__)
+            if isinstance(p.type, ArrayType):
+                continue
+            if p.type.dtype in _FLOAT_DTYPES:
+                i = self._round_site("param", p)
+                self.emit(f"{p.name} = _rnd(_rs[{i}], {p.name})")
+        self.body(fn.body)
+        if not fn.body or not isinstance(
+            fn.body[-1], (N.Return, N.ReturnTuple)
+        ):
+            self._emit_return(["None"])
+        return header + "\n" + "\n".join(self.lines)
+
+
+def generate_config_lane_source(
+    fn: N.Function,
+    batched: Set[str] = frozenset(),
+    counting: bool = False,
+    allow_arrays: bool = False,
+) -> ConfigLaneProgram:
+    """Render ``fn`` as config-batched (precision-parameterized) source.
+
+    :param batched: scalar parameters additionally batched along the
+        *input* axis (length-N arrays); the config axis is always
+        present.  An empty set gives the per-point form used when
+        inputs (or array arguments) must stay lane-uniform.
+    :param counting: bake per-lane simulated-cycle accumulation in.
+    :param allow_arrays: permit (lane-uniform) array parameters with
+        lane-invariant indices — the per-point execution mode.
+    :raises UnvectorizableError: when the structure cannot execute
+        array-at-a-time; callers fall back to the per-config scalar
+        path.
+    """
+    gen = _ConfigLaneGen(
+        fn, set(batched), counting=counting, allow_arrays=allow_arrays
+    )
+    source = gen.generate()
+    return ConfigLaneProgram(
+        fn=fn,
+        source=source,
+        counting=counting,
+        allow_arrays=allow_arrays,
+        batched=frozenset(batched),
+        round_sites=gen.round_sites,
+        charge_sites=gen.charge_sites,
+        const_sites=gen.const_sites,
+        var_baseline=gen.var_baseline,
+    )
 
 
 def generate_batch_source(fn: N.Function, batched: Set[str]) -> str:

@@ -81,6 +81,9 @@ def exactwise(impl: Callable) -> Callable:
     ``math.exp`` by an ulp, and error models of the form
     ``x - (float)x`` amplify a one-ulp input difference catastrophically.
     The sweep engine's per-point-match guarantee rests on this wrapper.
+
+    Works for any broadcast shape: the input-sweep engine feeds 1-D
+    batches, the config-batched engine ``(K, N)`` lane grids.
     """
 
     def wrapped(*args):
@@ -89,11 +92,10 @@ def exactwise(impl: Callable) -> Callable:
         bargs = np.broadcast_arrays(*[np.asarray(a) for a in args])
         if bargs[0].ndim == 0:
             return impl(*[a.item() for a in bargs])
-        out = [
-            impl(*vals)
-            for vals in zip(*(a.tolist() for a in bargs))
-        ]
-        return np.asarray(out, dtype=np.float64)
+        shape = bargs[0].shape
+        flat = [a.ravel().tolist() for a in bargs]
+        out = [impl(*vals) for vals in zip(*flat)]
+        return np.asarray(out, dtype=np.float64).reshape(shape)
 
     wrapped.__name__ = getattr(impl, "__name__", "exactwise")
     return wrapped
@@ -149,6 +151,84 @@ def batch_bindings() -> Dict[str, object]:
     g["_land"] = np.logical_and
     g["_lor"] = np.logical_or
     g["_lnot"] = np.logical_not
+    return g
+
+
+class LaneSelector:
+    """Per-lane rounding decision of one rounding site.
+
+    Holds the per-lane rounding codes (0 = keep, 1 = binary32, 2 =
+    binary16) as a ``(K, 1)`` column — so lane parameters broadcast
+    against the batched-input axis — plus boolean masks per precision.
+    ``None`` is used instead of a selector when no lane rounds at all —
+    the fast path the generated code's ``_rnd`` binding short-circuits
+    on.
+    """
+
+    __slots__ = ("codes", "m32", "m16", "any32", "any16")
+
+    def __init__(self, codes: np.ndarray) -> None:
+        self.codes = codes.reshape(-1, 1)
+        self.m32 = self.codes == 1
+        self.m16 = self.codes == 2
+        self.any32 = bool(self.m32.any())
+        self.any16 = bool(self.m16.any())
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray) -> Optional["LaneSelector"]:
+        """Build from per-lane codes (0 = keep, 1 = f32, 2 = f16)."""
+        if not codes.any():
+            return None
+        return cls(np.asarray(codes))
+
+
+def lane_round(sel: Optional[LaneSelector], x):
+    """Round ``x`` per config lane according to ``sel``.
+
+    ``x`` is a scalar or an array broadcastable against ``(K, 1)`` lane
+    masks; lanes whose selector code is 0 pass through bit-unchanged,
+    the others round exactly like the scalar path's ``_c32``/``_c16``:
+    the astype narrowings are IEEE round-to-nearest-even — the same
+    rounding ``round_f32``/``round_f16`` perform — and the widening
+    back to f64 (implicit in ``np.where``'s type promotion) is exact.
+    """
+    if sel is None:
+        return x
+    if isinstance(x, (float, int)):
+        # lane-uniform value: three rounded candidates, gathered by code
+        xv = float(x)
+        return np.array([xv, round_f32(xv), round_f16(xv)])[sel.codes]
+    xa = np.asarray(x, dtype=np.float64)
+    if xa.ndim == 0:
+        xv = float(xa)
+        return np.array([xv, round_f32(xv), round_f16(xv)])[sel.codes]
+    out = x
+    if sel.any32:
+        out = np.where(sel.m32, xa.astype(np.float32), out)
+    if sel.any16:
+        out = np.where(sel.m16, xa.astype(np.float16), out)
+    return out
+
+
+def config_lane_bindings(
+    approx: Optional[Set[str]] = None,
+) -> Dict[str, object]:
+    """Globals for config-batched (precision-parameterized) execution.
+
+    :func:`batch_bindings` plus the per-lane rounding primitive the
+    config-lane code generator emits at every potential demotion site.
+
+    :param approx: intrinsic names to run as their FastApprox variants —
+        lifted through :func:`exactwise` so every lane reproduces the
+        scalar approximate implementation bit for bit (mirrors
+        ``direct_bindings(approx=...)``).
+    """
+    g = batch_bindings()
+    for name in approx or ():
+        info = INTRINSICS[name]
+        if info.approx_impl is not None:
+            g[f"_i_{name}"] = exactwise(info.approx_impl)
+    g["_rnd"] = lane_round
     return g
 
 

@@ -26,7 +26,7 @@ from repro.ir.types import ArrayType
 from repro.util.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sweep.batch import BatchReport
+    from repro.sweep.batch import BatchReport, ConfigBatchReport
 
 KernelLike = Union[Kernel, N.Function]
 
@@ -35,6 +35,30 @@ def _as_ir(k: KernelLike) -> N.Function:
     if isinstance(k, Kernel):
         return k.ir
     return k
+
+
+def build_adjoint(
+    primal: N.Function,
+    extension,
+    opt_level: int = 2,
+    minimal_pushes: bool = True,
+) -> N.Function:
+    """Reverse-mode transform + optimization pipeline, no compilation.
+
+    The IR half of estimator construction, shared by the compiled
+    scalar path (:class:`_AdjointRunner`) and the config-batched
+    estimator, which regenerates per-config adjoints only to read their
+    lane parameters off.
+    """
+    transformer = ReverseModeTransformer(
+        primal, extension=extension, minimal_pushes=minimal_pushes
+    )
+    adjoint = transformer.transform()
+    if opt_level > 0:
+        from repro.opt.pipeline import optimize
+
+        adjoint = optimize(adjoint, level=opt_level)
+    return adjoint
 
 
 class _AdjointRunner:
@@ -49,14 +73,10 @@ class _AdjointRunner:
         extra_bindings: Optional[Dict[str, object]] = None,
     ) -> None:
         self.primal = primal
-        transformer = ReverseModeTransformer(
-            primal, extension=extension, minimal_pushes=minimal_pushes
+        adjoint = build_adjoint(
+            primal, extension, opt_level=opt_level,
+            minimal_pushes=minimal_pushes,
         )
-        adjoint = transformer.transform()
-        if opt_level > 0:
-            from repro.opt.pipeline import optimize
-
-            adjoint = optimize(adjoint, level=opt_level)
         self.adjoint = adjoint
         self.layout = adjoint.meta["adjoint"]
         self.compiled: CompiledFunction = compile_raw(
@@ -155,6 +175,8 @@ class ErrorEstimator:
         minimal_pushes: bool = True,
     ) -> None:
         self.module = ErrorEstimationModule(model=model, track=track)
+        self.opt_level = opt_level
+        self.minimal_pushes = minimal_pushes
         self._runner = _AdjointRunner(
             _as_ir(k),
             extension=self.module,
@@ -163,6 +185,7 @@ class ErrorEstimator:
             extra_bindings=self.module.bindings(),
         )
         self._batched = None  # lazily-built repro.sweep.BatchedErrorEstimator
+        self._config_batched = None  # lazy repro.sweep.ConfigBatchedEstimator
 
     @property
     def source(self) -> str:
@@ -231,6 +254,28 @@ class ErrorEstimator:
 
             self._batched = BatchedErrorEstimator(self)
         return self._batched.execute(*args)
+
+    def execute_config_batch(
+        self, configs: Sequence[object], *args: object
+    ) -> "ConfigBatchReport":
+        """Run the analysis for **K precision configurations** at once.
+
+        ``configs`` is a sequence of
+        :class:`~repro.tuning.PrecisionConfig`; ``args`` follow the
+        :meth:`execute_batch` conventions (lane-uniform scalars and/or
+        length-N sweep arrays), so the result covers a K × N grid of
+        (configuration, input point) pairs.  Per (config, point) the
+        numbers equal what a freshly built estimator of the demoted
+        kernel would report — the vectorized backend reuses this
+        estimator's compiled lanes (compile-once), with a transparent
+        per-config fallback where the kernel (or a config) cannot be
+        expressed as lane parameters.
+        """
+        if self._config_batched is None:
+            from repro.sweep.batch import ConfigBatchedEstimator
+
+            self._config_batched = ConfigBatchedEstimator(self)
+        return self._config_batched.execute(configs, *args)
 
 
 def gradient(k: KernelLike, **kwargs: object) -> Gradient:

@@ -55,14 +55,18 @@ MACHINE_EPS = {
     DType.F64: 2.0 ** -52,
 }
 
-#: Rank used for implicit promotion; higher rank wins.
-_PROMOTION_RANK = {
+#: Rank used for implicit promotion; higher rank wins.  Public because
+#: the vectorized config-pool lowering (repro.codegen.compile) encodes
+#: dtypes by this rank so that ``promote`` becomes an integer ``max`` —
+#: the two must never diverge.
+PROMOTION_RANK = {
     DType.B1: 0,
     DType.I64: 1,
     DType.F16: 2,
     DType.F32: 3,
     DType.F64: 4,
 }
+_PROMOTION_RANK = PROMOTION_RANK
 
 
 def promote(a: DType, b: DType) -> DType:

@@ -10,16 +10,20 @@ multi-objective search over (error, modelled cycles):
   configuration by actually executing it (actual error + counted
   cycles, via :mod:`repro.tuning.validate`) and, when an input
   distribution is given, by a distribution-robust estimated error from
-  the batched sweep engine (content-addressed cache included);
+  the batched sweep engine (content-addressed cache included).  Whole
+  proposal pools score in one pass through the compile-once
+  config-batched lane kernel (``repro.codegen``), bit-identical to the
+  per-candidate path;
 * :mod:`~repro.search.strategies` — the :class:`SearchStrategy`
   interface and registry: the paper's greedy pass as a baseline
   adapter, Precimonious-style delta debugging, simulated annealing with
   random restarts (exhaustive enumeration as the small-kernel
-  fallback), and plain exhaustive search;
+  fallback), lockstep population annealing proposing whole generations,
+  and plain exhaustive search;
 * :mod:`~repro.search.parallel` — :class:`ParallelEvaluator` fans
-  candidate pools out over forked worker processes, bit-identical to
-  the serial path, with compiled-estimator construction memoized per
-  worker;
+  candidate pools out over forked worker processes as contiguous config
+  blocks, bit-identical to the serial path, with compiled-estimator
+  construction memoized per worker;
 * :mod:`~repro.search.pareto` — :class:`ParetoFront` with dominance
   pruning and per-candidate provenance;
 * :mod:`~repro.search.api` — the :func:`search` driver and

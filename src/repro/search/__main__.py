@@ -108,6 +108,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     result = scen.run(**overrides)
 
     print(result.summary())
+    stats = result.stats or {}
+    ev = stats.get("evaluator", {})
+    if ev:
+        mode = ev.get("pool_mode") or "off (per-candidate)"
+        print(
+            f"evaluator: computed={ev.get('computed')} "
+            f"memo_hits={ev.get('memo_hits')} "
+            f"config_batch={mode} "
+            f"pool_runs={ev.get('pool_runs')} "
+            f"pool_lanes={ev.get('pool_lanes')} "
+            f"pool_fallbacks={ev.get('pool_fallbacks')}"
+        )
+    memo = stats.get("estimator_memo", {})
+    if memo:
+        print(
+            f"estimator memo: entries={memo.get('entries')} "
+            f"capacity={memo.get('capacity')}"
+        )
+    kern = stats.get("config_kernel_cache", {})
+    if kern:
+        print(
+            f"kernel cache: entries={kern.get('entries')} "
+            f"hits={kern.get('hits')} misses={kern.get('misses')} "
+            f"unvectorizable={kern.get('unvectorizable')}"
+        )
+    sweep = stats.get("sweep_cache")
+    if sweep is not None:
+        print(
+            f"sweep cache: hits={sweep.get('hits')} "
+            f"misses={sweep.get('misses')} "
+            f"evictions={sweep.get('evictions')} "
+            f"disk_entries={sweep.get('disk_entries')} "
+            f"disk_bytes={sweep.get('disk_bytes')}"
+        )
     if args.json is not None:
         args.json.write_text(
             json.dumps(result.to_dict(), indent=2) + "\n"

@@ -87,6 +87,9 @@ class SearchResult:
     contributions: Dict[str, float]
     #: whether worker processes actually evaluated candidate pools
     parallel: bool = False
+    #: evaluator/cache counters (config-batching, memo, sweep cache,
+    #: compiled-kernel cache) — surfaced by the CLI and benchmarks
+    stats: Optional[Dict[str, object]] = None
 
     @property
     def n_evaluated(self) -> int:
@@ -113,6 +116,7 @@ class SearchResult:
             "front": self.front.to_dicts(),
             "baseline": self.baseline.to_dict() if self.baseline else None,
             "best_under_threshold": best.to_dict() if best else None,
+            "stats": self.stats,
         }
 
     def summary(self) -> str:
@@ -202,6 +206,7 @@ def search(
     approx: Optional[Set[str]] = None,
     seed: int = 0,
     error_metric: str = "worst",
+    config_batch: bool = True,
 ) -> SearchResult:
     """Multi-objective precision search over (error, modelled cycles).
 
@@ -231,6 +236,10 @@ def search(
     :param error_metric: how actual and estimated errors combine into
         the Pareto error axis (``"worst"``, ``"actual"``,
         ``"estimate"``).
+    :param config_batch: score proposal pools through the compile-once
+        config-batched kernel (default).  ``False`` forces the PR-2
+        per-candidate compile-and-run path; results are bit-identical,
+        only slower.
     """
     fn = _as_ir(k)
     if points and not isinstance(points[0], (tuple, list)):
@@ -249,10 +258,14 @@ def search(
         aggregate=aggregate,
         cache=store,
         error_metric=error_metric,
+        config_batch=config_batch,
     )
     if ev_cls is ParallelEvaluator:
         ev_kwargs["workers"] = int(workers)
+    from repro.codegen.compile import config_kernel_cache_stats
+
     evaluator = ev_cls(fn, points, **ev_kwargs)
+    kernel_cache_before = config_kernel_cache_stats()
     try:
         evaluator.prepare()
         registers = _register_contributions(
@@ -285,6 +298,20 @@ def search(
             get_strategy(name).run(problem)
         front = ParetoFront(evaluator.history)
         parallel = bool(getattr(evaluator, "parallel", False))
+        from repro.core.api import estimator_memo_stats
+
+        # hit/miss counters are process-cumulative: report this run's
+        # deltas (entries/capacity stay gauges)
+        kernel_cache = dict(config_kernel_cache_stats())
+        for counter in ("hits", "misses", "unvectorizable"):
+            kernel_cache[counter] -= kernel_cache_before[counter]
+        stats: Dict[str, object] = {
+            "evaluator": evaluator.eval_stats(),
+            "estimator_memo": estimator_memo_stats(),
+            "config_kernel_cache": kernel_cache,
+        }
+        if store is not None:
+            stats["sweep_cache"] = store.cache_stats()
     finally:
         evaluator.close()
     return SearchResult(
@@ -298,4 +325,5 @@ def search(
         candidates=cand,
         contributions=contributions,
         parallel=parallel,
+        stats=stats,
     )

@@ -35,6 +35,7 @@ from typing import (
 
 import numpy as np
 
+from repro.codegen.compile import ConfigLoweringError
 from repro.core.api import KernelLike
 from repro.frontend.registry import Kernel
 from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
@@ -47,6 +48,7 @@ from repro.tuning.validate import (
     ReferencePoint,
     counting_runner,
     modelled_speedup,
+    pool_counting_runner,
 )
 
 #: how the actual and estimated errors combine into the Pareto error axis
@@ -141,6 +143,11 @@ class CandidateEvaluator:
         strategies, runs, or processes become cache hits.
     :param error_metric: ``"worst"`` (default; max of actual and
         estimated), ``"actual"``, or ``"estimate"``.
+    :param config_batch: score proposal pools through the compile-once
+        config-batched kernel (``repro.codegen`` lane engine) instead of
+        one ``apply_precision`` + compile + scalar loop per candidate.
+        Results are bit-identical either way; ``False`` forces the
+        per-candidate path (ablation / benchmarking hook).
     """
 
     def __init__(
@@ -155,6 +162,7 @@ class CandidateEvaluator:
         aggregate: AggregatorSpec = "max",
         cache: CacheLike = None,
         error_metric: ErrorMetric = "worst",
+        config_batch: bool = True,
     ) -> None:
         if not points:
             raise ValueError("at least one validation point is required")
@@ -186,6 +194,13 @@ class CandidateEvaluator:
         self.history: List[EvaluatedCandidate] = []
         self.n_computed = 0
         self.n_memo_hits = 0
+        self.config_batch = bool(config_batch)
+        self._runner_built = False
+        self._runner = None
+        #: config-batch telemetry: lanes executed, pool runs, fallbacks
+        self.n_pool_lanes = 0
+        self.n_pool_runs = 0
+        self.n_pool_fallbacks = 0
 
     # -- preparation --------------------------------------------------------
     def prepare(self) -> None:
@@ -210,12 +225,43 @@ class CandidateEvaluator:
                 model=self.estimate_model,
                 cache=self.cache,
             )
+        # prewarm the config-batched kernel too: forked workers inherit
+        # the compiled lanes (it lives in the fingerprint-keyed memo)
+        self.pool_runner()
 
     @property
     def references(self) -> List[ReferencePoint]:
         self.prepare()
         assert self._references is not None
         return self._references
+
+    def pool_runner(self):
+        """The config-batched counting runner, or ``None`` when disabled
+        or the kernel is unvectorizable (per-candidate fallback)."""
+        if not self._runner_built:
+            self._runner_built = True
+            if self.config_batch:
+                self._runner = pool_counting_runner(
+                    self.fn, self.cost_model, self.approx
+                )
+        return self._runner
+
+    @property
+    def pool_mode(self) -> Optional[str]:
+        """Lane layout in use (``"grid"``/``"perpoint"``), or ``None``."""
+        runner = self.pool_runner()
+        return runner.mode if runner is not None else None
+
+    def eval_stats(self) -> Dict[str, object]:
+        """Evaluation counters (memoization and config-batching)."""
+        return {
+            "computed": self.n_computed,
+            "memo_hits": self.n_memo_hits,
+            "pool_mode": self.pool_mode,
+            "pool_runs": self.n_pool_runs,
+            "pool_lanes": self.n_pool_lanes,
+            "pool_fallbacks": self.n_pool_fallbacks,
+        }
 
     # -- evaluation ---------------------------------------------------------
     def evaluate(
@@ -258,8 +304,38 @@ class CandidateEvaluator:
     def _compute_many(
         self, configs: Sequence[PrecisionConfig]
     ) -> List[EvaluatedCandidate]:
-        """Serial pool computation (overridden by ParallelEvaluator)."""
-        return [self._compute(c) for c in configs]
+        """Serial pool computation (overridden by ParallelEvaluator).
+
+        The config-batched path scores the whole pool — K configs × N
+        validation points — through one compiled lane kernel; the
+        per-candidate path (``config_batch=False``, unvectorizable
+        kernels, or pools a lane batch cannot express) compiles and
+        runs each configuration separately.  Scores are bit-identical.
+        """
+        runner = self.pool_runner()
+        pool = [c for c in configs if c]
+        if runner is None or len(pool) < 2:
+            return [self._compute(c) for c in configs]
+        try:
+            values, costs = runner(pool, self.points)
+        except ConfigLoweringError:
+            self.n_pool_fallbacks += 1
+            return [self._compute(c) for c in configs]
+        self.n_pool_runs += 1
+        self.n_pool_lanes += len(pool)
+        lanes: Dict[int, EvaluatedCandidate] = {}
+        for lane, config in enumerate(pool):
+            errors = [
+                abs(ref.value - float(values[lane, j]))
+                for j, ref in enumerate(self.references)
+            ]
+            cycles = 0.0
+            for j in range(len(self.points)):
+                cycles += float(costs[lane, j])
+            lanes[id(config)] = self._finish(config, errors, cycles)
+        return [
+            lanes[id(c)] if c else self._compute(c) for c in configs
+        ]
 
     def _compute(self, config: PrecisionConfig) -> EvaluatedCandidate:
         """Score one configuration from scratch (pure: no memo access,
@@ -278,10 +354,29 @@ class CandidateEvaluator:
             mixed_fn = self.fn
             errors = [0.0 for _ in refs]
             cycles = sum(r.cost for r in refs)
-        cycles_ref = sum(r.cost for r in refs)
+        return self._finish(config, errors, cycles, mixed_fn=mixed_fn)
 
+    def _finish(
+        self,
+        config: PrecisionConfig,
+        errors: List[float],
+        cycles: float,
+        mixed_fn: Optional[N.Function] = None,
+    ) -> EvaluatedCandidate:
+        """Shared scoring tail: sweep estimate, objective, candidate.
+
+        Both computation paths funnel through here so the aggregation
+        arithmetic (and therefore every float in the result) is the
+        same code either way.
+        """
+        refs = self.references
+        cycles_ref = sum(r.cost for r in refs)
         estimated: Optional[float] = None
         if self.samples is not None:
+            if mixed_fn is None:
+                mixed_fn = (
+                    apply_precision(self.fn, config) if config else self.fn
+                )
             batch = sweep_error(
                 mixed_fn,
                 samples=self.samples,

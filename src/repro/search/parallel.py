@@ -15,6 +15,9 @@ serial path:
   i.e. compiled-adjoint construction is memoized per worker;
 * each worker computes with exactly the same generated code and inputs
   as the serial evaluator would, so every float matches bit for bit;
+* pools ship as contiguous config *blocks* — one lane execution of the
+  inherited config-batched kernel per block, not one compile per
+  config — and lane results are independent of the block split;
 * results merge deterministically in submission order (``pool.map``
   preserves order; evaluation indices are assigned by the parent).
 
@@ -25,7 +28,7 @@ On platforms without the ``fork`` start method (or with ``workers <=
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
 from repro.tuning.config import PrecisionConfig
@@ -35,9 +38,49 @@ from repro.tuning.config import PrecisionConfig
 _FORK_EVALUATOR: Optional[CandidateEvaluator] = None
 
 
-def _worker_compute(config: PrecisionConfig) -> EvaluatedCandidate:
-    assert _FORK_EVALUATOR is not None, "worker forked without evaluator"
-    return _FORK_EVALUATOR._compute(config)
+def _worker_compute_block(
+    configs: List[PrecisionConfig],
+) -> Tuple[List[EvaluatedCandidate], Tuple[int, int, int]]:
+    """Score one contiguous block of a proposal pool in a worker.
+
+    Runs the *serial* pool computation — i.e. the config-batched lane
+    engine when available — on the inherited evaluator: each worker
+    lowers its block onto the compiled kernel it inherited at fork
+    time, so a block of B configs costs one lane execution, not B
+    compiles.  Lane results are independent of how the pool is split,
+    so block results are bit-identical to the serial evaluator's.
+
+    Also returns the block's pool-telemetry deltas — the worker's
+    counter increments die with the fork, so the parent re-applies
+    them to keep ``eval_stats()`` truthful under parallelism.
+    """
+    ev = _FORK_EVALUATOR
+    assert ev is not None, "worker forked without evaluator"
+    before = (ev.n_pool_runs, ev.n_pool_lanes, ev.n_pool_fallbacks)
+    out = CandidateEvaluator._compute_many(ev, configs)
+    delta = (
+        ev.n_pool_runs - before[0],
+        ev.n_pool_lanes - before[1],
+        ev.n_pool_fallbacks - before[2],
+    )
+    return out, delta
+
+
+def _blocks(items: List[PrecisionConfig], n: int) -> List[List[PrecisionConfig]]:
+    """Split into at most ``n`` near-equal contiguous blocks.
+
+    Blocks are kept at two-plus configs where possible (fewer workers
+    rather than smaller blocks): a single-config block would fall off
+    the lane engine inside the worker and pay a per-candidate compile.
+    """
+    n = max(1, min(n, len(items) // 2 or 1))
+    size, rem = divmod(len(items), n)
+    out, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < rem else 0)
+        out.append(items[start:end])
+        start = end
+    return out
 
 
 class ParallelEvaluator(CandidateEvaluator):
@@ -109,4 +152,13 @@ class ParallelEvaluator(CandidateEvaluator):
         pool = self._ensure_pool() if len(configs) > 1 else None
         if pool is None:
             return super()._compute_many(configs)
-        return pool.map(_worker_compute, list(configs), chunksize=1)
+        # ship config *blocks*: each worker lowers its whole block onto
+        # the inherited compiled lane kernel in one go (per-candidate
+        # shipping would pay one lane execution per config)
+        blocks = _blocks(list(configs), self.workers)
+        results = pool.map(_worker_compute_block, blocks, chunksize=1)
+        for _, (runs, lanes, fallbacks) in results:
+            self.n_pool_runs += runs
+            self.n_pool_lanes += lanes
+            self.n_pool_fallbacks += fallbacks
+        return [cand for block, _ in results for cand in block]

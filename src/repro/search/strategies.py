@@ -21,7 +21,15 @@ Built-ins (see :data:`STRATEGIES`):
 * ``anneal`` — simulated annealing with random restarts over bit-flip
   moves, with exhaustive enumeration as the small-kernel fallback when
   the whole space fits in the remaining budget.
-* ``exhaustive`` — enumerate every subset (budget-gated).
+* ``population`` — lockstep population annealing: the restart chains
+  advance together and each step proposes one *generation* (a pool of
+  flips, one per chain) instead of singletons, so the config-batched /
+  parallel evaluators score a whole generation in one lane execution.
+  Not in the default line-up: pooling reorders evaluations relative to
+  ``anneal``, whose sequential trajectory the default results contract
+  (bit-reproducibility across releases) pins down.
+* ``exhaustive`` — enumerate every subset (budget-gated; chunks sized
+  for pool evaluation).
 
 Register your own with :func:`register_strategy`.
 """
@@ -275,8 +283,11 @@ class ExhaustiveStrategy(SearchStrategy):
 
     name = "exhaustive"
 
-    #: enumeration chunk handed to the evaluator pool at a time
-    CHUNK = 32
+    #: enumeration chunk handed to the evaluator pool at a time — sized
+    #: for the config-batched lane engine (bigger pools amortize better;
+    #: chunking never changes which subsets get evaluated or in which
+    #: order, since budget admission is per-config within a pool)
+    CHUNK = 64
 
     def run(self, problem: SearchProblem) -> None:
         names = sorted(problem.candidates)
@@ -293,6 +304,24 @@ class ExhaustiveStrategy(SearchStrategy):
             ]
             problem.evaluate_many(subsets, self.name)
             mask = hi
+
+
+def anneal_energy(cand: EvaluatedCandidate, threshold: float) -> float:
+    """Scalarized objective shared by the annealing strategies.
+
+    Cycles when the error meets the threshold; cycles plus a
+    logarithmic over-threshold penalty otherwise — trajectories are
+    pulled toward the cheap side of the feasible region while every
+    intermediate evaluation still feeds the Pareto front.
+    """
+    if cand.error <= threshold:
+        return cand.cycles
+    if threshold > 0:
+        ratio = max(cand.error / threshold, 1.0)
+    else:
+        ratio = 1e12
+    penalty = 1.0 + min(math.log10(ratio), 12.0)
+    return cand.cycles + max(cand.cycles_reference, 1.0) * penalty
 
 
 @register_strategy
@@ -315,14 +344,7 @@ class AnnealStrategy(SearchStrategy):
     cooling = 0.9
 
     def _energy(self, cand: EvaluatedCandidate, threshold: float) -> float:
-        if cand.error <= threshold:
-            return cand.cycles
-        if threshold > 0:
-            ratio = max(cand.error / threshold, 1.0)
-        else:
-            ratio = 1e12
-        penalty = 1.0 + min(math.log10(ratio), 12.0)
-        return cand.cycles + max(cand.cycles_reference, 1.0) * penalty
+        return anneal_energy(cand, threshold)
 
     def run(self, problem: SearchProblem) -> None:
         names = sorted(problem.candidates)
@@ -372,3 +394,98 @@ class AnnealStrategy(SearchStrategy):
                 if accept:
                     current, e_cur = proposal, e_new
                 temperature *= self.cooling
+
+
+@register_strategy
+class PopulationAnnealStrategy(SearchStrategy):
+    """Lockstep population annealing — generations, not singletons.
+
+    ``chains`` annealing chains advance in lockstep: every step gathers
+    one bit-flip proposal per active chain and submits the whole
+    *generation* as one pool, which the config-batched evaluator scores
+    in a single lane execution (and the parallel evaluator ships as
+    worker blocks).  Chain trajectories are independent — each chain
+    accepts/rejects against its own energy with its own RNG stream — so
+    the search is deterministic under a fixed seed.
+
+    Compared to ``anneal`` (one evaluation per step), a generation of G
+    flips costs roughly one, so the same budget explores ~G× more
+    moves.  It is not in :data:`DEFAULT_STRATEGIES` because pooled
+    proposals evaluate in a different order than ``anneal``'s
+    sequential trajectory, which the default line-up keeps
+    bit-reproducible across releases.
+    """
+
+    name = "population"
+
+    chains = 4
+    steps = 30
+    cooling = 0.9
+
+    def run(self, problem: SearchProblem) -> None:
+        names = sorted(problem.candidates)
+        k = len(names)
+        if k == 0:
+            problem.evaluate(frozenset(), self.name)
+            return
+        if (1 << k) <= problem.remaining:
+            ExhaustiveStrategy().run(problem)
+            return
+        _, greedy_start, _ = greedy_select(
+            problem.contributions,
+            problem.threshold,
+            candidates=problem.candidates,
+        )
+        rngs = [
+            np.random.default_rng(problem.seed * 6007 + chain)
+            for chain in range(self.chains)
+        ]
+        starts: List[Subset] = []
+        for chain, rng in enumerate(rngs):
+            if chain == 0:
+                starts.append(frozenset(greedy_start))
+            else:
+                starts.append(
+                    frozenset(n for n in names if rng.random() < 0.5)
+                )
+        results = problem.evaluate_many(starts, self.name)
+        current: List[Optional[Subset]] = []
+        energy: List[float] = []
+        temp: List[float] = []
+        for subset, cand in zip(starts, results):
+            if cand is None:
+                current.append(None)  # budget ran out: chain inactive
+                energy.append(math.inf)
+                temp.append(0.0)
+            else:
+                current.append(subset)
+                energy.append(anneal_energy(cand, problem.threshold))
+                temp.append(0.1 * max(cand.cycles_reference, 1.0))
+        for _ in range(self.steps):
+            if problem.exhausted:
+                return
+            live = [c for c in range(self.chains) if current[c] is not None]
+            if not live:
+                return
+            proposals: List[Subset] = []
+            for c in live:
+                flip = names[int(rngs[c].integers(k))]
+                cur = current[c]
+                assert cur is not None
+                proposals.append(
+                    cur - {flip} if flip in cur else cur | {flip}
+                )
+            generation = problem.evaluate_many(proposals, self.name)
+            for c, subset, cand in zip(live, proposals, generation):
+                if cand is None:
+                    current[c] = None  # this chain lost the budget race
+                    continue
+                e_new = anneal_energy(cand, problem.threshold)
+                accept = e_new <= energy[c] or float(
+                    rngs[c].random()
+                ) < math.exp(
+                    -(e_new - energy[c]) / max(temp[c], 1e-12)
+                )
+                if accept:
+                    current[c], energy[c] = subset, e_new
+                temp[c] *= self.cooling

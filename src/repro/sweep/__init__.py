@@ -26,7 +26,12 @@ from repro.sweep.aggregate import (
     resolve_aggregator,
     summarize,
 )
-from repro.sweep.batch import BatchedErrorEstimator, BatchReport
+from repro.sweep.batch import (
+    BatchedErrorEstimator,
+    BatchReport,
+    ConfigBatchedEstimator,
+    ConfigBatchReport,
+)
 from repro.sweep.cache import SweepCache, digest_inputs, make_key
 from repro.sweep.engine import build_args, sweep_error
 from repro.sweep.samplers import explicit_sweep, grid_sweep, random_sweep
@@ -34,6 +39,8 @@ from repro.sweep.samplers import explicit_sweep, grid_sweep, random_sweep
 __all__ = [
     "BatchReport",
     "BatchedErrorEstimator",
+    "ConfigBatchReport",
+    "ConfigBatchedEstimator",
     "SweepCache",
     "SweepSummary",
     "build_args",

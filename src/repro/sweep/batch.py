@@ -29,6 +29,7 @@ import numpy as np
 from repro.codegen import runtime
 from repro.codegen.npgen import UnvectorizableError, generate_batch_source
 from repro.core.report import ErrorReport
+from repro.ir import nodes as N
 from repro.ir.types import ArrayType, DType
 from repro.util.errors import ExecutionError
 
@@ -122,6 +123,43 @@ def _is_sweep_array(a: object) -> bool:
     ) or isinstance(a, (list, tuple))
 
 
+def _scan_sweep_args(
+    primal: N.Function, args: Sequence[object]
+) -> Tuple[List[str], int]:
+    """Classify positional args into swept parameter names and batch N.
+
+    Shared by the input-batched and config-batched executors: array
+    parameters are always lane-uniform; scalar parameters given as
+    length-N sequences sweep the input axis and must agree on one N.
+    """
+    params = primal.params
+    if len(args) != len(params):
+        raise ExecutionError(
+            f"{primal.name}: expected {len(params)} arguments, "
+            f"got {len(args)}"
+        )
+    batched: List[str] = []
+    n: Optional[int] = None
+    for a, p in zip(args, params):
+        if isinstance(p.type, ArrayType):
+            continue  # array params are always lane-uniform
+        if _is_sweep_array(a):
+            m = len(a)  # type: ignore[arg-type]
+            if n is None:
+                n = m
+            elif m != n:
+                raise ExecutionError(
+                    f"{primal.name}: swept arrays disagree on batch "
+                    f"size ({n} vs {m} for {p.name!r})"
+                )
+            batched.append(p.name)
+    if n == 0:
+        raise ExecutionError(
+            f"{primal.name}: empty sweep (length-0 arrays)"
+        )
+    return batched, (1 if n is None else n)
+
+
 class BatchedErrorEstimator:
     """Batch execution façade over one :class:`ErrorEstimator`."""
 
@@ -170,33 +208,7 @@ class BatchedErrorEstimator:
         All swept arrays must share one length N.
         """
         primal = self.est.primal_ir
-        params = primal.params
-        if len(args) != len(params):
-            raise ExecutionError(
-                f"{primal.name}: expected {len(params)} arguments, "
-                f"got {len(args)}"
-            )
-        batched: List[str] = []
-        n: Optional[int] = None
-        for a, p in zip(args, params):
-            if isinstance(p.type, ArrayType):
-                continue  # array params are always lane-uniform
-            if _is_sweep_array(a):
-                m = len(a)  # type: ignore[arg-type]
-                if n is None:
-                    n = m
-                elif m != n:
-                    raise ExecutionError(
-                        f"{primal.name}: swept arrays disagree on batch "
-                        f"size ({n} vs {m} for {p.name!r})"
-                    )
-                batched.append(p.name)
-        if n == 0:
-            raise ExecutionError(
-                f"{primal.name}: empty sweep (length-0 arrays)"
-            )
-        if n is None:
-            n = 1
+        batched, n = _scan_sweep_args(primal, args)
 
         variant = None
         if batched and not self.est._runner.compiled.traces:
@@ -294,9 +306,9 @@ class BatchedErrorEstimator:
                 rep.total_error = rep.total_error + contrib
 
     # -- loop backend -------------------------------------------------------
-    def _execute_loop(
+    def _execute_loop_points(
         self, args: Sequence[object], batched: List[str], n: int
-    ) -> BatchReport:
+    ) -> List[ErrorReport]:
         primal = self.est.primal_ir
         reports: List[ErrorReport] = []
         for i in range(n):
@@ -314,6 +326,12 @@ class BatchedErrorEstimator:
                 else:
                     point.append(a)
             reports.append(self.est.execute(*point))
+        return reports
+
+    def _execute_loop(
+        self, args: Sequence[object], batched: List[str], n: int
+    ) -> BatchReport:
+        reports = self._execute_loop_points(args, batched, n)
         per_vars = sorted({v for r in reports for v in r.per_variable})
         grads = sorted({g for r in reports for g in r.gradients})
         return BatchReport(
@@ -333,4 +351,323 @@ class BatchedErrorEstimator:
                 for g in grads
             },
             backend="loop",
+        )
+
+
+# --------------------------------------------------------------------------
+# Config-batched estimation: K configurations × N input points
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ConfigBatchReport:
+    """Error-estimation results over a (configuration, input) grid.
+
+    Mirrors :class:`BatchReport` with a leading **config-lane axis**:
+    ``values``/``total_error`` are ``(K, N)``, ``per_variable`` and
+    ``gradients`` map names to ``(K, N)`` (or ``(K, N, len)``) arrays.
+    Per lane the numbers equal what a freshly built estimator of the
+    demoted kernel reports at each input point.
+    """
+
+    k: int
+    n: int
+    values: np.ndarray
+    total_error: np.ndarray
+    per_variable: Dict[str, np.ndarray] = field(default_factory=dict)
+    gradients: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: ``lanes`` (vectorized, compile-once) or ``loop`` (per config)
+    backend: str = "lanes"
+    #: per-variable error registers always present in a lane's report
+    #: (host-added input contributions appear only where nonzero)
+    register_vars: frozenset = frozenset()
+    #: per-config reports when the loop backend produced the result
+    _rows: Optional[List[BatchReport]] = None
+
+    def report(self, lane: int) -> BatchReport:
+        """The input-batch :class:`BatchReport` of configuration ``lane``."""
+        if self._rows is not None:
+            return self._rows[lane].copy()
+        per_variable = {}
+        for v, a in self.per_variable.items():
+            row = np.array(a[lane])
+            if v in self.register_vars or np.any(row != 0.0):
+                per_variable[v] = row
+        return BatchReport(
+            n=self.n,
+            values=np.array(self.values[lane]),
+            total_error=np.array(self.total_error[lane]),
+            per_variable=per_variable,
+            gradients={
+                g: np.array(a[lane]) for g, a in self.gradients.items()
+            },
+            backend="vectorized",
+        )
+
+    def worst(self) -> Tuple[int, int]:
+        """(lane, sample) index of the largest total error."""
+        flat = int(np.argmax(self.total_error))
+        return flat // self.n, flat % self.n
+
+
+class ConfigBatchedEstimator:
+    """Config-batch execution façade over one :class:`ErrorEstimator`.
+
+    The vectorized backend renders the estimator's *baseline* adjoint
+    once in precision-parameterized (config-lane) form; per pool it
+    regenerates each configuration's adjoint IR (transform + optimize,
+    **no compilation**), pairs it structurally against the baseline,
+    and reads the per-lane rounding selectors and constants (machine-
+    epsilon factors etc.) off the paired nodes.  One numpy execution
+    then covers all K configurations × N input points.  Pools or
+    kernels the lane form cannot express fall back to one
+    (memoized-compile) estimator per configuration — same numbers,
+    just slower.
+    """
+
+    def __init__(self, est: "ErrorEstimator") -> None:
+        self.est = est
+        # frozenset(batched param names) -> ConfigLaneKernel | None
+        self._kernels: Dict[frozenset, Optional[object]] = {}
+
+    # -- kernel compilation (once per batched-set) --------------------------
+    def _kernel(self, batched: frozenset):
+        if batched not in self._kernels:
+            from repro.codegen import runtime
+            from repro.codegen.compile import config_lane_kernel
+            from repro.codegen.npgen import UnvectorizableError
+
+            adj = self.est.adjoint_ir
+            bindings = {}
+            for name, impl in self.est.module.bindings().items():
+                bindings[name] = (
+                    runtime.exactwise(impl) if callable(impl) else impl
+                )
+            try:
+                self._kernels[batched] = config_lane_kernel(
+                    adj,
+                    batched=set(batched),
+                    counting=False,
+                    allow_arrays=False,
+                    extra_bindings=bindings or None,
+                    use_cache=not bindings,
+                )
+            except UnvectorizableError:
+                self._kernels[batched] = None
+        return self._kernels[batched]
+
+    # -- pool lowering (per call) -------------------------------------------
+    def _lower(self, kernel, configs: Sequence[object]):
+        from repro.codegen.compile import lower_config_pool_zip
+        from repro.core.api import build_adjoint
+        from repro.core.estimation import ErrorEstimationModule
+        from repro.tuning.config import apply_precision
+
+        est = self.est
+        variants = []
+        for config in configs:
+            mixed = (
+                apply_precision(est.primal_ir, config)
+                if config
+                else est.primal_ir
+            )
+            module = ErrorEstimationModule(model=est.module.model)
+            variants.append(
+                build_adjoint(
+                    mixed,
+                    module,
+                    opt_level=est.opt_level,
+                    minimal_pushes=est.minimal_pushes,
+                )
+            )
+        return lower_config_pool_zip(kernel.program, variants)
+
+    # -- execution ----------------------------------------------------------
+    def execute(
+        self, configs: Sequence[object], *args: object
+    ) -> ConfigBatchReport:
+        from repro.codegen.compile import ConfigLoweringError
+
+        est = self.est
+        primal = est.primal_ir
+        configs = list(configs)
+        if not configs:
+            raise ExecutionError(
+                f"{primal.name}: empty configuration pool"
+            )
+        batched, n = _scan_sweep_args(primal, args)
+        model = est.module.model
+        kernel = None
+        if (
+            not est._runner.compiled.traces
+            and model.cacheable
+            and not any(
+                isinstance(p.type, ArrayType) for p in primal.params
+            )
+        ):
+            kernel = self._kernel(frozenset(batched))
+        if kernel is not None:
+            try:
+                pool = self._lower(kernel, configs)
+            except ConfigLoweringError:
+                pool = None
+            if pool is not None:
+                return self._execute_lanes(
+                    kernel, pool, configs, args, batched, n
+                )
+        return self._execute_loop(configs, args, n)
+
+    # -- lanes backend ------------------------------------------------------
+    def _execute_lanes(
+        self,
+        kernel,
+        pool,
+        configs: Sequence[object],
+        args: Sequence[object],
+        batched: List[str],
+        n: int,
+    ) -> ConfigBatchReport:
+        est = self.est
+        primal = est.primal_ir
+        k = len(configs)
+        full: List[object] = []
+        for a, p in zip(args, primal.params):
+            dt = p.type.dtype
+            if p.name in batched:
+                full.append(
+                    np.asarray(
+                        a,
+                        dtype=np.int64 if dt is DType.I64 else np.float64,
+                    )
+                )
+            elif dt is DType.I64:
+                full.append(int(a))  # type: ignore[arg-type]
+            elif dt.is_float:
+                full.append(float(a))  # type: ignore[arg-type]
+            else:
+                full.append(a)
+        result = kernel(pool, *full)
+        if not isinstance(result, tuple):
+            result = (result,)
+        named: Dict[Tuple[str, ...], np.ndarray] = {}
+        for key, val in zip(est.layout["ret_names"], result):
+            named[tuple(key)] = np.broadcast_to(
+                np.asarray(val, dtype=np.float64), (k, n)
+            ).copy()
+        rep = ConfigBatchReport(
+            k=k,
+            n=n,
+            values=named[("value",)],
+            total_error=np.zeros((k, n)),
+            backend="lanes",
+        )
+        registers = set()
+        for key, val in named.items():
+            if key[0] == "grad":
+                rep.gradients[key[1]] = val
+            elif key[0] == "extra":
+                if key[1] == "fp_error":
+                    rep.total_error = val
+                elif key[1].startswith("delta:"):
+                    var = key[1][len("delta:"):]
+                    rep.per_variable[var] = val
+                    registers.add(var)
+        rep.register_vars = frozenset(registers)
+        self._add_input_errors(rep, args, batched, n)
+        return rep
+
+    def _add_input_errors(
+        self,
+        rep: ConfigBatchReport,
+        args: Sequence[object],
+        batched: List[str],
+        n: int,
+    ) -> None:
+        # host-side mirror of the scalar/input-batched paths: inputs are
+        # never assignment targets, so their representation error is
+        # added from the final adjoints, per config lane (adding a zero
+        # row is a bitwise no-op, matching the scalar path's gating)
+        model = self.est.module.model
+        primal = self.est.primal_ir
+        for i, p in enumerate(primal.params):
+            if p.name not in rep.gradients:
+                continue
+            if p.name in batched:
+                values = np.asarray(args[i], dtype=np.float64)
+            else:
+                values = np.full(n, float(args[i]))  # type: ignore[arg-type]
+            contrib = np.stack(
+                [
+                    np.asarray(
+                        model.input_error_batch(
+                            p.name, values, rep.gradients[p.name][lane]
+                        ),
+                        dtype=np.float64,
+                    )
+                    for lane in range(rep.k)
+                ]
+            )
+            if np.any(contrib != 0.0):
+                rep.per_variable[p.name] = (
+                    rep.per_variable.get(p.name, np.zeros((rep.k, n)))
+                    + contrib
+                )
+                rep.total_error = rep.total_error + contrib
+
+    # -- loop backend -------------------------------------------------------
+    def _execute_loop(
+        self, configs: Sequence[object], args: Sequence[object], n: int
+    ) -> ConfigBatchReport:
+        from repro.core.api import cached_error_estimator, ErrorEstimator
+        from repro.tuning.config import apply_precision
+
+        est = self.est
+        primal = est.primal_ir
+        model = est.module.model
+        rows: List[BatchReport] = []
+        for config in configs:
+            mixed = (
+                apply_precision(primal, config) if config else primal
+            )
+            if model.cacheable and not est.module.track:
+                sub = cached_error_estimator(
+                    mixed,
+                    model=model,
+                    opt_level=est.opt_level,
+                    minimal_pushes=est.minimal_pushes,
+                )
+            else:
+                sub = ErrorEstimator(
+                    mixed,
+                    model=model,
+                    track=est.module.track,
+                    opt_level=est.opt_level,
+                    minimal_pushes=est.minimal_pushes,
+                )
+            rows.append(sub.execute_batch(*args))
+        k = len(rows)
+        per_vars = sorted({v for r in rows for v in r.per_variable})
+        grads = sorted({g for r in rows for g in r.gradients})
+        return ConfigBatchReport(
+            k=k,
+            n=n,
+            values=np.stack([r.values for r in rows]),
+            total_error=np.stack([r.total_error for r in rows]),
+            per_variable={
+                v: np.stack(
+                    [
+                        np.asarray(
+                            r.per_variable.get(v, np.zeros(n))
+                        )
+                        for r in rows
+                    ]
+                )
+                for v in per_vars
+            },
+            gradients={
+                g: np.stack([np.asarray(r.gradients[g]) for r in rows])
+                for g in grads
+            },
+            backend="loop",
+            _rows=rows,
         )

@@ -57,6 +57,50 @@ class PrecisionConfig:
         )
 
 
+def resolve_targets(
+    k: Union[Kernel, N.Function], config: PrecisionConfig
+) -> Dict[str, DType]:
+    """Map each IR variable/parameter name to its configured precision.
+
+    The single source of truth for configuration-name semantics: exact
+    keys win over inlined-prefix matches (a config may name both ``x``
+    and its inlined copy ``x_in1`` with different targets), and a key
+    matching nothing is an error.  :func:`apply_precision` rewrites IR
+    with this map; the config-batched lowering derives per-lane
+    selectors from it — both therefore demote exactly the same storage.
+
+    :raises KeyError: if a configured name does not exist in the kernel.
+    """
+    fn = k.ir if isinstance(k, Kernel) else k
+    matched = set()
+    out: Dict[str, DType] = {}
+
+    def lookup(name: str):
+        if name in config.demotions:
+            matched.add(name)
+            return config.demotions[name]
+        for key, dt in config.demotions.items():
+            if matches_inlined(name, key):
+                matched.add(key)
+                return dt
+        return None
+
+    names = [p.name for p in fn.params] + [
+        s.name for s in walk_stmts(fn.body) if isinstance(s, N.VarDecl)
+    ]
+    for name in names:
+        dt = lookup(name)
+        if dt is not None:
+            out[name] = dt
+    missing = set(config.demotions) - matched
+    if missing:
+        raise KeyError(
+            f"{fn.name}: unknown variables in precision config: "
+            f"{sorted(missing)}"
+        )
+    return out
+
+
 def apply_precision(
     k: Union[Kernel, N.Function], config: PrecisionConfig
 ) -> N.Function:
@@ -71,22 +115,9 @@ def apply_precision(
     """
     fn = k.ir if isinstance(k, Kernel) else k
     out = b.clone(fn)
-    matched = set()
-
-    def lookup(name: str):
-        # exact keys win over inlined-prefix matches (a config may name
-        # both `x` and its inlined copy `x_in1` with different targets)
-        if name in config.demotions:
-            matched.add(name)
-            return config.demotions[name]
-        for key, dt in config.demotions.items():
-            if matches_inlined(name, key):
-                matched.add(key)
-                return dt
-        return None
-
+    targets = resolve_targets(out, config)
     for p in out.params:
-        dt = lookup(p.name)
+        dt = targets.get(p.name)
         if dt is not None:
             if isinstance(p.type, ArrayType):
                 p.type = ArrayType(dt)
@@ -94,15 +125,9 @@ def apply_precision(
                 p.type = ScalarType(dt)
     for s in walk_stmts(out.body):
         if isinstance(s, N.VarDecl):
-            dt = lookup(s.name)
+            dt = targets.get(s.name)
             if dt is not None:
                 s.dtype = dt
-    missing = set(config.demotions) - matched
-    if missing:
-        raise KeyError(
-            f"{fn.name}: unknown variables in precision config: "
-            f"{sorted(missing)}"
-        )
     out.name = f"{fn.name}_mixed"
     infer_types(out)
     return out

@@ -16,14 +16,20 @@ once for evaluation at several input points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.codegen.compile import compile_raw
+from repro.codegen.compile import (
+    ConfigLaneKernel,
+    compile_raw,
+    config_lane_kernel,
+)
+from repro.codegen.npgen import UnvectorizableError
 from repro.frontend.registry import Kernel
 from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.ir import nodes as N
+from repro.ir.types import ArrayType, DType
 from repro.tuning.config import PrecisionConfig, apply_precision
 
 
@@ -123,6 +129,146 @@ def counting_runner(
         return float(value), cost
 
     return run
+
+
+class PoolCountingRunner:
+    """Counting execution of K configurations × N points, compile-once.
+
+    Wraps one :class:`~repro.codegen.compile.ConfigLaneKernel` (shared
+    through the fingerprint-keyed kernel cache) and executes proposal
+    pools in one of two lane layouts:
+
+    * ``grid`` — every scalar parameter is additionally batched along
+      the validation-point axis, so K configs × N points run as a
+      single NumPy execution over a ``(K, N)`` grid (configs are the
+      rows — ``(K, 1)`` selector columns — points the columns);
+    * ``perpoint`` — inputs stay lane-uniform (required when the kernel
+      takes array arguments or input-dependent loop bounds) and the
+      K-wide lane batch runs once per validation point.
+
+    Either way each lane performs, bit for bit, the operations the
+    per-config compiled scalar code would.
+    """
+
+    def __init__(
+        self,
+        fn: N.Function,
+        kernel: ConfigLaneKernel,
+        mode: str,
+        cost_model: CostModel,
+        approx: Optional[Set[str]],
+    ) -> None:
+        self.fn = fn
+        self.kernel = kernel
+        self.mode = mode
+        self.cost_model = cost_model
+        self.approx = approx
+
+    def __call__(
+        self,
+        configs: Sequence[PrecisionConfig],
+        points: Sequence[Sequence[object]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the pool; returns ``(values, costs)``, both ``(K, N)``.
+
+        :raises KeyError: for configs naming unknown variables (exactly
+            like the scalar path).
+        :raises ConfigLoweringError: when the pool cannot be expressed
+            as lane parameters — callers fall back to the scalar path.
+        """
+        pool = self.kernel.lower(
+            configs, cost_model=self.cost_model, approx=self.approx
+        )
+        k, n = len(configs), len(points)
+        values, costs = self._run(pool, points, k, n)
+        if np.any(costs < 0):
+            # same guard the scalar counting_runner enforces per run
+            raise ValueError(
+                f"{self.fn.name}: negative modelled cycle count "
+                f"{float(costs.min())}"
+            )
+        return values, costs
+
+    def _run(
+        self,
+        pool,
+        points: Sequence[Sequence[object]],
+        k: int,
+        n: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.mode == "grid":
+            cols: List[object] = []
+            for i, p in enumerate(self.fn.params):
+                dt = p.type.dtype
+                cols.append(
+                    np.asarray(
+                        [pt[i] for pt in points],
+                        dtype=np.int64 if dt is DType.I64 else np.float64,
+                    )
+                )
+            value, cost = self.kernel(pool, *cols)
+            values = np.broadcast_to(
+                np.asarray(value, dtype=np.float64), (k, n)
+            ).copy()
+            costs = np.broadcast_to(
+                np.asarray(cost, dtype=np.float64), (k, n)
+            ).copy()
+            return values, costs
+        values = np.empty((k, n), dtype=np.float64)
+        costs = np.empty((k, n), dtype=np.float64)
+        for j, pt in enumerate(points):
+            args: List[object] = []
+            for a, p in zip(pt, self.fn.params):
+                if isinstance(p.type, ArrayType):
+                    # fresh copy per call: kernels may mutate arrays
+                    args.append(list(a))  # type: ignore[arg-type]
+                elif p.type.dtype is DType.I64:
+                    args.append(int(a))  # type: ignore[arg-type]
+                else:
+                    args.append(a)
+            value, cost = self.kernel(pool, *args)
+            values[:, j] = np.broadcast_to(
+                np.asarray(value, dtype=np.float64), (k, 1)
+            ).reshape(k)
+            costs[:, j] = np.broadcast_to(
+                np.asarray(cost, dtype=np.float64), (k, 1)
+            ).reshape(k)
+        return values, costs
+
+
+def pool_counting_runner(
+    fn: N.Function,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+) -> Optional[PoolCountingRunner]:
+    """Build the config-batched counting runner for ``fn``, if possible.
+
+    Prefers the full ``(K, N)`` grid layout; kernels whose inputs
+    cannot be batched (array arguments, input-dependent loop bounds)
+    degrade to the per-point lane layout; kernels the config-lane
+    generator cannot express at all return ``None`` and callers use the
+    per-config scalar path.
+    """
+    if not any(isinstance(p.type, ArrayType) for p in fn.params):
+        try:
+            kernel = config_lane_kernel(
+                fn,
+                batched={p.name for p in fn.params},
+                counting=True,
+                approx=approx,
+            )
+            return PoolCountingRunner(
+                fn, kernel, "grid", cost_model, approx
+            )
+        except UnvectorizableError:
+            pass
+    try:
+        kernel = config_lane_kernel(
+            fn, counting=True, allow_arrays=True, approx=approx
+        )
+    except UnvectorizableError:
+        return None
+    return PoolCountingRunner(fn, kernel, "perpoint", cost_model, approx)
 
 
 def _run_counting(
