@@ -7,6 +7,11 @@ and the serial/parallel wall-clock — asserting along the way that the
 front is non-empty, dominance-consistent, and bit-identical between the
 serial and parallel evaluators.
 
+The serial run executes against a persistent :class:`RunStore`; a
+subsequent warm resume of the same run is timed too, asserting it
+re-evaluates **zero** candidates and reproduces the front bit-for-bit
+(the ``warm_resume_speedup`` column).
+
 Run as a script to (re)generate ``BENCH_search.json`` at the repo
 root::
 
@@ -22,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -66,12 +72,18 @@ def run_app(
     # first run's compiles
     clear_estimator_memo()
     clear_config_kernel_cache()
-    t0 = time.perf_counter()
-    serial = scen.run(seed=seed)
-    serial_s = time.perf_counter() - t0
-    # how much compiled-estimator reuse the serial run enjoyed (forked
-    # workers inherit whatever is memoized pre-fork)
-    memo_after_serial = estimator_memo_stats()
+    with tempfile.TemporaryDirectory() as store_dir:
+        t0 = time.perf_counter()
+        serial = scen.run(seed=seed, store=store_dir)
+        serial_s = time.perf_counter() - t0
+        # how much compiled-estimator reuse the serial run enjoyed
+        # (forked workers inherit whatever is memoized pre-fork)
+        memo_after_serial = estimator_memo_stats()
+        # warm resume: the completed run restores straight from the
+        # store — zero candidates re-evaluated, front bit-identical
+        t0 = time.perf_counter()
+        warm = scen.run(seed=seed, store=store_dir, resume=True)
+        warm_s = time.perf_counter() - t0
     clear_estimator_memo()
     clear_config_kernel_cache()
     t0 = time.perf_counter()
@@ -82,6 +94,15 @@ def run_app(
     assert serial.front.is_consistent(), f"{app}: inconsistent front"
     assert _front_fingerprint(serial) == _front_fingerprint(parallel), (
         f"{app}: parallel front differs from serial"
+    )
+    assert _front_fingerprint(serial) == _front_fingerprint(warm), (
+        f"{app}: warm-resumed front differs from the stored run"
+    )
+    warm_recomputed = (warm.stats or {}).get("run_store", {}).get(
+        "computed"
+    )
+    assert warm_recomputed == 0, (
+        f"{app}: warm resume recomputed {warm_recomputed} candidates"
     )
     baseline_covered = serial.baseline is not None and serial.front.covers(
         serial.baseline
@@ -102,6 +123,11 @@ def run_app(
         "workers": workers,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
+        "warm_resume_s": warm_s,
+        "warm_recomputed": warm_recomputed,
+        "warm_resume_speedup": (
+            serial_s / warm_s if warm_s > 0 else None
+        ),
         "estimator_memo": memo_after_serial,
         "baseline": serial.baseline.to_dict() if serial.baseline else None,
         "best_under_threshold": best.to_dict() if best else None,
@@ -122,7 +148,9 @@ def build_report(
             "delta debugging + annealing) vs the paper's one-shot "
             "greedy pass; serial vs forked parallel evaluation "
             "(parallel wall-clock only improves with cpu_count > 1 — "
-            "correctness is asserted bit-identical regardless)"
+            "correctness is asserted bit-identical regardless); the "
+            "serial run persists to a RunStore and a warm resume is "
+            "timed (zero candidates re-evaluated, bit-identical front)"
         ),
         "cpu_count": os.cpu_count(),
         "results": [
@@ -157,7 +185,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{r['app']:14s} evals={r['n_evaluated']:3d} "
             f"front={r['front_size']:2d} "
             f"baseline_covered={r['baseline_covered']} "
-            f"serial {r['serial_s']:6.2f}s parallel {r['parallel_s']:6.2f}s"
+            f"serial {r['serial_s']:6.2f}s parallel {r['parallel_s']:6.2f}s "
+            f"warm-resume {r['warm_resume_s']:5.2f}s"
             + (
                 f"  best@threshold {speedup:.3f}x"
                 if speedup is not None
@@ -170,6 +199,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         and r["dominance_consistent"]
         and r["baseline_covered"]
         and r["parallel_identical"]
+        and r["warm_recomputed"] == 0
         for r in report["results"]  # type: ignore[union-attr]
     )
     return 0 if ok else 1

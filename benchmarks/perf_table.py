@@ -76,6 +76,20 @@ def rows() -> List[List[str]]:
                 "bit-identical",
             ]
         )
+        warm = r.get("warm_resume_s")
+        if warm is not None:
+            out.append(
+                [
+                    "warm resume",
+                    r["app"],
+                    f"{r['n_evaluated']} stored evals",
+                    f"{r['serial_s']:.2f} s cold",
+                    f"{warm * 1e3:.1f} ms resume",
+                    f"**{r['warm_resume_speedup']:.0f}×** "
+                    f"({r['warm_recomputed']} recomputed)",
+                    "bit-identical",
+                ]
+            )
     return out
 
 

@@ -50,6 +50,8 @@ from repro.tuning import greedy_tune, robust_tune
 from repro import search  # noqa: E402  (subsystem module, kept last)
 from repro.search import (
     ParetoFront,
+    RunStore,
+    SearchOrchestrator,
     SearchResult,
     SearchScenario,
     STRATEGIES,

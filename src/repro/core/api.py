@@ -327,6 +327,23 @@ _ESTIMATOR_MEMO: "OrderedDict[tuple, ErrorEstimator]" = OrderedDict()
 _ESTIMATOR_MEMO_MAX = 64
 
 
+def _memo_key(
+    k: KernelLike,
+    model: Optional[ErrorModel],
+    opt_level: int,
+    minimal_pushes: bool,
+) -> tuple:
+    """Content key of one estimator in the process-wide memo."""
+    from repro.ir.fingerprint import ir_fingerprint
+
+    return (
+        ir_fingerprint(_as_ir(k)),
+        model.fingerprint() if model is not None else None,
+        opt_level,
+        minimal_pushes,
+    )
+
+
 def cached_error_estimator(
     k: KernelLike,
     model: Optional[ErrorModel] = None,
@@ -344,14 +361,7 @@ def cached_error_estimator(
             k, model=model, track=track, opt_level=opt_level,
             minimal_pushes=minimal_pushes,
         )
-    from repro.ir.fingerprint import ir_fingerprint
-
-    key = (
-        ir_fingerprint(_as_ir(k)),
-        model.fingerprint() if model is not None else None,
-        opt_level,
-        minimal_pushes,
-    )
+    key = _memo_key(k, model, opt_level, minimal_pushes)
     est = _ESTIMATOR_MEMO.get(key)
     if est is None:
         est = ErrorEstimator(
@@ -364,6 +374,40 @@ def cached_error_estimator(
     else:
         _ESTIMATOR_MEMO.move_to_end(key)
     return est
+
+
+def warm_start_estimator_memo(
+    kernels: Sequence[KernelLike],
+    models: Sequence[Optional[ErrorModel]] = (None,),
+    opt_level: int = 2,
+    minimal_pushes: bool = True,
+) -> int:
+    """Pre-build (compile) estimators into the process-wide memo.
+
+    Returns the number of estimators newly compiled (already-memoized
+    combinations are skipped; uncacheable models are ignored).
+
+    Two callers benefit: parallel search drivers fork worker pools that
+    inherit whatever the parent memoized (copy-on-write), so warming
+    the memo *before* the fork turns per-worker compiles into shared
+    ones; and multi-scenario orchestrations (resumed or not) front-load
+    every kernel/model compile once instead of paying it lazily inside
+    each scenario's run.
+    """
+    built = 0
+    for k in kernels:
+        for model in models:
+            if model is not None and not model.cacheable:
+                continue
+            key = _memo_key(k, model, opt_level, minimal_pushes)
+            if key in _ESTIMATOR_MEMO:
+                continue
+            cached_error_estimator(
+                k, model=model, opt_level=opt_level,
+                minimal_pushes=minimal_pushes,
+            )
+            built += 1
+    return built
 
 
 def estimator_memo_stats() -> Dict[str, int]:

@@ -29,7 +29,15 @@ multi-objective search over (error, modelled cycles):
 * :mod:`~repro.search.api` — the :func:`search` driver and
   :class:`SearchResult`;
 * :mod:`~repro.search.scenario` — per-app :class:`SearchScenario`
-  bundles backing the ``python -m repro.search --kernel <app>`` CLI.
+  bundles backing the ``python -m repro.search --kernel <app>`` CLI;
+* :mod:`~repro.search.store` — :class:`RunStore`: content-addressed
+  on-disk persistence of run metadata, evaluation history, and Pareto
+  fronts, with atomic checkpoints and crash-safe, bit-identical resume
+  (``search(..., store=, resume=)``);
+* :mod:`~repro.search.orchestrator` — :class:`SearchOrchestrator`:
+  durable multi-scenario search plans over a shared store with
+  estimator-memo warm-start and cross-run comparison reporting
+  (``python -m repro.search --plan plan.json --store runs/``).
 """
 
 from repro.search.api import SearchResult, search
@@ -38,9 +46,15 @@ from repro.search.evaluate import (
     EvaluatedCandidate,
     config_key,
 )
+from repro.search.orchestrator import (
+    PlanEntry,
+    PlanRun,
+    SearchOrchestrator,
+)
 from repro.search.parallel import ParallelEvaluator
 from repro.search.pareto import ParetoFront, dominates
 from repro.search.scenario import SearchScenario
+from repro.search.store import RunStore
 from repro.search.strategies import (
     DEFAULT_STRATEGIES,
     STRATEGIES,
@@ -56,7 +70,11 @@ __all__ = [
     "EvaluatedCandidate",
     "ParallelEvaluator",
     "ParetoFront",
+    "PlanEntry",
+    "PlanRun",
+    "RunStore",
     "STRATEGIES",
+    "SearchOrchestrator",
     "SearchProblem",
     "SearchResult",
     "SearchScenario",

@@ -11,6 +11,14 @@ Each benchmark app ships a :class:`~repro.search.scenario.SearchScenario`
 CLI runs the search and prints the Pareto front plus the comparison
 against the paper's greedy baseline.  ``--json`` dumps the full result
 for downstream tooling.
+
+Runs become durable with a persistent store, and multi-scenario plans
+run (and resume) through the orchestrator::
+
+    python -m repro.search --kernel blackscholes --store runs/
+    python -m repro.search --kernel blackscholes --store runs/ --resume
+    python -m repro.search --plan plan.json --store runs/
+    python -m repro.search --all --store runs/ --budget 24 --resume
 """
 
 from __future__ import annotations
@@ -21,17 +29,49 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.search.orchestrator import SearchOrchestrator, app_scenarios
 from repro.search.strategies import DEFAULT_STRATEGIES, STRATEGIES
 
 
 def _scenarios():
-    from repro.apps import ALL_APPS
+    return app_scenarios()
 
-    return {
-        name: mod
-        for name, mod in ALL_APPS.items()
-        if hasattr(mod, "search_scenario")
+
+def _run_plan(args) -> int:
+    """Orchestrator mode: ``--plan plan.json`` or ``--all``."""
+    defaults = {
+        "workers": args.workers,
+        "seed": args.seed,
+        "strategies": tuple(
+            s for s in args.strategies.split(",") if s
+        ),
     }
+    if args.cache is not None:
+        defaults["cache"] = args.cache
+    if args.budget is not None:
+        defaults["budget"] = args.budget
+    if args.threshold is not None:
+        defaults["threshold"] = args.threshold
+    if args.plan is not None:
+        orch = SearchOrchestrator.from_plan_file(
+            args.plan, store=args.store, resume=args.resume
+        )
+        # CLI flags fill in whatever the plan's defaults leave unset
+        # (plan-file defaults and per-entry overrides win)
+        for key, value in defaults.items():
+            orch.defaults.setdefault(key, value)
+    else:
+        orch = SearchOrchestrator.over_all_apps(
+            args.store, resume=args.resume, **defaults
+        )
+    orch.run()
+    print(orch.report())
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(orch.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0 if orch.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -71,7 +111,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", type=Path, default=None,
         help="write the full result as JSON to this path",
     )
+    ap.add_argument(
+        "--store", default=None,
+        help="persistent run-store directory (checkpointed, resumable "
+             "runs; content-addressed by the search parameters)",
+    )
+    ap.add_argument(
+        "--resume", action="store_true",
+        help="resume matching runs from --store (bit-identical to an "
+             "uninterrupted run; completed runs restore with zero "
+             "re-evaluation)",
+    )
+    ap.add_argument(
+        "--plan", type=Path, default=None,
+        help="run a multi-scenario plan (JSON) through the "
+             "orchestrator (requires --store)",
+    )
+    ap.add_argument(
+        "--all", action="store_true",
+        help="orchestrate every app scenario as one plan "
+             "(requires --store)",
+    )
     args = ap.parse_args(argv)
+
+    if args.resume and not args.store:
+        ap.error("--resume requires --store")
+    if (args.plan or args.all) and not args.store:
+        ap.error("--plan/--all require --store")
+    if args.plan or args.all:
+        return _run_plan(args)
 
     scenarios = _scenarios()
     if args.list or not args.kernel:
@@ -105,6 +173,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["budget"] = args.budget
     if args.threshold is not None:
         overrides["threshold"] = args.threshold
+    if args.store is not None:
+        overrides["store"] = args.store
+        overrides["resume"] = args.resume
     result = scen.run(**overrides)
 
     print(result.summary())
@@ -141,6 +212,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"evictions={sweep.get('evictions')} "
             f"disk_entries={sweep.get('disk_entries')} "
             f"disk_bytes={sweep.get('disk_bytes')}"
+        )
+    rs = stats.get("run_store")
+    if rs is not None:
+        print(
+            f"run store: run={str(rs.get('run_id'))[:12]} "
+            f"restored={rs.get('restored')} "
+            f"computed={rs.get('computed')} "
+            f"checkpoints={rs.get('checkpoints')} "
+            f"[{rs.get('root')}]"
         )
     if args.json is not None:
         args.json.write_text(

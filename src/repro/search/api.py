@@ -27,7 +27,9 @@ assembled from the full evaluation history.
 
 from __future__ import annotations
 
+import os
 import re
+import signal
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -51,6 +53,15 @@ from repro.ir.types import DType
 from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
 from repro.search.parallel import ParallelEvaluator
 from repro.search.pareto import ParetoFront
+from repro.search.store import (
+    RunStore,
+    StoreLike,
+    candidate_of,
+    library_version,
+    record_of,
+    run_id_of,
+    run_key_components,
+)
 from repro.search.strategies import (
     DEFAULT_STRATEGIES,
     SearchProblem,
@@ -90,6 +101,12 @@ class SearchResult:
     #: evaluator/cache counters (config-batching, memo, sweep cache,
     #: compiled-kernel cache) — surfaced by the CLI and benchmarks
     stats: Optional[Dict[str, object]] = None
+    #: content-addressed run id when a persistent store was in use
+    run_id: Optional[str] = None
+    #: whether any evaluations were restored from the run store
+    resumed: bool = False
+    #: evaluations served from the store rather than recomputed
+    n_restored: int = 0
 
     @property
     def n_evaluated(self) -> int:
@@ -117,6 +134,9 @@ class SearchResult:
             "baseline": self.baseline.to_dict() if self.baseline else None,
             "best_under_threshold": best.to_dict() if best else None,
             "stats": self.stats,
+            "run_id": self.run_id,
+            "resumed": self.resumed,
+            "n_restored": self.n_restored,
         }
 
     def summary(self) -> str:
@@ -146,6 +166,98 @@ def _resolve_cache(cache: CacheLike) -> Optional[SweepCache]:
     if cache is None or isinstance(cache, SweepCache):
         return cache
     return SweepCache(directory=cache)
+
+
+def _resolve_store(store: StoreLike) -> Optional[RunStore]:
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store)
+
+
+def _estimate_model_fingerprint(estimate_model) -> str:
+    """Fingerprint of the (defaulted) sweep-estimate model for run keys."""
+    if estimate_model is None:
+        from repro.core.models import TaylorModel
+
+        estimate_model = TaylorModel()
+    if not getattr(estimate_model, "cacheable", False):
+        raise ValueError(
+            "a persistent run store requires a cacheable estimate "
+            "model (models closing over arbitrary callables have no "
+            "stable content identity)"
+        )
+    return estimate_model.fingerprint()
+
+
+def _crash_hook(n_computed: int) -> None:
+    """Deterministic crash injection for crash-safety tests.
+
+    With ``REPRO_SEARCH_CRASH_AFTER=N`` set, the process SIGKILLs
+    itself once ``N`` candidates have been computed — after the
+    checkpoint for the batch has been written, so tests exercise the
+    exact state a hard kill at that instant would leave behind.
+    """
+    env = os.environ.get("REPRO_SEARCH_CRASH_AFTER")
+    if env and n_computed >= int(env):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _restored_result(
+    store: RunStore,
+    run_id: str,
+    manifest: Dict[str, object],
+    threshold: float,
+    budget: int,
+    strategies: Tuple[str, ...],
+) -> Optional[SearchResult]:
+    """Rebuild a completed run's :class:`SearchResult` from the store.
+
+    The zero-work warm-resume path: nothing is compiled or executed.
+    Returns ``None`` when the stored state is inconsistent (the caller
+    falls back to a checkpoint replay)."""
+    records = store.load_records(run_id)
+    if len(records) != manifest.get("n_evaluations"):
+        return None
+    if manifest.get("candidates") is None:
+        return None
+    evaluations = [candidate_of(r) for r in records]
+    baseline = None
+    baseline_key = manifest.get("baseline_key")
+    if baseline_key is not None:
+        baseline = next(
+            (c for c in evaluations if c.key == baseline_key), None
+        )
+        if baseline is None:
+            return None
+    stats: Dict[str, object] = {
+        "run_store": {
+            "run_id": run_id,
+            "root": str(store.root),
+            "restored": len(records),
+            "computed": 0,
+            "checkpoints": 0,
+            "replayed": False,
+        }
+    }
+    return SearchResult(
+        kernel=str(manifest.get("kernel")),
+        front=ParetoFront(evaluations),
+        evaluations=evaluations,
+        baseline=baseline,
+        threshold=float(threshold),
+        budget=int(budget),
+        strategies=tuple(strategies),
+        candidates=tuple(manifest["candidates"]),
+        contributions={
+            c: float(v)
+            for c, v in (manifest.get("contributions") or {}).items()
+        },
+        parallel=False,
+        stats=stats,
+        run_id=run_id,
+        resumed=True,
+        n_restored=len(records),
+    )
 
 
 def _register_contributions(
@@ -207,6 +319,10 @@ def search(
     seed: int = 0,
     error_metric: str = "worst",
     config_batch: bool = True,
+    store: StoreLike = None,
+    resume: bool = False,
+    label: Optional[str] = None,
+    checkpoint_every: int = 1,
 ) -> SearchResult:
     """Multi-objective precision search over (error, modelled cycles).
 
@@ -240,6 +356,20 @@ def search(
         config-batched kernel (default).  ``False`` forces the PR-2
         per-candidate compile-and-run path; results are bit-identical,
         only slower.
+    :param store: optional persistent :class:`RunStore` (or directory).
+        Evaluation history checkpoints to a content-addressed run
+        directory after every ``checkpoint_every`` computed batches, so
+        a killed run loses at most one batch of work.
+    :param resume: with a store, re-seed the evaluator memo, history,
+        and budget from the stored run (found by content address) —
+        the resumed run replays stored evaluations as free memo hits
+        and produces a bit-identical Pareto front and evaluation
+        history to an uninterrupted run.  A run that already completed
+        is reconstructed straight from the store (zero evaluations,
+        nothing compiled).
+    :param label: human-readable run label for the manifest (default:
+        kernel name).
+    :param checkpoint_every: checkpoint cadence, in computed batches.
     """
     fn = _as_ir(k)
     if points and not isinstance(points[0], (tuple, list)):
@@ -247,7 +377,66 @@ def search(
             "points must be a sequence of argument tuples, e.g. "
             "[(n, h), ...] — got a flat sequence"
         )
-    store = _resolve_cache(cache)
+    sweep_cache = _resolve_cache(cache)
+    names = tuple(strategies)
+    run_store = _resolve_store(store)
+    if resume and run_store is None:
+        raise ValueError("resume=True requires store=")
+    run_id: Optional[str] = None
+    manifest: Optional[Dict[str, object]] = None
+    restored: List[EvaluatedCandidate] = []
+    if run_store is not None:
+        components = run_key_components(
+            fn,
+            points=points,
+            threshold=float(threshold),
+            candidates=candidates,
+            samples=samples,
+            fixed=fixed,
+            demote_to=demote_to,
+            strategies=names,
+            budget=int(budget),
+            seed=int(seed),
+            aggregate=resolve_aggregator(aggregate)[0],
+            error_metric=error_metric,
+            model_fingerprint=_estimate_model_fingerprint(estimate_model),
+            cost_model=cost_model,
+            approx=approx,
+        )
+        run_id = run_id_of(components)
+        if resume:
+            manifest = run_store.load_manifest(run_id)
+            if (
+                manifest is not None
+                and manifest.get("library_version") != library_version()
+            ):
+                # the run key hashes parameters, not library behavior:
+                # records computed by a different release could mix
+                # with this one's and break the bit-identical contract
+                # — restart the run from scratch instead
+                manifest = None
+            if manifest is not None and manifest.get("completed"):
+                warm = _restored_result(
+                    run_store, run_id, manifest,
+                    threshold=float(threshold), budget=int(budget),
+                    strategies=names,
+                )
+                if warm is not None:
+                    return warm
+            if manifest is not None:
+                restored = [
+                    candidate_of(r)
+                    for r in run_store.load_records(run_id)
+                ]
+        if manifest is None:
+            # fresh run (or resume over a never-started id): write the
+            # manifest and truncate any stale records up front
+            manifest = run_store.new_manifest(
+                run_id, components, kernel=fn.name,
+                label=label or fn.name,
+            )
+            run_store.save_manifest(run_id, manifest)
+            run_store.checkpoint(run_id, [])
     ev_cls = ParallelEvaluator if workers and workers >= 2 else CandidateEvaluator
     ev_kwargs = dict(
         samples=samples,
@@ -256,7 +445,7 @@ def search(
         cost_model=cost_model,
         approx=approx,
         aggregate=aggregate,
-        cache=store,
+        cache=sweep_cache,
         error_metric=error_metric,
         config_batch=config_batch,
     )
@@ -265,23 +454,58 @@ def search(
     from repro.codegen.compile import config_kernel_cache_stats
 
     evaluator = ev_cls(fn, points, **ev_kwargs)
+    n_checkpoints = 0
+    if run_store is not None:
+        every = max(int(checkpoint_every), 1)
+        batches = 0
+
+        def _on_computed(ev: CandidateEvaluator) -> None:
+            nonlocal batches, n_checkpoints
+            batches += 1
+            if batches % every == 0:
+                run_store.checkpoint(
+                    run_id, [record_of(c) for c in ev.history]
+                )
+                n_checkpoints += 1
+            _crash_hook(ev.n_computed)
+
+        evaluator.checkpoint = _on_computed
     kernel_cache_before = config_kernel_cache_stats()
     try:
         evaluator.prepare()
-        registers = _register_contributions(
-            fn, evaluator.points, samples, fixed, demote_to, aggregate,
-            store,
-        )
-        if candidates is None:
-            cand = _derive_candidates(registers)
+        if restored:
+            evaluator.restore(restored)
+        if (
+            manifest is not None
+            and manifest.get("contributions") is not None
+        ):
+            # resume: the candidate set and contribution ranking were
+            # derived (and persisted) by the original run — reuse them
+            # instead of re-sweeping
+            cand = tuple(manifest["candidates"])
+            contributions = {
+                c: float(v)
+                for c, v in manifest["contributions"].items()
+            }
         else:
-            cand = tuple(candidates)
-        contributions = {
-            c: sum(
-                e for r, e in registers.items() if matches_inlined(r, c)
+            registers = _register_contributions(
+                fn, evaluator.points, samples, fixed, demote_to,
+                aggregate, sweep_cache,
             )
-            for c in cand
-        }
+            if candidates is None:
+                cand = _derive_candidates(registers)
+            else:
+                cand = tuple(candidates)
+            contributions = {
+                c: sum(
+                    e for r, e in registers.items() if matches_inlined(r, c)
+                )
+                for c in cand
+            }
+            if run_store is not None and manifest is not None:
+                manifest["candidates"] = list(cand)
+                manifest["contributions"] = contributions
+                run_store.save_manifest(run_id, manifest)
         problem = SearchProblem(
             evaluator=evaluator,
             candidates=cand,
@@ -291,7 +515,10 @@ def search(
             budget=int(budget),
             seed=int(seed),
         )
-        names = tuple(strategies)
+        if restored:
+            # stored evaluations already consumed budget in the run
+            # that computed them
+            problem.charge(evaluator.n_restored)
         for name in names:
             if problem.exhausted:
                 break
@@ -310,8 +537,31 @@ def search(
             "estimator_memo": estimator_memo_stats(),
             "config_kernel_cache": kernel_cache,
         }
-        if store is not None:
-            stats["sweep_cache"] = store.cache_stats()
+        if sweep_cache is not None:
+            stats["sweep_cache"] = sweep_cache.cache_stats()
+        if run_store is not None and manifest is not None:
+            records = [record_of(c) for c in evaluator.history]
+            run_store.complete_run(
+                run_id,
+                manifest,
+                records,
+                baseline_key=(
+                    problem.baseline.key if problem.baseline else None
+                ),
+                front=[
+                    {"key": p.key, "error": p.error, "cycles": p.cycles}
+                    for p in front.points
+                ],
+            )
+            n_checkpoints += 1
+            stats["run_store"] = {
+                "run_id": run_id,
+                "root": str(run_store.root),
+                "restored": evaluator.n_restored,
+                "computed": evaluator.n_computed,
+                "checkpoints": n_checkpoints,
+                "replayed": bool(restored),
+            }
     finally:
         evaluator.close()
     return SearchResult(
@@ -326,4 +576,7 @@ def search(
         contributions=contributions,
         parallel=parallel,
         stats=stats,
+        run_id=run_id,
+        resumed=bool(restored),
+        n_restored=evaluator.n_restored,
     )

@@ -194,6 +194,11 @@ class CandidateEvaluator:
         self.history: List[EvaluatedCandidate] = []
         self.n_computed = 0
         self.n_memo_hits = 0
+        #: results re-seeded from a persistent run store (resume path)
+        self.n_restored = 0
+        #: optional persistence hook: called with ``self`` after every
+        #: computed batch lands in the history (run-store checkpointing)
+        self.checkpoint = None
         self.config_batch = bool(config_batch)
         self._runner_built = False
         self._runner = None
@@ -252,11 +257,42 @@ class CandidateEvaluator:
         runner = self.pool_runner()
         return runner.mode if runner is not None else None
 
+    def restore(self, candidates: Sequence[EvaluatedCandidate]) -> int:
+        """Seed the memo and history with previously computed results.
+
+        The resume substrate: a run store hands back the stored
+        evaluation history (a prefix of the deterministic evaluation
+        order) and the strategies replay against it — every stored
+        configuration becomes a memo hit (never recomputed) and fresh
+        indices continue where the stored run stopped, so a resumed
+        run's history is bit-identical to an uninterrupted one.
+
+        Must be called on a fresh evaluator (before any evaluation);
+        restored results count in :attr:`n_restored`, not
+        :attr:`n_computed`.
+        """
+        if self.history:
+            raise RuntimeError(
+                "restore() requires a fresh evaluator (history is "
+                "non-empty)"
+            )
+        for cand in sorted(candidates, key=lambda c: c.index):
+            if cand.index != len(self.history):
+                raise ValueError(
+                    f"stored history is not a contiguous prefix: "
+                    f"index {cand.index} at position {len(self.history)}"
+                )
+            self.memo[cand.key] = cand
+            self.history.append(cand)
+            self.n_restored += 1
+        return self.n_restored
+
     def eval_stats(self) -> Dict[str, object]:
         """Evaluation counters (memoization and config-batching)."""
         return {
             "computed": self.n_computed,
             "memo_hits": self.n_memo_hits,
+            "restored": self.n_restored,
             "pool_mode": self.pool_mode,
             "pool_runs": self.n_pool_runs,
             "pool_lanes": self.n_pool_lanes,
@@ -298,6 +334,8 @@ class CandidateEvaluator:
                 self.memo[key] = cand
                 self.history.append(cand)
                 self.n_computed += 1
+            if self.checkpoint is not None:
+                self.checkpoint(self)
         return [self.memo[key] for key in keys]
 
     # -- computation --------------------------------------------------------

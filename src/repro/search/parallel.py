@@ -127,7 +127,21 @@ class ParallelEvaluator(CandidateEvaluator):
         return self._pool
 
     def close(self) -> None:
-        """Terminate the worker pool (idempotent)."""
+        """Drain and reap the worker pool (idempotent).
+
+        Happy path is ``close()`` + ``join()``: in-flight worker blocks
+        finish cleanly instead of being killed mid-write (a run-store
+        checkpoint or sweep-cache put must never be interrupted by its
+        own evaluator shutting down).  ``terminate()`` is reserved for
+        :meth:`__del__` (interpreter teardown) and the failure path.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def _reap(self) -> None:
+        """Kill the pool after a worker failure (state is suspect)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -141,7 +155,10 @@ class ParallelEvaluator(CandidateEvaluator):
 
     def __del__(self) -> None:  # pragma: no cover - best effort
         try:
-            self.close()
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
         except Exception:
             pass
 
@@ -156,7 +173,17 @@ class ParallelEvaluator(CandidateEvaluator):
         # the inherited compiled lane kernel in one go (per-candidate
         # shipping would pay one lane execution per config)
         blocks = _blocks(list(configs), self.workers)
-        results = pool.map(_worker_compute_block, blocks, chunksize=1)
+        try:
+            results = pool.map(_worker_compute_block, blocks, chunksize=1)
+        except Exception:
+            # a worker raised (or died): the pool may have lost
+            # processes or hold half-delivered results, so it is not
+            # trustworthy anymore — reap it, stay serial for the rest
+            # of the run, and recompute this block in-process so the
+            # caller still gets its results
+            self._pool_failed = True
+            self._reap()
+            return super()._compute_many(configs)
         for _, (runs, lanes, fallbacks) in results:
             self.n_pool_runs += runs
             self.n_pool_lanes += lanes

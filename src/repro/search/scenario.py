@@ -45,6 +45,8 @@ class SearchScenario:
             "samples": self.samples,
             "fixed": self.fixed,
             "budget": self.budget,
+            # run-store manifests label runs by scenario name
+            "label": self.name,
         }
         threshold = overrides.pop("threshold", self.threshold)
         kwargs.update(overrides)

@@ -1,0 +1,364 @@
+"""Persistent, content-addressed run store for precision searches.
+
+A search run is compile-and-run heavy, and until now it was entirely
+in-memory: a crash, an OOM kill, or a CI timeout threw away every
+evaluated candidate.  :class:`RunStore` makes runs durable:
+
+* each run lives in its own directory under the store root, named by a
+  **content-addressed run id** — the SHA-256 of everything that
+  determines the run's results (IR fingerprint of the kernel, input
+  digests of the validation points and sweep, threshold, budget,
+  strategy line-up, seed, error/cost model fingerprints) — so resuming
+  with the same arguments finds the same run automatically, and runs
+  with different parameters never collide;
+* a JSON ``manifest.json`` records the run metadata (scenario label,
+  kernel, library version, the full key components, the derived
+  candidate set and contribution ranking, completion state and final
+  front fingerprint);
+* evaluation history checkpoints to a pickled ``evals.pkl`` payload —
+  floats round-trip bit-exactly, which the resume contract depends on;
+* every write is atomic (``mkstemp`` + ``os.replace``, the same
+  discipline as :mod:`repro.sweep.cache`), so a run killed at any
+  instant leaves either the previous checkpoint or the new one on
+  disk, never a torn file.  A checkpoint is always a *prefix* of the
+  deterministic evaluation order, which is exactly what resume needs.
+
+The resume contract itself (re-seeding the evaluator memo and budget
+so a resumed run is bit-identical to an uninterrupted one) lives in
+:func:`repro.search.api.search`; multi-run plans in
+:class:`repro.search.orchestrator.SearchOrchestrator`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.interp.cost_model import CostModel
+from repro.ir import nodes as N
+from repro.ir.fingerprint import ir_fingerprint
+from repro.ir.types import DType
+from repro.search.evaluate import EvaluatedCandidate
+from repro.sweep.cache import digest_inputs
+from repro.tuning.config import PrecisionConfig
+
+#: on-disk layout version; bumped on incompatible record/manifest changes
+RUN_FORMAT = 1
+
+#: pickle protocol pinned for cross-version disk compatibility
+_PICKLE_PROTOCOL = 4
+
+StoreLike = Union[None, str, Path, "RunStore"]
+
+
+def library_version() -> str:
+    """The installed package version, recorded in run manifests.
+
+    Resume refuses to mix records across versions: the run key hashes
+    parameters, not library behavior, so a version change invalidates
+    stored runs (the resume path restarts them from scratch)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-cheffp")
+    except Exception:  # not installed (PYTHONPATH=src usage)
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tempfile + rename).
+
+    A reader (or a crash) can only ever observe the old content or the
+    new content, never a torn file.  Unlike the sweep cache — where a
+    lost entry is merely a future miss — a lost checkpoint loses work,
+    so write failures propagate."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# -- run identity -------------------------------------------------------------
+
+
+def run_key_components(
+    fn: N.Function,
+    points: Sequence[Sequence[object]],
+    threshold: float,
+    candidates: Optional[Sequence[str]],
+    samples: Optional[Mapping[str, Sequence[object]]],
+    fixed: Optional[Mapping[str, object]],
+    demote_to: DType,
+    strategies: Sequence[str],
+    budget: int,
+    seed: int,
+    aggregate: str,
+    error_metric: str,
+    model_fingerprint: str,
+    cost_model: CostModel,
+    approx,
+) -> Dict[str, object]:
+    """Everything that determines a search run's results, as JSON.
+
+    Deliberately excludes knobs that are bit-identical by contract
+    (``workers``, ``config_batch``) and pure plumbing (``cache``) — a
+    run may be resumed serial after starting parallel and vice versa.
+    """
+    if samples is not None:
+        sample_names = sorted(samples)
+        samples_digest = digest_inputs(
+            [samples[name] for name in sample_names]
+        )
+    else:
+        sample_names, samples_digest = [], None
+    if fixed:
+        fixed_names = sorted(fixed)
+        fixed_digest = digest_inputs([fixed[name] for name in fixed_names])
+    else:
+        fixed_names, fixed_digest = [], None
+    return {
+        "ir_fingerprint": ir_fingerprint(fn),
+        "points_digest": [digest_inputs(tuple(p)) for p in points],
+        "threshold": float(threshold),
+        "candidates": (
+            "auto" if candidates is None else sorted(candidates)
+        ),
+        "sample_names": sample_names,
+        "samples_digest": samples_digest,
+        "fixed_names": fixed_names,
+        "fixed_digest": fixed_digest,
+        "demote_to": demote_to.value,
+        "strategies": list(strategies),
+        "budget": int(budget),
+        "seed": int(seed),
+        "aggregate": aggregate,
+        "error_metric": error_metric,
+        "model_fingerprint": model_fingerprint,
+        # CostModel is a plain dataclass of cost tables; its repr is a
+        # deterministic rendering of those tables
+        "cost_model": hashlib.sha256(
+            repr(cost_model).encode()
+        ).hexdigest(),
+        "approx": sorted(approx) if approx else [],
+        "format": RUN_FORMAT,
+    }
+
+
+def run_id_of(components: Mapping[str, object]) -> str:
+    """Content-addressed run id of one parameter set."""
+    payload = json.dumps(components, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- evaluation record (de)serialization --------------------------------------
+
+
+def record_of(cand: EvaluatedCandidate) -> Dict[str, object]:
+    """Serialize one evaluated candidate (pickle payload entry)."""
+    return {
+        "key": cand.key,
+        "demotions": {
+            name: dt.value for name, dt in cand.config.demotions.items()
+        },
+        "actual_error": cand.actual_error,
+        "point_errors": tuple(cand.point_errors),
+        "estimated_error": cand.estimated_error,
+        "error": cand.error,
+        "cycles": cand.cycles,
+        "cycles_reference": cand.cycles_reference,
+        "strategy": cand.strategy,
+        "index": cand.index,
+    }
+
+
+def candidate_of(rec: Mapping[str, object]) -> EvaluatedCandidate:
+    """Rebuild an :class:`EvaluatedCandidate` from a stored record."""
+    config = PrecisionConfig(
+        {name: DType(v) for name, v in rec["demotions"].items()}
+    )
+    return EvaluatedCandidate(
+        key=rec["key"],
+        config=config,
+        actual_error=rec["actual_error"],
+        point_errors=tuple(rec["point_errors"]),
+        estimated_error=rec["estimated_error"],
+        error=rec["error"],
+        cycles=rec["cycles"],
+        cycles_reference=rec["cycles_reference"],
+        strategy=rec["strategy"],
+        index=rec["index"],
+    )
+
+
+class RunStore:
+    """A directory of persisted search runs, one subdirectory per run.
+
+    ::
+
+        store/
+          <run_id[:32]>/
+            manifest.json   # metadata, key components, completion state
+            evals.pkl       # checkpointed evaluation history (a prefix
+                            # of the deterministic evaluation order)
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id[:32]
+
+    def _manifest_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "manifest.json"
+
+    def _records_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "evals.pkl"
+
+    def has_run(self, run_id: str) -> bool:
+        return self._manifest_path(run_id).exists()
+
+    # -- manifests ----------------------------------------------------------
+    def new_manifest(
+        self,
+        run_id: str,
+        components: Mapping[str, object],
+        kernel: str,
+        label: str,
+    ) -> Dict[str, object]:
+        return {
+            "format": RUN_FORMAT,
+            "run_id": run_id,
+            "label": label,
+            "kernel": kernel,
+            "library_version": library_version(),
+            "created": time.time(),
+            "key": dict(components),
+            "candidates": None,
+            "contributions": None,
+            "completed": False,
+            "n_evaluations": 0,
+            "baseline_key": None,
+            "front": None,
+        }
+
+    def save_manifest(
+        self, run_id: str, manifest: Mapping[str, object]
+    ) -> None:
+        self.run_dir(run_id).mkdir(parents=True, exist_ok=True)
+        data = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+        _atomic_write(self._manifest_path(run_id), data)
+
+    def load_manifest(self, run_id: str) -> Optional[Dict[str, object]]:
+        """The run's manifest, or ``None`` when absent/unreadable or
+        written by an incompatible layout version."""
+        path = self._manifest_path(run_id)
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if manifest.get("format") != RUN_FORMAT:
+            return None
+        return manifest
+
+    # -- evaluation records --------------------------------------------------
+    def checkpoint(
+        self, run_id: str, records: Sequence[Mapping[str, object]]
+    ) -> None:
+        """Persist the full evaluation history so far (atomic rewrite).
+
+        Called after every computed batch; budgets are small (tens to a
+        few hundred records), so rewriting beats the bookkeeping of an
+        append-only log while keeping the all-or-nothing guarantee."""
+        self.run_dir(run_id).mkdir(parents=True, exist_ok=True)
+        data = pickle.dumps(list(records), protocol=_PICKLE_PROTOCOL)
+        _atomic_write(self._records_path(run_id), data)
+
+    def load_records(self, run_id: str) -> List[Dict[str, object]]:
+        """Stored evaluation records, as the longest valid prefix.
+
+        A corrupt or unreadable payload degrades to an empty history
+        (the run restarts from scratch rather than failing); records
+        after an index gap are dropped, preserving the prefix property
+        the bit-identical-resume contract depends on."""
+        path = self._records_path(run_id)
+        if not path.exists():
+            return []
+        try:
+            with open(path, "rb") as f:
+                raw = pickle.load(f)
+        except (
+            OSError, pickle.PickleError, EOFError, AttributeError,
+            ValueError,  # e.g. a truncated/garbled protocol header
+        ):
+            return []
+        if not isinstance(raw, list):
+            return []
+        out: List[Dict[str, object]] = []
+        for rec in sorted(
+            (r for r in raw if isinstance(r, dict)),
+            key=lambda r: r.get("index", -1),
+        ):
+            if rec.get("index") != len(out):
+                break
+            out.append(rec)
+        return out
+
+    def complete_run(
+        self,
+        run_id: str,
+        manifest: Dict[str, object],
+        records: Sequence[Mapping[str, object]],
+        baseline_key: Optional[str],
+        front: Sequence[Mapping[str, object]],
+    ) -> None:
+        """Final checkpoint + manifest completion marker."""
+        self.checkpoint(run_id, records)
+        manifest["completed"] = True
+        manifest["n_evaluations"] = len(records)
+        manifest["baseline_key"] = baseline_key
+        manifest["front"] = list(front)
+        self.save_manifest(run_id, manifest)
+
+    # -- cross-run access ----------------------------------------------------
+    def save_run(
+        self,
+        manifest: Dict[str, object],
+        records: Sequence[Mapping[str, object]],
+    ) -> str:
+        """Write a run wholesale (copy/truncate tooling and tests)."""
+        run_id = str(manifest["run_id"])
+        self.save_manifest(run_id, manifest)
+        self.checkpoint(run_id, records)
+        return run_id
+
+    def list_runs(self) -> List[Dict[str, object]]:
+        """Manifests of every readable run, newest first."""
+        out = []
+        for sub in self.root.iterdir():
+            if not sub.is_dir():
+                continue
+            try:
+                manifest = json.loads((sub / "manifest.json").read_text())
+            except (OSError, ValueError):
+                continue
+            if manifest.get("format") == RUN_FORMAT:
+                out.append(manifest)
+        out.sort(key=lambda m: m.get("created", 0.0), reverse=True)
+        return out

@@ -94,6 +94,15 @@ class SearchProblem:
     def exhausted(self) -> bool:
         return self.remaining <= 0
 
+    def charge(self, n: int) -> None:
+        """Pre-charge ``n`` evaluations against the budget.
+
+        The resume path charges the evaluations restored from a run
+        store so a resumed run computes exactly as many *new*
+        candidates as the uninterrupted run would have — restored
+        results themselves replay as free memo hits."""
+        self._spent += int(n)
+
     @property
     def ranking(self) -> List[Tuple[str, float]]:
         """Candidates ascending by estimated contribution (greedy order)."""

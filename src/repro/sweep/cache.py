@@ -45,8 +45,56 @@ from repro.sweep.batch import BatchReport
 _PICKLE_PROTOCOL = 4
 
 
+def _bad_element_index(seq: Sequence[object]) -> int:
+    """First element of a rejected sequence that breaks uniformity.
+
+    Used only to build error messages: the offending element is one
+    that is ``None``, non-numeric, or shape-mismatched against the
+    first element."""
+    shape = None
+    for i, el in enumerate(seq):
+        if el is None or isinstance(el, (str, bytes)):
+            return i
+        try:
+            arr = np.asarray(el, dtype=np.float64)
+        except (TypeError, ValueError):
+            return i
+        if shape is None:
+            shape = arr.shape
+        elif arr.shape != shape:
+            return i
+    return 0
+
+
+def _sequence_array(a: Sequence[object]) -> np.ndarray:
+    """A list/tuple argument as a digestible uniform numeric array.
+
+    :raises TypeError: for ragged nesting, ``None`` elements, or any
+        non-numeric content — naming the offending index instead of
+        leaking raw numpy errors (``tobytes`` on an object array) or
+        silently coercing.
+    """
+    try:
+        arr = np.asarray(a)
+    except (TypeError, ValueError):
+        arr = None  # ragged nesting (numpy >= 1.24 raises directly)
+    if arr is None or arr.dtype.kind not in "biuf":
+        idx = _bad_element_index(a)
+        raise TypeError(
+            f"cannot digest sequence argument: element {idx} "
+            f"({type(a[idx]).__name__}: {a[idx]!r}) breaks uniform "
+            f"numeric shape/dtype"
+        )
+    return arr
+
+
 def digest_inputs(args: Sequence[object]) -> str:
-    """SHA-256 digest of a positional argument tuple."""
+    """SHA-256 digest of a positional argument tuple.
+
+    :raises TypeError: for undigestible arguments — unsupported types,
+        and list/tuple arguments with ragged nesting, ``None``, or
+        non-numeric elements (the offending index is named).
+    """
     h = hashlib.sha256()
     for a in args:
         if isinstance(a, np.ndarray):
@@ -64,7 +112,7 @@ def digest_inputs(args: Sequence[object]) -> str:
             h.update(b"S")
             h.update(repr(a).encode())
         elif isinstance(a, (list, tuple)):
-            arr = np.asarray(a)
+            arr = _sequence_array(a)
             h.update(b"L")
             h.update(str(arr.dtype).encode())
             h.update(repr(arr.shape).encode())
@@ -120,6 +168,8 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: corrupt/truncated disk entries dropped on read
+        self.corrupt_evictions = 0
         #: running (bytes, entries) estimate of the disk tier; None
         #: until the first authoritative scan.  Kept incrementally so
         #: puts under the caps never rescan the directory; overwrites
@@ -233,8 +283,20 @@ class SweepCache:
                 try:
                     with open(path, "rb") as f:
                         rep = BatchReport.from_dict(pickle.load(f))
-                except (OSError, pickle.PickleError, KeyError, EOFError):
-                    rep = None  # corrupt entry: treat as miss
+                except (
+                    OSError, pickle.PickleError, KeyError, EOFError,
+                    ValueError,  # truncated/garbled protocol header
+                ):
+                    # corrupt/truncated entry (e.g. a crash mid-write
+                    # outside this cache's atomic protocol): treat as a
+                    # miss and evict the file so it cannot shadow the
+                    # fresh result about to be recomputed
+                    rep = None
+                    self.corrupt_evictions += 1
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
                 if rep is not None:
                     self._remember(key, rep)
                     try:
@@ -292,6 +354,7 @@ class SweepCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "corrupt_evictions": self.corrupt_evictions,
             "memory_entries": len(self._mem),
             "disk_entries": len(entries),
             "disk_bytes": sum(size for _, _, size in entries),

@@ -51,6 +51,11 @@ def _points(n=48, seeds=(5, 6)):
     return out
 
 
+def _poisoned_block(configs):
+    """Module-level so the pool can pickle it into forked workers."""
+    raise RuntimeError("poisoned worker block")
+
+
 def _cand(key, error, cycles, strategy="t", index=0):
     """A minimal EvaluatedCandidate for front unit tests."""
     return EvaluatedCandidate(
@@ -347,6 +352,56 @@ class TestParallel:
         )
         ev.close()
         ev.close()
+
+    def test_worker_exception_recovers_serially(self, monkeypatch):
+        """Regression: a worker exception during pool.map must not
+        propagate and must not leave a broken pool behind — the block
+        is recomputed serially and later evaluations keep working."""
+        import repro.search.parallel as par
+
+        configs = [
+            PrecisionConfig.demote([v]) for v in ("t", "s", "h")
+        ]
+        expected = CandidateEvaluator(ps_kernel, _points()).evaluate_many(
+            configs, "x"
+        )
+        ev = ParallelEvaluator(ps_kernel, _points(), workers=2)
+        monkeypatch.setattr(par, "_worker_compute_block", _poisoned_block)
+        try:
+            got = ev.evaluate_many(configs, "x")
+            assert ev._pool_failed
+            assert ev._pool is None and not ev.parallel
+            for a, b in zip(expected, got):
+                assert a.key == b.key
+                assert a.error == b.error  # bitwise
+                assert a.cycles == b.cycles
+                assert a.point_errors == b.point_errors
+            # the evaluator stays serviceable, permanently serial
+            more = ev.evaluate_many(
+                [PrecisionConfig.demote(["data", "t"]),
+                 PrecisionConfig.demote(["s", "h"])],
+                "x",
+            )
+            assert len(more) == 2 and not ev.parallel
+        finally:
+            ev.close()
+
+    def test_happy_path_close_drains_instead_of_terminating(self):
+        """Regression: close() must let in-flight worker blocks finish
+        (close+join), reserving terminate() for __del__/failures."""
+        ev = ParallelEvaluator(ps_kernel, _points(), workers=2)
+        ev.evaluate_many(
+            [PrecisionConfig.demote([v]) for v in ("t", "s")], "x"
+        )
+        pool = ev._pool
+        assert pool is not None
+        calls = []
+        orig_close, orig_term = pool.close, pool.terminate
+        pool.close = lambda: (calls.append("close"), orig_close())[-1]
+        pool.terminate = lambda: (calls.append("terminate"), orig_term())[-1]
+        ev.close()
+        assert calls == ["close"]
+        assert ev._pool is None
 
 
 class TestStrategyRegistry:

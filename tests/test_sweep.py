@@ -30,7 +30,7 @@ from repro.sweep import (
     sweep_error,
 )
 from repro.sweep.aggregate import resolve_aggregator
-from repro.sweep.cache import make_key
+from repro.sweep.cache import digest_inputs, make_key
 from repro.tuning import apply_precision, greedy_tune, robust_tune
 from repro.tuning.greedy import TuningResult
 from repro.tuning.config import PrecisionConfig
@@ -440,6 +440,91 @@ class TestSweepCache:
         rep = sweep_error(simpsons.simpson, cache=c2, **kwargs)
         assert not rep.from_cache
         assert c2.misses == 1
+        # the corrupt entry was evicted, then overwritten by the fresh
+        # result — a third cache over the same directory hits again
+        assert c2.corrupt_evictions == 1
+        c3 = SweepCache(directory=tmp_path)
+        assert sweep_error(simpsons.simpson, cache=c3, **kwargs).from_cache
+
+    @pytest.mark.parametrize("via_env", [False, True])
+    def test_truncated_disk_entry_is_a_miss_and_evicted(
+        self, tmp_path, monkeypatch, via_env
+    ):
+        """Crash-safety: a pickle torn by a mid-write crash (outside
+        the cache's own atomic protocol, e.g. a copied partial file)
+        counts as a miss and is evicted — under both the in-process
+        ``directory=`` configuration and ``REPRO_SWEEP_CACHE``."""
+        if via_env:
+            monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+            make = lambda: SweepCache()  # noqa: E731
+        else:
+            monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+            make = lambda: SweepCache(directory=tmp_path)  # noqa: E731
+        hi = np.linspace(1.0, 3.0, 6)
+        kwargs = dict(
+            samples={"hi": hi},
+            fixed={"n": 10, "lo": 0.0},
+            model=AdaptModel(),
+        )
+        c1 = make()
+        assert c1.directory == tmp_path
+        sweep_error(simpsons.simpson, cache=c1, **kwargs)
+        (entry,) = tmp_path.glob("*.pkl")
+        data = entry.read_bytes()
+        entry.write_bytes(data[: len(data) // 2])  # truncate mid-write
+        c2 = make()
+        rep = sweep_error(simpsons.simpson, cache=c2, **kwargs)
+        assert not rep.from_cache
+        assert c2.misses == 1 and c2.hits == 0
+        assert c2.corrupt_evictions == 1
+        assert c2.cache_stats()["corrupt_evictions"] == 1
+        # evict-then-recompute leaves a valid entry behind
+        c3 = make()
+        rep3 = sweep_error(simpsons.simpson, cache=c3, **kwargs)
+        assert rep3.from_cache and c3.corrupt_evictions == 0
+
+    def test_truncated_entry_eviction_when_refetch_skipped(self, tmp_path):
+        """The corrupt file is unlinked by the failed get() itself —
+        even if nothing is ever re-put, it cannot shadow the key."""
+        hi = np.linspace(1.0, 3.0, 6)
+        kwargs = dict(
+            samples={"hi": hi},
+            fixed={"n": 10, "lo": 0.0},
+            model=AdaptModel(),
+        )
+        c1 = SweepCache(directory=tmp_path)
+        sweep_error(simpsons.simpson, cache=c1, **kwargs)
+        (entry,) = tmp_path.glob("*.pkl")
+        entry.write_bytes(entry.read_bytes()[:10])
+        c2 = SweepCache(directory=tmp_path)
+        assert c2.get(entry.stem) is None  # filename is the key
+        assert not entry.exists()
+        assert c2.corrupt_evictions == 1
+
+    def test_ragged_sequence_raises_documented_typeerror(self):
+        # regression: used to leak raw numpy errors (or, pre-1.24, an
+        # object-dtype array into ``tobytes``)
+        with pytest.raises(TypeError, match="element 1"):
+            digest_inputs([[[1.0, 2.0], [3.0]]])
+
+    def test_none_element_raises_with_offending_index(self):
+        # regression: None used to be swallowed into an object array
+        with pytest.raises(TypeError, match="element 2"):
+            digest_inputs([[1.0, 2.0, None, 4.0]])
+
+    def test_non_numeric_elements_raise(self):
+        with pytest.raises(TypeError, match="element 0"):
+            digest_inputs([["a", "b"]])
+        with pytest.raises(TypeError, match="cannot digest argument"):
+            digest_inputs([{"x": 1}])
+
+    def test_uniform_sequences_still_digest(self):
+        d1 = digest_inputs([[1.0, 2.0, 3.0]])
+        assert d1 == digest_inputs([(1.0, 2.0, 3.0)])
+        assert d1 != digest_inputs([[1.0, 2.0, 4.0]])
+        # uniform nesting and bools are fine
+        digest_inputs([[[1.0, 2.0], [3.0, 4.0]]])
+        digest_inputs([[True, False]])
 
     def test_numpy_scalar_fixed_values_digestible(self):
         # sizes/bounds routinely come out of numpy; the cache key must
