@@ -12,7 +12,7 @@ push-everything.
 import pytest
 
 from repro.apps import arclength, simpsons
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel
 
 
@@ -21,7 +21,7 @@ from repro.core.models import AdaptModel
     "app", [arclength, simpsons], ids=lambda a: a.NAME
 )
 def test_ablation_opt_pipeline(benchmark, app, level, bench_sizes):
-    est = estimate_error(
+    est = ErrorEstimator(
         app.INSTRUMENTED, model=AdaptModel(), opt_level=level
     )
     args = app.make_workload(bench_sizes[app.NAME])
@@ -37,7 +37,7 @@ def test_ablation_opt_pipeline(benchmark, app, level, bench_sizes):
     "app", [arclength, simpsons], ids=lambda a: a.NAME
 )
 def test_ablation_tbr(benchmark, app, minimal, bench_sizes):
-    est = estimate_error(
+    est = ErrorEstimator(
         app.INSTRUMENTED, model=AdaptModel(), minimal_pushes=minimal
     )
     args = app.make_workload(bench_sizes[app.NAME])
@@ -47,10 +47,10 @@ def test_ablation_tbr(benchmark, app, minimal, bench_sizes):
 
 
 def test_tbr_reduces_pushes_statically(bench_sizes):
-    full = estimate_error(
+    full = ErrorEstimator(
         simpsons.INSTRUMENTED, model=AdaptModel(), minimal_pushes=False
     )
-    mini = estimate_error(
+    mini = ErrorEstimator(
         simpsons.INSTRUMENTED, model=AdaptModel(), minimal_pushes=True
     )
     assert mini.source.count(".append(") <= full.source.count(".append(")

@@ -12,7 +12,7 @@ import pytest
 from repro.adapt import AdaptAnalysis
 from repro.apps import ALL_APPS, hpccg
 from repro.codegen.compile import compile_primal
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel
 from repro.experiments.measure import measure_adapt, measure_chef
 
@@ -40,7 +40,7 @@ _ALL = ["arclength", "simpsons", "kmeans", "hpccg", "blackscholes"]
 
 @pytest.mark.parametrize("name", _ALL)
 def test_fig_chef_series(benchmark, name, bench_sizes):
-    est = estimate_error(_kernel(name), model=AdaptModel())
+    est = ErrorEstimator(_kernel(name), model=AdaptModel())
     args = _args(name, bench_sizes)
     benchmark.group = f"fig{_FIG_OF.get(name, 7)}:{name}"
     benchmark(lambda: est.execute(*args))

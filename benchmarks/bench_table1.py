@@ -10,7 +10,8 @@ speedup.
 import pytest
 
 from repro.apps import arclength, kmeans, simpsons
-from repro.tuning import greedy_tune, validate_config
+from repro.tuning import validate_config
+from repro.tuning.greedy import run_greedy_tune
 
 
 @pytest.mark.parametrize(
@@ -21,7 +22,7 @@ def test_table1_tune_and_validate(benchmark, app, bench_sizes):
     args = app.make_workload(size)
 
     def flow():
-        tuning = greedy_tune(
+        tuning = run_greedy_tune(
             app.INSTRUMENTED, args, app.DEFAULT_THRESHOLD
         )
         validation = validate_config(

@@ -10,7 +10,7 @@ import pytest
 
 from repro.adapt import AdaptAnalysis
 from repro.apps import ALL_APPS, hpccg
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel
 
 _CASES = ["arclength", "simpsons", "kmeans", "blackscholes"]
@@ -24,7 +24,7 @@ def _workload(name, bench_sizes):
 @pytest.mark.parametrize("name", _CASES)
 def test_chef_analysis(benchmark, name, bench_sizes):
     app, args = _workload(name, bench_sizes)
-    est = estimate_error(app.INSTRUMENTED, model=AdaptModel())
+    est = ErrorEstimator(app.INSTRUMENTED, model=AdaptModel())
     benchmark.group = f"table2:{name}"
     rep = benchmark(lambda: est.execute(*args))
     assert rep.total_error >= 0
@@ -41,7 +41,7 @@ def test_adapt_analysis(benchmark, name, bench_sizes):
 
 def test_chef_analysis_hpccg(benchmark, bench_sizes):
     args = hpccg.make_workload(bench_sizes["hpccg_nz"], max_iter=15)
-    est = estimate_error(hpccg.INSTRUMENTED, model=AdaptModel())
+    est = ErrorEstimator(hpccg.INSTRUMENTED, model=AdaptModel())
     benchmark.group = "table2:hpccg"
     benchmark(lambda: est.execute(*args))
 

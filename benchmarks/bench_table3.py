@@ -8,7 +8,7 @@ inputs), clusters and sum do not, and estimates bound actuals.
 import pytest
 
 from repro.apps import kmeans
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel
 from repro.tuning import PrecisionConfig, validate_config
 from repro.tuning.config import matches_inlined
@@ -27,7 +27,7 @@ CONFIGS = [
 def test_table3_config(benchmark, config_vars, bench_sizes):
     npoints = bench_sizes["kmeans"]
     args = kmeans.make_workload(npoints)
-    report = estimate_error(
+    report = ErrorEstimator(
         kmeans.INSTRUMENTED, model=AdaptModel()
     ).execute(*args)
     estimated = sum(

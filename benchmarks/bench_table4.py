@@ -12,7 +12,7 @@ import pytest
 
 from repro.apps import blackscholes as bs
 from repro.codegen.compile import compile_primal, compile_raw
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import ApproxModel
 
 _MAPS = {
@@ -31,7 +31,7 @@ def test_table4_error_analysis(benchmark, config, bench_sizes):
     wl = bs.make_workload(n)
     exact = compile_primal(bs.bs_price.ir)
     approx = compile_primal(bs.bs_price.ir, approx=config)
-    estimator = estimate_error(
+    estimator = ErrorEstimator(
         bs.bs_price, model=ApproxModel(_MAPS[config])
     )
 

@@ -17,6 +17,9 @@ from repro.codegen.compile import compile_primal, compile_raw
 N_OPTIONS = 200
 
 
+SESSION = repro.Session()
+
+
 def analyse(config, label):
     wl = bs.make_workload(N_OPTIONS)
     exact = compile_primal(bs.bs_price.ir)
@@ -25,7 +28,7 @@ def analyse(config, label):
     var_map = {
         v: f for v, f in bs.APPROX_VARIABLE_MAP.items() if f in config
     }
-    estimator = repro.estimate_error(
+    estimator = SESSION.estimate(
         bs.bs_price, model=repro.ApproxModel(var_map)
     )
 

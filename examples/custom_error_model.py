@@ -83,6 +83,7 @@ def main() -> None:
     args = (105.0, 100.0, 0.05)
 
     print(f"payoff{args} = {payoff(*args):.10f}\n")
+    sess = repro.Session()
 
     for label, model in [
         ("built-in Taylor (Eq. 1)", repro.TaylorModel()),
@@ -91,14 +92,14 @@ def main() -> None:
         ("ExternalModel: half-ULP", repro.ExternalModel(ulp_error_val)),
         ("subclass: 1e-10 relative", RelativeBudgetModel(1e-10)),
     ]:
-        rep = repro.estimate_error(payoff, model=model).execute(*args)
+        rep = sess.estimate(payoff, model=model).execute(*args)
         print(f"{label:30s} total = {rep.total_error:.6g}")
 
     # the external re-implementation matches the built-in exactly
-    ext = repro.estimate_error(
+    ext = sess.estimate(
         payoff, model=repro.ExternalModel(get_error_val)
     ).execute(*args)
-    builtin = repro.estimate_error(
+    builtin = sess.estimate(
         payoff, model=repro.AdaptModel()
     ).execute(*args)
     assert math.isclose(

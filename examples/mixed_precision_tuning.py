@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.apps import simpsons
 from repro.sweep import random_sweep
-from repro.tuning import greedy_tune, robust_tune, validate_config
+import repro
+from repro.tuning import validate_config
 
 THRESHOLD = 1e-6  # Table I's Simpsons threshold
 SIZE = 2_000      # iteration pairs per integration
@@ -36,20 +37,25 @@ def main() -> None:
         f"sweeping {N_SAMPLES} integration domains\n"
     )
 
+    # one session shares the estimator memo and sweep cache between
+    # the single-point and the robust pass
+    sess = repro.Session()
+
     # 1. single-point tuning (the paper's workflow) for contrast
-    point = greedy_tune(
-        simpsons.INSTRUMENTED, simpsons.make_workload(SIZE), THRESHOLD
+    point = sess.tune(
+        simpsons.INSTRUMENTED, THRESHOLD,
+        args=simpsons.make_workload(SIZE),
     )
     print(f"Single-point choice  : {point.config.describe()}")
     print(f"  estimated error    : {point.estimated_error:.4g}")
 
     # 2. distribution-robust tuning: aggregated (max-over-samples)
     #    contributions feed the same greedy demotion loop
-    robust = robust_tune(
+    robust = sess.tune(
         simpsons.INSTRUMENTED,
+        THRESHOLD,
         samples=samples,
         fixed={"n": SIZE},
-        threshold=THRESHOLD,
     )
     assert robust.sweep is not None
     print(f"\nRobust choice        : {robust.config.describe()}")

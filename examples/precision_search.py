@@ -15,6 +15,7 @@ configuration that dominates or matches it.
 Run:  python examples/precision_search.py
 """
 
+import repro
 from repro.apps import blackscholes as bs
 
 BUDGET = 48
@@ -31,13 +32,16 @@ def bar(value: float, lo: float, hi: float, width: int = 28) -> str:
 
 
 def main() -> None:
+    # one Session owns the sweep cache + estimator memo the search
+    # shares with any other work in this process
+    sess = repro.Session(cache=repro.SweepCache())
     scenario = bs.search_scenario()
     print(
         f"Searching {scenario.kernel.ir.name}: "
         f"{len(scenario.candidates)} demotion candidates, "
         f"threshold {scenario.threshold:g}, budget {BUDGET}\n"
     )
-    result = scenario.run(budget=BUDGET, workers=WORKERS, seed=0)
+    result = sess.search(scenario, budget=BUDGET, workers=WORKERS, seed=0)
 
     points = result.front.points
     lo = min(p.cycles for p in points)

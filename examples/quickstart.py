@@ -1,7 +1,10 @@
-"""Quickstart — the paper's Listing 1, in Python.
+"""Quickstart — the paper's Listing 1, through the session facade.
 
 Estimate the floating-point error of a tiny binary32 function: annotate
-the kernel, call ``estimate_error``, execute, and read the total.
+the kernel, open a :class:`repro.Session`, call ``estimate``, execute,
+and read the total.  The session owns the shared resources (estimator
+memo, sweep cache, run store), so every later call in the same program
+reuses what this one compiled.
 
 Run:  python examples/quickstart.py
 """
@@ -17,10 +20,14 @@ def func(x: "f32", y: "f32") -> float:
 
 
 def main() -> None:
-    # Call estimate_error on the target function (Listing 1's
-    # `clad::estimate_error(func)`); the result is a compiled,
-    # error-estimating adjoint.
-    df = repro.estimate_error(func)
+    # One session for the whole program: it owns the estimator memo,
+    # sweep cache, and (optionally) a persistent run store.
+    sess = repro.Session()
+
+    # Build the error-estimating adjoint (Listing 1's
+    # `clad::estimate_error(func)`); repeated builds of the same
+    # kernel/model pair are served from the session's memo.
+    df = sess.estimate(func)
 
     # Declare the inputs and execute the generated code.
     x, y = 1.95e-5, 1.37e-7
@@ -34,6 +41,10 @@ def main() -> None:
     print("Per-variable error contributions:")
     for var, err in sorted(report.per_variable.items()):
         print(f"  delta[{var:>4}] = {err:.6g}")
+    print()
+    print("Shared-resource telemetry (the memo the session owns):")
+    memo = sess.estimator_memo_stats()
+    print(f"  estimator memo: entries={memo['entries']} hits={memo['hits']}")
     print()
     print("Generated error-estimating adjoint (EE code inlined):")
     print(df.source)

@@ -3,7 +3,7 @@
 Fast, automatic floating-point error analysis via source-transformation
 reverse-mode AD with inline error-estimation code.
 
-Quickstart (paper Listing 1)::
+Quickstart (paper Listing 1, through the session facade)::
 
     import repro
 
@@ -12,9 +12,19 @@ Quickstart (paper Listing 1)::
         z: "f32" = x + y
         return z
 
-    df = repro.estimate_error(func)
+    sess = repro.Session()
+    df = sess.estimate(func)
     report = df.execute(1.95e-5, 1.37e-7)
     print("Error in func:", report.total_error)
+
+One :class:`~repro.session.Session` owns the shared resources
+(estimator memo, sweep cache, run store, default models) and exposes
+the whole workflow — ``estimate`` / ``sweep`` / ``tune`` / ``search`` /
+``plan`` / ``runs`` — as methods; ``python -m repro`` is the matching
+CLI.  The historical free functions (``estimate_error``,
+``sweep_error``, ``greedy_tune``, ``robust_tune``,
+``repro.search.search``) remain as deprecated wrappers over a default
+session and disappear in 2.0.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
@@ -59,7 +69,20 @@ from repro.search import (
     register_strategy,
 )
 
-__version__ = "1.0.0"
+# the session facade: shared resources (estimator memo, sweep cache,
+# run store, default models) + the whole workflow as methods — the
+# canonical API; the free functions above are deprecated wrappers
+from repro.session import RunsView, Session, SessionConfig  # noqa: E402
+from repro.util.errors import (  # noqa: E402
+    ConfigError,
+    InputError,
+    InvalidRecordError,
+    ReproError,
+    StoreError,
+    UnknownNameError,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "kernel",
@@ -96,5 +119,16 @@ __all__ = [
     "STRATEGIES",
     "get_strategy",
     "register_strategy",
+    "Session",
+    "SessionConfig",
+    "RunsView",
+    "RunStore",
+    "SearchOrchestrator",
+    "ReproError",
+    "InputError",
+    "ConfigError",
+    "UnknownNameError",
+    "StoreError",
+    "InvalidRecordError",
     "__version__",
 ]

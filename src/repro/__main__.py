@@ -1,0 +1,10 @@
+"""``python -m repro`` — the unified session-backed CLI.
+
+See :mod:`repro.cli` for the subcommands (estimate / sweep / tune /
+search / plan / runs).
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

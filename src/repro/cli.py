@@ -1,0 +1,696 @@
+"""The unified ``python -m repro`` command line.
+
+One CLI over the whole workflow, each subcommand a thin shell around
+one :class:`repro.session.Session` method:
+
+======== ====================================================== =
+command  what it does
+======== ====================================================== =
+estimate one-point FP error estimate of an app kernel
+sweep    batched error estimate over the app's input distribution
+tune     greedy / distribution-robust mixed-precision tuning
+search   cost-aware Pareto precision search (durable with --store)
+plan     multi-scenario search plans through the orchestrator
+runs     run-store management: list / compare / prune / diff
+======== ====================================================== =
+
+Examples::
+
+    python -m repro estimate --kernel blackscholes
+    python -m repro sweep --kernel simpsons --aggregate p95
+    python -m repro tune --kernel blackscholes --threshold 1e-6 --robust
+    python -m repro search --kernel kmeans --budget 32 --store runs/
+    python -m repro plan --all --store runs/ --resume
+    python -m repro runs --store runs/ --compare
+    python -m repro runs --store runs/ --prune --incomplete
+
+``python -m repro.search`` remains as a deprecated alias of the
+``search`` subcommand (removal in 2.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigError, ReproError
+
+_MODELS = ("taylor", "adapt")
+
+
+def _scenarios():
+    from repro.search.orchestrator import app_scenarios
+
+    return app_scenarios()
+
+
+def _print_scenarios() -> None:
+    print("available scenarios:")
+    for name, mod in sorted(_scenarios().items()):
+        scen = mod.search_scenario()
+        print(
+            f"  {name:14s} kernel={scen.kernel.ir.name:14s} "
+            f"threshold={scen.threshold:g} "
+            f"candidates={len(scen.candidates)}"
+        )
+
+
+def _load_scenario(args):
+    """The app scenario named by ``--kernel``, or ``None`` + exit code."""
+    scenarios = _scenarios()
+    if getattr(args, "list", False) or not args.kernel:
+        _print_scenarios()
+        return None, (0 if getattr(args, "list", False) else 2)
+    if args.kernel not in scenarios:
+        print(
+            f"unknown kernel {args.kernel!r} "
+            f"(available: {sorted(scenarios)})",
+            file=sys.stderr,
+        )
+        return None, 2
+    return scenarios[args.kernel].search_scenario(), 0
+
+
+def _session_for(args):
+    from repro.session import Session, SessionConfig
+
+    config = SessionConfig(
+        seed=getattr(args, "seed", 0),
+        workers=getattr(args, "workers", 0),
+        strategies=tuple(
+            s
+            for s in getattr(args, "strategies", "").split(",")
+            if s
+        )
+        or SessionConfig().strategies,
+    )
+    return Session(
+        config,
+        cache=getattr(args, "cache", None),
+        store=getattr(args, "store", None),
+    )
+
+
+def _model_instance(name: Optional[str]):
+    if name is None or name == "taylor":
+        return None  # each method's historical default
+    from repro.core.models import AdaptModel
+
+    return AdaptModel()
+
+
+def _write_json(args, payload: Dict[str, object]) -> None:
+    if getattr(args, "json", None) is not None:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+
+# -- estimate -----------------------------------------------------------------
+
+
+def cmd_estimate(args) -> int:
+    scen, code = _load_scenario(args)
+    if scen is None:
+        return code
+    if args.point < 0 or args.point >= len(scen.points):
+        print(
+            f"--point {args.point} out of range "
+            f"(scenario has {len(scen.points)} validation points)",
+            file=sys.stderr,
+        )
+        return 2
+    sess = _session_for(args)
+    point = scen.points[args.point]
+    report = sess.estimate_at(
+        scen.kernel, point, model=_model_instance(args.model)
+    )
+    name = scen.kernel.ir.name
+    print(f"estimate({name}) at validation point {args.point}:")
+    print(f"  value       = {report.value:.17g}")
+    print(f"  total error = {report.total_error:.6g}")
+    print("  per-variable contributions:")
+    for var, err in sorted(
+        report.per_variable.items(), key=lambda kv: -abs(kv[1])
+    ):
+        print(f"    delta[{var:>12s}] = {err:.6g}")
+    _write_json(
+        args,
+        {
+            "kernel": name,
+            "point": args.point,
+            "value": report.value,
+            "total_error": report.total_error,
+            "per_variable": dict(report.per_variable),
+        },
+    )
+    return 0
+
+
+# -- sweep --------------------------------------------------------------------
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep.aggregate import resolve_aggregator
+
+    scen, code = _load_scenario(args)
+    if scen is None:
+        return code
+    if scen.samples is None:
+        print(
+            f"scenario {args.kernel!r} has no input sweep",
+            file=sys.stderr,
+        )
+        return 2
+    agg_name, agg = resolve_aggregator(args.aggregate)
+    sess = _session_for(args)
+    rep = sess.sweep(
+        scen.kernel,
+        scen.samples,
+        fixed=scen.fixed,
+        model=_model_instance(args.model),
+    )
+    name = scen.kernel.ir.name
+    total = float(agg(np.asarray(rep.total_error)))
+    print(
+        f"sweep({name}): N={rep.n} backend={rep.backend} "
+        f"cached={rep.from_cache}"
+    )
+    print(f"  total error [{agg_name}] = {total:.6g}")
+    print("  per-variable contributions:")
+    rows = sorted(
+        (
+            (v, float(agg(np.asarray(a))))
+            for v, a in rep.per_variable.items()
+        ),
+        key=lambda kv: -abs(kv[1]),
+    )
+    for var, err in rows:
+        print(f"    delta[{var:>12s}] [{agg_name}] = {err:.6g}")
+    _write_json(
+        args,
+        {
+            "kernel": name,
+            "n": rep.n,
+            "backend": rep.backend,
+            "aggregate": agg_name,
+            "total_error": total,
+            "per_variable": dict(rows),
+        },
+    )
+    return 0
+
+
+# -- tune ---------------------------------------------------------------------
+
+
+def cmd_tune(args) -> int:
+    # flags only meaningful in one mode are rejected in the other —
+    # silently dropping them would tune something else than asked
+    if args.robust and args.point is not None:
+        args.parser.error("--point applies to point mode (omit --robust)")
+    if not args.robust and args.aggregate is not None:
+        args.parser.error("--aggregate applies to robust mode (add --robust)")
+    scen, code = _load_scenario(args)
+    if scen is None:
+        return code
+    threshold = (
+        args.threshold if args.threshold is not None else scen.threshold
+    )
+    sess = _session_for(args)
+    if args.robust:
+        if scen.samples is None:
+            print(
+                f"--robust: scenario {args.kernel!r} has no input sweep",
+                file=sys.stderr,
+            )
+            return 2
+        aggregate = args.aggregate or "max"
+        result = sess.tune(
+            scen.kernel,
+            threshold,
+            samples=scen.samples,
+            fixed=scen.fixed,
+            aggregate=aggregate,
+        )
+        mode = f"robust [{aggregate}]"
+    else:
+        point = args.point if args.point is not None else 0
+        if point < 0 or point >= len(scen.points):
+            print(
+                f"--point {point} out of range "
+                f"(scenario has {len(scen.points)} validation points)",
+                file=sys.stderr,
+            )
+            return 2
+        result = sess.tune(
+            scen.kernel, threshold, args=scen.points[point]
+        )
+        mode = f"point {point}"
+    name = scen.kernel.ir.name
+    print(
+        f"tune({name}): {mode}, threshold {threshold:g}"
+    )
+    print(
+        f"  configuration   = "
+        f"{result.config.describe() or '(uniform f64)'}"
+    )
+    print(f"  estimated error = {result.estimated_error:.6g}")
+    print("  contribution ranking (ascending):")
+    for var, err in result.ranking:
+        mark = "demoted" if var in result.demoted else ""
+        print(f"    {var:>14s}  {err:.6g}  {mark}")
+    _write_json(
+        args,
+        {
+            "kernel": name,
+            "threshold": threshold,
+            "mode": mode,
+            "demoted": list(result.demoted),
+            "estimated_error": result.estimated_error,
+            "ranking": [[v, e] for v, e in result.ranking],
+        },
+    )
+    return 0
+
+
+# -- search -------------------------------------------------------------------
+
+
+def _print_search_stats(result) -> None:
+    stats = result.stats or {}
+    ev = stats.get("evaluator", {})
+    if ev:
+        mode = ev.get("pool_mode") or "off (per-candidate)"
+        print(
+            f"evaluator: computed={ev.get('computed')} "
+            f"memo_hits={ev.get('memo_hits')} "
+            f"config_batch={mode} "
+            f"pool_runs={ev.get('pool_runs')} "
+            f"pool_lanes={ev.get('pool_lanes')} "
+            f"pool_fallbacks={ev.get('pool_fallbacks')}"
+        )
+    memo = stats.get("estimator_memo", {})
+    if memo:
+        print(
+            f"estimator memo: entries={memo.get('entries')} "
+            f"capacity={memo.get('capacity')}"
+        )
+    kern = stats.get("config_kernel_cache", {})
+    if kern:
+        print(
+            f"kernel cache: entries={kern.get('entries')} "
+            f"hits={kern.get('hits')} misses={kern.get('misses')} "
+            f"unvectorizable={kern.get('unvectorizable')}"
+        )
+    sweep = stats.get("sweep_cache")
+    if sweep is not None:
+        print(
+            f"sweep cache: hits={sweep.get('hits')} "
+            f"misses={sweep.get('misses')} "
+            f"evictions={sweep.get('evictions')} "
+            f"disk_entries={sweep.get('disk_entries')} "
+            f"disk_bytes={sweep.get('disk_bytes')}"
+        )
+    rs = stats.get("run_store")
+    if rs is not None:
+        print(
+            f"run store: run={str(rs.get('run_id'))[:12]} "
+            f"restored={rs.get('restored')} "
+            f"computed={rs.get('computed')} "
+            f"checkpoints={rs.get('checkpoints')} "
+            f"[{rs.get('root')}]"
+        )
+
+
+def _run_plan(args) -> int:
+    """Orchestrator mode (``plan`` subcommand, or legacy
+    ``search --plan``/``search --all``)."""
+    sess = _session_for(args)
+    defaults: Dict[str, object] = {}
+    if args.budget is not None:
+        defaults["budget"] = args.budget
+    if args.threshold is not None:
+        defaults["threshold"] = args.threshold
+    if args.plan is not None:
+        orch = sess.plan(plan_file=args.plan, resume=args.resume)
+        # CLI flags fill in whatever the plan's defaults leave unset
+        # (plan-file defaults and per-entry overrides win)
+        for key, value in defaults.items():
+            orch.defaults.setdefault(key, value)
+    else:
+        orch = sess.plan(
+            all_apps=True, resume=args.resume, defaults=defaults
+        )
+    orch.run()
+    print(orch.report())
+    _write_json(args, orch.to_dict())
+    return 0 if orch.ok else 1
+
+
+def cmd_search(args) -> int:
+    if args.resume and not args.store:
+        args.parser.error("--resume requires --store")
+    if (args.plan or args.all) and not args.store:
+        args.parser.error("--plan/--all require --store")
+    if args.plan or args.all:
+        return _run_plan(args)
+
+    scen, code = _load_scenario(args)
+    if scen is None:
+        return code
+    sess = _session_for(args)
+    overrides: Dict[str, object] = {}
+    if args.budget is not None:
+        overrides["budget"] = args.budget
+    if args.threshold is not None:
+        overrides["threshold"] = args.threshold
+    if args.store is not None:
+        overrides["resume"] = args.resume
+    result = scen.run(session=sess, **overrides)
+
+    print(result.summary())
+    _print_search_stats(result)
+    _write_json(args, result.to_dict())
+    ok = len(result.front) > 0 and result.front.is_consistent()
+    return 0 if ok else 1
+
+
+# -- runs ---------------------------------------------------------------------
+
+
+def cmd_runs(args) -> int:
+    from repro.search.store import RunStore
+    from repro.session.runs import RunsView
+    from repro.util.errors import ConfigError, StoreError
+
+    if not args.prune and (
+        args.max_age_days is not None
+        or args.max_runs is not None
+        or args.incomplete
+        or args.dry_run
+        or args.min_age_hours != 1.0
+    ):
+        args.parser.error(
+            "--max-age-days/--max-runs/--incomplete/--dry-run/"
+            "--min-age-hours require --prune"
+        )
+    if not Path(args.store).is_dir():
+        # RunStore() would mkdir — a read-only management command must
+        # surface the typo'd path instead of materializing it
+        print(
+            f"error: run store {args.store!r} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    view = RunsView(RunStore(args.store))
+    try:
+        if args.diff is not None:
+            diff = view.diff(*args.diff)
+            print(view.format_diff(diff))
+            _write_json(args, diff)
+        elif args.prune:
+            pruned = view.prune(
+                max_age_days=args.max_age_days,
+                max_runs=args.max_runs,
+                incomplete=args.incomplete,
+                dry_run=args.dry_run,
+                min_age_hours=args.min_age_hours,
+            )
+            print(view.format_prune(pruned, dry_run=args.dry_run))
+            _write_json(args, {"pruned": pruned})
+        elif args.compare is not None:
+            rows = view.compare(args.compare or None)
+            print(view.format_compare(rows))
+            _write_json(args, {"runs": rows})
+        else:
+            manifests = view.list()
+            print(view.format_list(manifests))
+            _write_json(args, {"runs": manifests})
+    except (ConfigError, StoreError) as exc:
+        # bad arguments (unknown/ambiguous run id, missing prune
+        # criterion, diffing an incomplete run) — a usage error, not an
+        # execution failure
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def _add_kernel_flags(sp, with_point: bool = False) -> None:
+    sp.add_argument(
+        "--kernel", help="app scenario to target (see --list)"
+    )
+    sp.add_argument(
+        "--list", action="store_true",
+        help="list available app scenarios",
+    )
+    if with_point:
+        sp.add_argument(
+            "--point", type=int, default=0,
+            help="validation point index (default 0)",
+        )
+    sp.add_argument(
+        "--cache", default=None,
+        help="sweep result cache directory (content-addressed)",
+    )
+    sp.add_argument(
+        "--json", type=Path, default=None,
+        help="write the full result as JSON to this path",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "CHEF-FP reproduction: floating-point error estimation, "
+            "input sweeps, mixed-precision tuning, Pareto precision "
+            "search, and run management — one session-backed CLI"
+        ),
+    )
+    sub = ap.add_subparsers(dest="command", metavar="command")
+
+    # estimate
+    sp = sub.add_parser(
+        "estimate",
+        help="one-point FP error estimate of an app kernel",
+    )
+    _add_kernel_flags(sp, with_point=True)
+    sp.add_argument(
+        "--model", choices=_MODELS, default="taylor",
+        help="error model (default: taylor, Eq. 1)",
+    )
+    sp.set_defaults(func=cmd_estimate, parser=sp)
+
+    # sweep
+    sp = sub.add_parser(
+        "sweep",
+        help="batched error estimate over the app's input sweep",
+    )
+    _add_kernel_flags(sp)
+    sp.add_argument(
+        "--model", choices=_MODELS, default="taylor",
+        help="error model (default: taylor, Eq. 1)",
+    )
+    sp.add_argument(
+        "--aggregate", default="max",
+        help="batch-axis aggregation: max|mean|p95|... (default max)",
+    )
+    sp.set_defaults(func=cmd_sweep, parser=sp)
+
+    # tune
+    sp = sub.add_parser(
+        "tune",
+        help="greedy / distribution-robust mixed-precision tuning",
+    )
+    _add_kernel_flags(sp)
+    sp.add_argument(
+        "--point", type=int, default=None,
+        help="point mode: validation point index (default 0)",
+    )
+    sp.add_argument(
+        "--threshold", type=float, default=None,
+        help="error threshold (default: scenario)",
+    )
+    sp.add_argument(
+        "--robust", action="store_true",
+        help="aggregate contributions over the scenario input sweep "
+             "instead of tuning from one point",
+    )
+    sp.add_argument(
+        "--aggregate", default=None,
+        help="robust-mode aggregation (default max = worst case)",
+    )
+    sp.set_defaults(func=cmd_tune, parser=sp)
+
+    # search
+    sp = sub.add_parser(
+        "search",
+        help="cost-aware Pareto precision search over app kernels",
+    )
+    _add_kernel_flags(sp)
+    sp.add_argument(
+        "--budget", type=int, default=None,
+        help="max computed candidate evaluations (default: scenario)",
+    )
+    sp.add_argument(
+        "--workers", type=int, default=0,
+        help=">= 2 evaluates candidate pools in that many processes",
+    )
+    sp.add_argument(
+        "--strategies", default="",
+        help="comma-separated strategy names (default: greedy,delta,"
+             "anneal)",
+    )
+    sp.add_argument(
+        "--threshold", type=float, default=None,
+        help="error threshold override (default: scenario)",
+    )
+    sp.add_argument(
+        "--seed", type=int, default=0, help="strategy RNG seed"
+    )
+    sp.add_argument(
+        "--store", default=None,
+        help="persistent run-store directory (checkpointed, resumable "
+             "runs; content-addressed by the search parameters)",
+    )
+    sp.add_argument(
+        "--resume", action="store_true",
+        help="resume matching runs from --store (bit-identical to an "
+             "uninterrupted run)",
+    )
+    sp.add_argument(
+        "--plan", type=Path, default=None,
+        help="legacy alias of the plan subcommand (requires --store)",
+    )
+    sp.add_argument(
+        "--all", action="store_true",
+        help="legacy alias of `plan --all` (requires --store)",
+    )
+    sp.set_defaults(func=cmd_search, parser=sp)
+
+    # plan
+    sp = sub.add_parser(
+        "plan",
+        help="multi-scenario search plans through the orchestrator",
+    )
+    sp.add_argument(
+        "--plan", type=Path, default=None,
+        help="JSON plan file (entries + defaults)",
+    )
+    sp.add_argument(
+        "--all", action="store_true",
+        help="orchestrate every app scenario as one plan",
+    )
+    sp.add_argument("--store", required=True, help="run-store directory")
+    sp.add_argument(
+        "--resume", action="store_true", default=True,
+        help="resume entries from the store (default)",
+    )
+    sp.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="recompute entries even when stored runs exist",
+    )
+    sp.add_argument("--budget", type=int, default=None)
+    sp.add_argument("--threshold", type=float, default=None)
+    sp.add_argument("--workers", type=int, default=0)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--strategies", default="")
+    sp.add_argument("--cache", default=None)
+    sp.add_argument("--json", type=Path, default=None)
+    sp.set_defaults(func=cmd_plan, parser=sp)
+
+    # runs
+    sp = sub.add_parser(
+        "runs",
+        help="run-store management: list / compare / prune / diff",
+    )
+    sp.add_argument("--store", required=True, help="run-store directory")
+    action = sp.add_mutually_exclusive_group()
+    action.add_argument(
+        "--list", action="store_true",
+        help="list stored runs (default)",
+    )
+    action.add_argument(
+        "--compare", nargs="*", metavar="RUN", default=None,
+        help="compare stored runs (all, or the given run-id prefixes)",
+    )
+    action.add_argument(
+        "--prune", action="store_true",
+        help="garbage-collect runs (set at least one criterion)",
+    )
+    action.add_argument(
+        "--diff", nargs=2, metavar=("RUN_A", "RUN_B"), default=None,
+        help="diff the Pareto fronts of two stored runs",
+    )
+    sp.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune: drop runs older than this many days",
+    )
+    sp.add_argument(
+        "--max-runs", type=int, default=None,
+        help="prune: keep only the newest N runs",
+    )
+    sp.add_argument(
+        "--incomplete", action="store_true",
+        help="prune: drop runs that never completed (runs touched "
+             "within --min-age-hours are presumed live and skipped)",
+    )
+    sp.add_argument(
+        "--min-age-hours", type=float, default=1.0,
+        help="prune --incomplete: protect runs modified more "
+             "recently than this (default 1.0; 0 disables)",
+    )
+    sp.add_argument(
+        "--dry-run", action="store_true",
+        help="prune: report without deleting",
+    )
+    sp.add_argument("--json", type=Path, default=None)
+    sp.set_defaults(func=cmd_runs, parser=sp)
+
+    return ap
+
+
+def cmd_plan(args) -> int:
+    if args.plan is None and not args.all:
+        args.parser.error("plan requires --plan FILE or --all")
+    if args.plan is not None and args.all:
+        args.parser.error("--plan and --all are mutually exclusive")
+    return _run_plan(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = build_parser()
+    args = ap.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        ap.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        # invalid option/argument values — a usage error (exit 2, like
+        # argparse), not an execution failure
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # the reader went away (`... | head`); die quietly like a
+        # well-behaved unix tool
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

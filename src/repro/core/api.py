@@ -298,13 +298,24 @@ def estimate_error(
 ) -> ErrorEstimator:
     """Build an error-estimating adjoint of a kernel (Listing 1).
 
+    .. deprecated:: 1.1
+        Legacy wrapper, removed in 2.0 — use
+        :meth:`repro.session.Session.estimate`, which serves repeated
+        builds of the same kernel/model pair from the shared estimator
+        memo.
+
     Example::
 
-        df = repro.estimate_error(func)
+        sess = repro.Session()
+        df = sess.estimate(func)
         report = df.execute(1.95e-5, 1.37e-7)
         print("Error in func:", report.total_error)
     """
-    return ErrorEstimator(k, model=model, track=track, **kwargs)  # type: ignore[arg-type]
+    from repro.session import Session
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy("repro.estimate_error()", "Session.estimate()")
+    return Session().estimate(k, model=model, track=track, **kwargs)  # type: ignore[arg-type]
 
 
 # -- estimator reuse ----------------------------------------------------------
@@ -325,6 +336,9 @@ def estimate_error(
 
 _ESTIMATOR_MEMO: "OrderedDict[tuple, ErrorEstimator]" = OrderedDict()
 _ESTIMATOR_MEMO_MAX = 64
+#: process-cumulative hit/miss counters (misses = estimators compiled
+#: through the memo; uncacheable builds count as misses too)
+_MEMO_COUNTERS = {"hits": 0, "misses": 0}
 
 
 def _memo_key(
@@ -357,6 +371,7 @@ def cached_error_estimator(
     and tracked-sensitivity estimators are never memoized.
     """
     if (model is not None and not model.cacheable) or track:
+        _MEMO_COUNTERS["misses"] += 1
         return ErrorEstimator(
             k, model=model, track=track, opt_level=opt_level,
             minimal_pushes=minimal_pushes,
@@ -364,6 +379,7 @@ def cached_error_estimator(
     key = _memo_key(k, model, opt_level, minimal_pushes)
     est = _ESTIMATOR_MEMO.get(key)
     if est is None:
+        _MEMO_COUNTERS["misses"] += 1
         est = ErrorEstimator(
             k, model=model, opt_level=opt_level,
             minimal_pushes=minimal_pushes,
@@ -372,6 +388,7 @@ def cached_error_estimator(
         while len(_ESTIMATOR_MEMO) > _ESTIMATOR_MEMO_MAX:
             _ESTIMATOR_MEMO.popitem(last=False)
     else:
+        _MEMO_COUNTERS["hits"] += 1
         _ESTIMATOR_MEMO.move_to_end(key)
     return est
 
@@ -416,13 +433,23 @@ def estimator_memo_stats() -> Dict[str, int]:
     Useful for sizing parallel search runs: entries memoized in the
     parent before a fork-started worker pool spawns are inherited by
     every worker for free; entries built afterwards are per-worker.
+
+    ``hits``/``misses`` are process-cumulative; ``entries``/``capacity``
+    are gauges.
     """
     return {
         "entries": len(_ESTIMATOR_MEMO),
         "capacity": _ESTIMATOR_MEMO_MAX,
+        "hits": _MEMO_COUNTERS["hits"],
+        "misses": _MEMO_COUNTERS["misses"],
     }
 
 
 def clear_estimator_memo() -> None:
-    """Drop all memoized estimators (test isolation helper)."""
+    """Drop all memoized estimators (test isolation helper).
+
+    Counters reset too, so tests can assert per-scope hit deltas.
+    """
     _ESTIMATOR_MEMO.clear()
+    _MEMO_COUNTERS["hits"] = 0
+    _MEMO_COUNTERS["misses"] = 0

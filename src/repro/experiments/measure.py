@@ -15,7 +15,7 @@ from typing import Optional, Sequence, Union
 from repro.adapt.analysis import AdaptAnalysis
 from repro.adapt.tape import TapeLimits
 from repro.codegen.compile import compile_primal
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel, ErrorModel
 from repro.frontend.registry import Kernel
 from repro.ir import nodes as N
@@ -68,7 +68,7 @@ def measure_chef(
     minimal_pushes: bool = True,
 ) -> Measurement:
     """CHEF-FP analysis time/memory (adjoint built outside the clock)."""
-    est = estimate_error(
+    est = ErrorEstimator(
         k,
         model=model or AdaptModel(),
         opt_level=opt_level,

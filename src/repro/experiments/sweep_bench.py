@@ -18,7 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel, ErrorModel
 from repro.frontend.registry import Kernel
 from repro.sweep.batch import BatchReport
@@ -89,7 +89,7 @@ def run_sweep_benchmark(
     compilation from analysis time.
     """
     model = model or AdaptModel()
-    est = estimate_error(kernel, model=model)
+    est = ErrorEstimator(kernel, model=model)
     fixed = dict(fixed or {})
     names = [p.name for p in est.primal_ir.params]
     n = len(next(iter(samples.values())))

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.apps import arclength, blackscholes, hpccg, kmeans, simpsons
 from repro.codegen.compile import compile_primal, compile_raw
-from repro.core.api import estimate_error
+from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel, ApproxModel
 from repro.experiments.figures import figure_improvements, run_figure
 from repro.interp.cost_model import DEFAULT_COST_MODEL
@@ -22,10 +22,10 @@ from repro.tuning import (
     PrecisionConfig,
     estimate_split_speedup,
     find_split_iteration,
-    greedy_tune,
     iteration_sensitivity,
     validate_config,
 )
+from repro.tuning.greedy import run_greedy_tune
 
 # -- Table I -----------------------------------------------------------------
 
@@ -43,7 +43,7 @@ def _tune_and_validate(
 ) -> Tuple[float, float, float]:
     """(actual, estimated, speedup) of the greedy configuration."""
     args = app.make_workload(size)
-    tuning = greedy_tune(app.INSTRUMENTED, args, threshold)
+    tuning = run_greedy_tune(app.INSTRUMENTED, args, threshold)
     validation = validate_config(
         app.INSTRUMENTED, tuning.config, app.make_workload(size)
     )
@@ -171,7 +171,7 @@ def table3(
         "Estimated Error",
     ]
     args = kmeans.make_workload(npoints)
-    est = estimate_error(kmeans.INSTRUMENTED, model=AdaptModel())
+    est = ErrorEstimator(kmeans.INSTRUMENTED, model=AdaptModel())
     report = est.execute(*args)
     rows: List[List[object]] = []
     from repro.tuning.config import matches_inlined
@@ -232,7 +232,7 @@ def table4(
         (blackscholes.CONFIG_WITH_EXP, "FastApprox w/ Fast exp"),
     ):
         approxed = compile_primal(blackscholes.bs_price.ir, approx=config)
-        estimator = estimate_error(
+        estimator = ErrorEstimator(
             blackscholes.bs_price,
             model=ApproxModel(_CONFIG_MAPS[config]),
         )
@@ -275,7 +275,7 @@ def hpccg_sensitivity(
     each series is in forward iteration order.
     """
     track = ("r", "p", "x", "Ap")
-    est = estimate_error(
+    est = ErrorEstimator(
         hpccg.INSTRUMENTED, model=AdaptModel(), track=track
     )
     args = hpccg.make_workload(nz, max_iter=max_iter, tol=0.0)

@@ -29,7 +29,8 @@ multi-objective search over (error, modelled cycles):
 * :mod:`~repro.search.api` — the :func:`search` driver and
   :class:`SearchResult`;
 * :mod:`~repro.search.scenario` — per-app :class:`SearchScenario`
-  bundles backing the ``python -m repro.search --kernel <app>`` CLI;
+  bundles backing the ``python -m repro search --kernel <app>`` CLI
+  (``python -m repro.search`` survives as a deprecated alias);
 * :mod:`~repro.search.store` — :class:`RunStore`: content-addressed
   on-disk persistence of run metadata, evaluation history, and Pareto
   fronts, with atomic checkpoints and crash-safe, bit-identical resume
@@ -37,7 +38,11 @@ multi-objective search over (error, modelled cycles):
 * :mod:`~repro.search.orchestrator` — :class:`SearchOrchestrator`:
   durable multi-scenario search plans over a shared store with
   estimator-memo warm-start and cross-run comparison reporting
-  (``python -m repro.search --plan plan.json --store runs/``).
+  (``python -m repro plan --plan plan.json --store runs/``).
+
+The canonical entry point is :meth:`repro.session.Session.search` /
+``session.plan`` / ``session.runs``; :func:`repro.search.search`
+remains as a deprecated wrapper over a default session (removal 2.0).
 """
 
 from repro.search.api import SearchResult, search

@@ -1,234 +1,32 @@
-"""Command-line precision search over a registered app kernel.
+"""Deprecated alias: ``python -m repro.search`` → ``python -m repro search``.
 
-Usage::
-
-    python -m repro.search --kernel blackscholes
-    python -m repro.search --kernel kmeans --budget 32 --workers 4
-    python -m repro.search --list
-
-Each benchmark app ships a :class:`~repro.search.scenario.SearchScenario`
-(kernel, validation points, input sweep, candidate set, threshold); the
-CLI runs the search and prints the Pareto front plus the comparison
-against the paper's greedy baseline.  ``--json`` dumps the full result
-for downstream tooling.
-
-Runs become durable with a persistent store, and multi-scenario plans
-run (and resume) through the orchestrator::
-
-    python -m repro.search --kernel blackscholes --store runs/
-    python -m repro.search --kernel blackscholes --store runs/ --resume
-    python -m repro.search --plan plan.json --store runs/
-    python -m repro.search --all --store runs/ --budget 24 --resume
+The search-only CLI grew into the unified ``python -m repro`` command
+(:mod:`repro.cli`); this module forwards its historical flag set to the
+``search`` subcommand unchanged (``--kernel``, ``--list``, ``--budget``,
+``--workers``, ``--strategies``, ``--threshold``, ``--seed``,
+``--cache``, ``--json``, ``--store``, ``--resume``, ``--plan``,
+``--all``), warns with a :class:`DeprecationWarning`, and will be
+removed in repro 2.0.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
 from typing import List, Optional
 
-from repro.search.orchestrator import SearchOrchestrator, app_scenarios
-from repro.search.strategies import DEFAULT_STRATEGIES, STRATEGIES
-
-
-def _scenarios():
-    return app_scenarios()
-
-
-def _run_plan(args) -> int:
-    """Orchestrator mode: ``--plan plan.json`` or ``--all``."""
-    defaults = {
-        "workers": args.workers,
-        "seed": args.seed,
-        "strategies": tuple(
-            s for s in args.strategies.split(",") if s
-        ),
-    }
-    if args.cache is not None:
-        defaults["cache"] = args.cache
-    if args.budget is not None:
-        defaults["budget"] = args.budget
-    if args.threshold is not None:
-        defaults["threshold"] = args.threshold
-    if args.plan is not None:
-        orch = SearchOrchestrator.from_plan_file(
-            args.plan, store=args.store, resume=args.resume
-        )
-        # CLI flags fill in whatever the plan's defaults leave unset
-        # (plan-file defaults and per-entry overrides win)
-        for key, value in defaults.items():
-            orch.defaults.setdefault(key, value)
-    else:
-        orch = SearchOrchestrator.over_all_apps(
-            args.store, resume=args.resume, **defaults
-        )
-    orch.run()
-    print(orch.report())
-    if args.json is not None:
-        args.json.write_text(
-            json.dumps(orch.to_dict(), indent=2) + "\n"
-        )
-        print(f"wrote {args.json}")
-    return 0 if orch.ok else 1
+from repro.util.deprecation import warn_legacy
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    ap = argparse.ArgumentParser(
-        prog="python -m repro.search",
-        description="Cost-aware Pareto precision search over app kernels",
+    warn_legacy(
+        "python -m repro.search", "python -m repro search",
+        stacklevel=2,
     )
-    ap.add_argument(
-        "--kernel",
-        help="app scenario to search (see --list)",
-    )
-    ap.add_argument(
-        "--list", action="store_true", help="list available scenarios"
-    )
-    ap.add_argument(
-        "--budget", type=int, default=None,
-        help="max computed candidate evaluations (default: scenario)",
-    )
-    ap.add_argument(
-        "--workers", type=int, default=0,
-        help=">= 2 evaluates candidate pools in that many processes",
-    )
-    ap.add_argument(
-        "--strategies", default=",".join(DEFAULT_STRATEGIES),
-        help=f"comma-separated strategy names ({sorted(STRATEGIES)})",
-    )
-    ap.add_argument(
-        "--threshold", type=float, default=None,
-        help="error threshold override (default: scenario)",
-    )
-    ap.add_argument("--seed", type=int, default=0, help="strategy RNG seed")
-    ap.add_argument(
-        "--cache", default=None,
-        help="sweep result cache directory (content-addressed)",
-    )
-    ap.add_argument(
-        "--json", type=Path, default=None,
-        help="write the full result as JSON to this path",
-    )
-    ap.add_argument(
-        "--store", default=None,
-        help="persistent run-store directory (checkpointed, resumable "
-             "runs; content-addressed by the search parameters)",
-    )
-    ap.add_argument(
-        "--resume", action="store_true",
-        help="resume matching runs from --store (bit-identical to an "
-             "uninterrupted run; completed runs restore with zero "
-             "re-evaluation)",
-    )
-    ap.add_argument(
-        "--plan", type=Path, default=None,
-        help="run a multi-scenario plan (JSON) through the "
-             "orchestrator (requires --store)",
-    )
-    ap.add_argument(
-        "--all", action="store_true",
-        help="orchestrate every app scenario as one plan "
-             "(requires --store)",
-    )
-    args = ap.parse_args(argv)
+    from repro.cli import main as unified_main
 
-    if args.resume and not args.store:
-        ap.error("--resume requires --store")
-    if (args.plan or args.all) and not args.store:
-        ap.error("--plan/--all require --store")
-    if args.plan or args.all:
-        return _run_plan(args)
-
-    scenarios = _scenarios()
-    if args.list or not args.kernel:
-        print("available scenarios:")
-        for name, mod in sorted(scenarios.items()):
-            scen = mod.search_scenario()
-            print(
-                f"  {name:14s} kernel={scen.kernel.ir.name:14s} "
-                f"threshold={scen.threshold:g} "
-                f"candidates={len(scen.candidates)}"
-            )
-        return 0 if args.list else 2
-    if args.kernel not in scenarios:
-        print(
-            f"unknown kernel {args.kernel!r} "
-            f"(available: {sorted(scenarios)})",
-            file=sys.stderr,
-        )
-        return 2
-
-    scen = scenarios[args.kernel].search_scenario()
-    overrides = {
-        "strategies": tuple(
-            s for s in args.strategies.split(",") if s
-        ),
-        "workers": args.workers,
-        "seed": args.seed,
-        "cache": args.cache,
-    }
-    if args.budget is not None:
-        overrides["budget"] = args.budget
-    if args.threshold is not None:
-        overrides["threshold"] = args.threshold
-    if args.store is not None:
-        overrides["store"] = args.store
-        overrides["resume"] = args.resume
-    result = scen.run(**overrides)
-
-    print(result.summary())
-    stats = result.stats or {}
-    ev = stats.get("evaluator", {})
-    if ev:
-        mode = ev.get("pool_mode") or "off (per-candidate)"
-        print(
-            f"evaluator: computed={ev.get('computed')} "
-            f"memo_hits={ev.get('memo_hits')} "
-            f"config_batch={mode} "
-            f"pool_runs={ev.get('pool_runs')} "
-            f"pool_lanes={ev.get('pool_lanes')} "
-            f"pool_fallbacks={ev.get('pool_fallbacks')}"
-        )
-    memo = stats.get("estimator_memo", {})
-    if memo:
-        print(
-            f"estimator memo: entries={memo.get('entries')} "
-            f"capacity={memo.get('capacity')}"
-        )
-    kern = stats.get("config_kernel_cache", {})
-    if kern:
-        print(
-            f"kernel cache: entries={kern.get('entries')} "
-            f"hits={kern.get('hits')} misses={kern.get('misses')} "
-            f"unvectorizable={kern.get('unvectorizable')}"
-        )
-    sweep = stats.get("sweep_cache")
-    if sweep is not None:
-        print(
-            f"sweep cache: hits={sweep.get('hits')} "
-            f"misses={sweep.get('misses')} "
-            f"evictions={sweep.get('evictions')} "
-            f"disk_entries={sweep.get('disk_entries')} "
-            f"disk_bytes={sweep.get('disk_bytes')}"
-        )
-    rs = stats.get("run_store")
-    if rs is not None:
-        print(
-            f"run store: run={str(rs.get('run_id'))[:12]} "
-            f"restored={rs.get('restored')} "
-            f"computed={rs.get('computed')} "
-            f"checkpoints={rs.get('checkpoints')} "
-            f"[{rs.get('root')}]"
-        )
-    if args.json is not None:
-        args.json.write_text(
-            json.dumps(result.to_dict(), indent=2) + "\n"
-        )
-        print(f"wrote {args.json}")
-    ok = len(result.front) > 0 and result.front.is_consistent()
-    return 0 if ok else 1
+    if argv is None:
+        argv = sys.argv[1:]
+    return unified_main(["search", *argv])
 
 
 if __name__ == "__main__":

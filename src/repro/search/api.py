@@ -1,11 +1,13 @@
-"""The ``repro.search.search`` entry point and its result type.
+"""The precision-search driver (:func:`run_search`) and its result type.
 
-One call runs the whole multi-objective precision search::
+One call runs the whole multi-objective precision search — through the
+session facade::
 
-    from repro import search as psearch
+    import repro
     from repro.apps import blackscholes as bs
 
-    result = psearch.search(
+    sess = repro.Session()
+    result = sess.search(
         bs.bs_price,
         points=[bs.point_args(bs.make_workload(16), i) for i in range(4)],
         threshold=1e-6,
@@ -16,6 +18,9 @@ One call runs the whole multi-objective precision search::
     )
     print(result.front)          # the (error, cycles) Pareto front
     result.best_under(1e-6)      # cheapest config within threshold
+
+(``repro.search.search(...)`` survives as a deprecated wrapper that
+builds a throwaway default session; removal in 2.0.)
 
 The driver wires the pieces together: per-candidate contributions are
 estimated once with the ADAPT demotion model (aggregated over the input
@@ -69,8 +74,10 @@ from repro.search.strategies import (
 )
 from repro.sweep.aggregate import AggregatorSpec, resolve_aggregator
 from repro.sweep.cache import SweepCache
-from repro.sweep.engine import CacheLike, sweep_error
+from repro.sweep.engine import CacheLike, run_sweep
 from repro.tuning.config import matches_inlined
+from repro.util.deprecation import warn_legacy
+from repro.util.errors import ConfigError, InputError
 
 #: inlining suffixes appended to callee locals (possibly stacked)
 _INLINE_SUFFIX = re.compile(r"(?:_in\d+)+$")
@@ -107,6 +114,9 @@ class SearchResult:
     resumed: bool = False
     #: evaluations served from the store rather than recomputed
     n_restored: int = 0
+    #: session provenance (session/config identity, method, sequence
+    #: number) — stamped by :class:`repro.session.Session`
+    provenance: Optional[Dict[str, object]] = None
 
     @property
     def n_evaluated(self) -> int:
@@ -137,6 +147,7 @@ class SearchResult:
             "run_id": self.run_id,
             "resumed": self.resumed,
             "n_restored": self.n_restored,
+            "provenance": self.provenance,
         }
 
     def summary(self) -> str:
@@ -181,7 +192,7 @@ def _estimate_model_fingerprint(estimate_model) -> str:
 
         estimate_model = TaylorModel()
     if not getattr(estimate_model, "cacheable", False):
-        raise ValueError(
+        raise ConfigError(
             "a persistent run store requires a cacheable estimate "
             "model (models closing over arbitrary callables have no "
             "stable content identity)"
@@ -273,7 +284,7 @@ def _register_contributions(
     aggregated across the input sweep when one is given."""
     model = AdaptModel(demote_to)
     if samples is not None:
-        batch = sweep_error(
+        batch = run_sweep(
             fn, samples=samples, fixed=fixed, model=model, cache=cache
         )
         _, agg = resolve_aggregator(aggregate)
@@ -300,7 +311,7 @@ def _derive_candidates(registers: Mapping[str, float]) -> Tuple[str, ...]:
     return tuple(sorted(names))
 
 
-def search(
+def run_search(
     k: KernelLike,
     points: Sequence[Sequence[object]],
     threshold: float,
@@ -325,6 +336,10 @@ def search(
     checkpoint_every: int = 1,
 ) -> SearchResult:
     """Multi-objective precision search over (error, modelled cycles).
+
+    The search driver proper — the non-deprecated implementation
+    behind :meth:`repro.session.Session.search`; :func:`search` is the
+    legacy wrapper around it.
 
     :param k: kernel (or IR function) to search.
     :param points: validation input tuples; each candidate is executed
@@ -373,7 +388,7 @@ def search(
     """
     fn = _as_ir(k)
     if points and not isinstance(points[0], (tuple, list)):
-        raise TypeError(
+        raise InputError(
             "points must be a sequence of argument tuples, e.g. "
             "[(n, h), ...] — got a flat sequence"
         )
@@ -381,7 +396,7 @@ def search(
     names = tuple(strategies)
     run_store = _resolve_store(store)
     if resume and run_store is None:
-        raise ValueError("resume=True requires store=")
+        raise ConfigError("resume=True requires store=")
     run_id: Optional[str] = None
     manifest: Optional[Dict[str, object]] = None
     restored: List[EvaluatedCandidate] = []
@@ -579,4 +594,66 @@ def search(
         run_id=run_id,
         resumed=bool(restored),
         n_restored=evaluator.n_restored,
+    )
+
+
+def search(
+    k: KernelLike,
+    points: Sequence[Sequence[object]],
+    threshold: float,
+    candidates: Optional[Sequence[str]] = None,
+    samples: Optional[Mapping[str, Sequence[float]]] = None,
+    fixed: Optional[Mapping[str, object]] = None,
+    demote_to: DType = DType.F32,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    budget: int = 64,
+    workers: int = 0,
+    cache: CacheLike = None,
+    aggregate: AggregatorSpec = "max",
+    estimate_model=None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+    seed: int = 0,
+    error_metric: str = "worst",
+    config_batch: bool = True,
+    store: StoreLike = None,
+    resume: bool = False,
+    label: Optional[str] = None,
+    checkpoint_every: int = 1,
+) -> SearchResult:
+    """Multi-objective precision search over (error, modelled cycles).
+
+    .. deprecated:: 1.1
+        Legacy wrapper, removed in 2.0 — use
+        :meth:`repro.session.Session.search`, which shares the
+        session's sweep cache, run store, and estimator memo across
+        searches.  The signature (positional parameters included)
+        matches the 1.0 entry point; results are bit-identical.
+    """
+    warn_legacy("repro.search.search()", "Session.search()")
+    from repro.session import Session
+
+    return Session().search(
+        k,
+        points,
+        threshold,
+        candidates=candidates,
+        samples=samples,
+        fixed=fixed,
+        demote_to=demote_to,
+        strategies=strategies,
+        budget=budget,
+        workers=workers,
+        cache=cache,
+        aggregate=aggregate,
+        estimate_model=estimate_model,
+        cost_model=cost_model,
+        approx=approx,
+        seed=seed,
+        error_metric=error_metric,
+        config_batch=config_batch,
+        store=store,
+        resume=resume,
+        label=label,
+        checkpoint_every=checkpoint_every,
     )

@@ -42,8 +42,9 @@ from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.ir import nodes as N
 from repro.ir.types import DType
 from repro.sweep.aggregate import AggregatorSpec, resolve_aggregator
-from repro.sweep.engine import CacheLike, sweep_error
+from repro.sweep.engine import CacheLike, run_sweep
 from repro.tuning.config import PrecisionConfig, apply_precision
+from repro.util.errors import ConfigError, InvalidRecordError, StoreError
 from repro.tuning.validate import (
     ReferencePoint,
     counting_runner,
@@ -165,11 +166,13 @@ class CandidateEvaluator:
         config_batch: bool = True,
     ) -> None:
         if not points:
-            raise ValueError("at least one validation point is required")
+            raise ConfigError(
+                "at least one validation point is required"
+            )
         if error_metric not in ("worst", "actual", "estimate"):
-            raise ValueError(f"unknown error metric {error_metric!r}")
+            raise ConfigError(f"unknown error metric {error_metric!r}")
         if error_metric == "estimate" and samples is None:
-            raise ValueError(
+            raise ConfigError(
                 "error_metric='estimate' requires an input sweep"
             )
         self.fn: N.Function = k.ir if isinstance(k, Kernel) else k
@@ -223,7 +226,7 @@ class CandidateEvaluator:
         if self.samples is not None:
             # prewarm: reference estimate (also populates the estimator
             # memo with the reference adjoint pre-fork)
-            sweep_error(
+            run_sweep(
                 self.fn,
                 samples=self.samples,
                 fixed=self.fixed,
@@ -272,13 +275,13 @@ class CandidateEvaluator:
         :attr:`n_computed`.
         """
         if self.history:
-            raise RuntimeError(
+            raise StoreError(
                 "restore() requires a fresh evaluator (history is "
                 "non-empty)"
             )
         for cand in sorted(candidates, key=lambda c: c.index):
             if cand.index != len(self.history):
-                raise ValueError(
+                raise InvalidRecordError(
                     f"stored history is not a contiguous prefix: "
                     f"index {cand.index} at position {len(self.history)}"
                 )
@@ -415,7 +418,7 @@ class CandidateEvaluator:
                 mixed_fn = (
                     apply_precision(self.fn, config) if config else self.fn
                 )
-            batch = sweep_error(
+            batch = run_sweep(
                 mixed_fn,
                 samples=self.samples,
                 fixed=self.fixed,

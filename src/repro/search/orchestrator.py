@@ -39,6 +39,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.search.api import SearchResult
 from repro.search.store import RunStore
+from repro.util.errors import ConfigError, UnknownNameError
 
 #: plan-entry keys that are not search() overrides
 _ENTRY_META_KEYS = ("scenario", "scenario_args")
@@ -67,7 +68,7 @@ _ALLOWED_OVERRIDES = frozenset(
 def _check_overrides(overrides: Mapping[str, object], what: str) -> None:
     bad = sorted(set(overrides) - _ALLOWED_OVERRIDES)
     if bad:
-        raise ValueError(
+        raise ConfigError(
             f"{what}: unknown override keys {bad} "
             f"(allowed: {sorted(_ALLOWED_OVERRIDES)})"
         )
@@ -144,6 +145,9 @@ class SearchOrchestrator:
         and will not redo completed work.
     :param defaults: overrides applied to every entry (entry-level
         overrides win).
+    :param session: the :class:`~repro.session.Session` whose resources
+        (sweep cache, estimator memo defaults) the entries share — a
+        throwaway default session is created otherwise.
     """
 
     def __init__(
@@ -152,6 +156,7 @@ class SearchOrchestrator:
         entries: Sequence[PlanEntry],
         resume: bool = True,
         defaults: Optional[Mapping[str, object]] = None,
+        session=None,
     ) -> None:
         self.store = (
             store if isinstance(store, RunStore) else RunStore(store)
@@ -160,7 +165,15 @@ class SearchOrchestrator:
         self.resume = bool(resume)
         self.defaults = dict(defaults or {})
         _check_overrides(self.defaults, "plan defaults")
+        self.session = session
         self.runs: List[PlanRun] = []
+
+    def _session(self):
+        if self.session is None:
+            from repro.session import Session
+
+            self.session = Session()
+        return self.session
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -169,6 +182,7 @@ class SearchOrchestrator:
         plan: Mapping[str, object],
         store: Union[RunStore, str, Path],
         resume: bool = True,
+        session=None,
     ) -> "SearchOrchestrator":
         """Build from a plan mapping::
 
@@ -185,17 +199,18 @@ class SearchOrchestrator:
             PlanEntry.from_dict(raw) for raw in plan.get("entries", [])
         ]
         if not entries:
-            raise ValueError("plan has no entries")
+            raise ConfigError("plan has no entries")
         known = app_scenarios()
         unknown = [e.scenario for e in entries if e.scenario not in known]
         if unknown:
-            raise KeyError(
+            raise UnknownNameError(
                 f"unknown plan scenarios {unknown} "
                 f"(available: {sorted(known)})"
             )
         return cls(
             store, entries, resume=resume,
             defaults=plan.get("defaults") or {},
+            session=session,
         )
 
     @classmethod
@@ -204,15 +219,17 @@ class SearchOrchestrator:
         path: Union[str, Path],
         store: Union[RunStore, str, Path],
         resume: bool = True,
+        session=None,
     ) -> "SearchOrchestrator":
         plan = json.loads(Path(path).read_text())
-        return cls.from_plan(plan, store, resume=resume)
+        return cls.from_plan(plan, store, resume=resume, session=session)
 
     @classmethod
     def over_all_apps(
         cls,
         store: Union[RunStore, str, Path],
         resume: bool = True,
+        session=None,
         **defaults: object,
     ) -> "SearchOrchestrator":
         """A plan covering every app with a search scenario."""
@@ -221,7 +238,10 @@ class SearchOrchestrator:
         ]
         if "strategies" in defaults:
             defaults["strategies"] = tuple(defaults["strategies"])  # type: ignore[arg-type]
-        return cls(store, entries, resume=resume, defaults=defaults)
+        return cls(
+            store, entries, resume=resume, defaults=defaults,
+            session=session,
+        )
 
     # -- execution ------------------------------------------------------------
     def _scenario_for(self, entry: PlanEntry):
@@ -255,12 +275,14 @@ class SearchOrchestrator:
         continues."""
         self.warm_start()
         self.runs = []
+        session = self._session()
         for entry in self.entries:
             overrides = dict(self.defaults)
             overrides.update(entry.overrides)
             try:
                 scen = self._scenario_for(entry)
                 result = scen.run(
+                    session=session,
                     store=self.store, resume=self.resume, **overrides
                 )
                 self.runs.append(PlanRun(entry, result, "completed"))
@@ -276,10 +298,23 @@ class SearchOrchestrator:
         return bool(self.runs) and all(r.ok for r in self.runs)
 
     def to_dict(self) -> Dict[str, object]:
+        # defaults may hold live objects (a SweepCache instance passed
+        # programmatically) — render those as strings so the dict
+        # always survives json.dumps (the CLI's --json path)
+        defaults = {
+            k: (
+                v
+                if isinstance(
+                    v, (str, int, float, bool, type(None), list, tuple)
+                )
+                else str(v)
+            )
+            for k, v in self.defaults.items()
+        }
         return {
             "store": str(self.store.root),
             "resume": self.resume,
-            "defaults": dict(self.defaults),
+            "defaults": defaults,
             "ok": self.ok,
             "runs": [
                 {

@@ -32,14 +32,19 @@ class SearchScenario:
     budget: int = 48
     description: str = ""
 
-    def run(self, **overrides):
-        """Run :func:`repro.search.search` on this scenario.
+    def run(self, session=None, **overrides):
+        """Run the precision search on this scenario.
 
-        Keyword overrides are passed through (``budget=``, ``workers=``,
-        ``strategies=``, ``threshold=``, ...).
+        Goes through :meth:`repro.session.Session.search` — pass
+        ``session=`` to share an existing session's sweep cache, run
+        store, and defaults (a throwaway default session is used
+        otherwise).  Keyword overrides are passed through (``budget=``,
+        ``workers=``, ``strategies=``, ``threshold=``, ...).
         """
-        from repro.search.api import search
+        if session is None:
+            from repro.session import Session
 
+            session = Session()
         kwargs = {
             "candidates": self.candidates,
             "samples": self.samples,
@@ -50,4 +55,6 @@ class SearchScenario:
         }
         threshold = overrides.pop("threshold", self.threshold)
         kwargs.update(overrides)
-        return search(self.kernel, self.points, threshold, **kwargs)
+        return session.search(
+            self.kernel, self.points, threshold, **kwargs
+        )

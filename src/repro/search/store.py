@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import tempfile
 import time
 from pathlib import Path
@@ -47,6 +48,7 @@ from repro.ir.types import DType
 from repro.search.evaluate import EvaluatedCandidate
 from repro.sweep.cache import digest_inputs
 from repro.tuning.config import PrecisionConfig
+from repro.util.errors import ConfigError, StoreError, UnknownNameError
 
 #: on-disk layout version; bumped on incompatible record/manifest changes
 RUN_FORMAT = 1
@@ -163,6 +165,12 @@ def run_id_of(components: Mapping[str, object]) -> str:
     """Content-addressed run id of one parameter set."""
     payload = json.dumps(components, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _looks_like_run_dir(name: str) -> bool:
+    """Whether a directory name matches the run-dir layout
+    (``run_id[:32]`` — 32 lowercase hex characters)."""
+    return len(name) == 32 and all(c in "0123456789abcdef" for c in name)
 
 
 # -- evaluation record (de)serialization --------------------------------------
@@ -361,4 +369,317 @@ class RunStore:
             if manifest.get("format") == RUN_FORMAT:
                 out.append(manifest)
         out.sort(key=lambda m: m.get("created", 0.0), reverse=True)
+        return out
+
+    def _resolve_against(
+        self, manifests: Sequence[Mapping[str, object]], prefix: str
+    ) -> str:
+        """Expand a run-id prefix against already-loaded manifests."""
+        matches = sorted(
+            {
+                str(m["run_id"])
+                for m in manifests
+                if str(m.get("run_id", "")).startswith(prefix)
+            }
+        )
+        if not matches:
+            raise UnknownNameError(
+                f"no stored run matches {prefix!r} in {self.root}"
+            )
+        if len(matches) > 1:
+            raise UnknownNameError(
+                f"run id prefix {prefix!r} is ambiguous: "
+                f"{[m[:12] for m in matches]}"
+            )
+        return matches[0]
+
+    def resolve_run_id(self, prefix: str) -> str:
+        """Expand a (possibly abbreviated) run id against stored runs.
+
+        :raises UnknownNameError: no stored run matches, or the prefix
+            is ambiguous.
+        """
+        return self._resolve_against(self.list_runs(), prefix)
+
+    def stored_evaluation_count(
+        self, manifest: Mapping[str, object]
+    ) -> int:
+        """Evaluations a run actually holds.
+
+        Completed runs carry the count in the manifest; for partial
+        (crashed) runs the manifest counter is stuck at its initial 0
+        — ``checkpoint()`` never rewrites the manifest — so the
+        checkpointed records (the resumable prefix) are counted
+        instead.  Used by ``compare()`` and the CLI listings.
+        """
+        if manifest.get("completed"):
+            return int(manifest.get("n_evaluations", 0))  # type: ignore[arg-type]
+        return len(self.load_records(str(manifest.get("run_id"))))
+
+    def remove_run(self, run_id: str) -> bool:
+        """Delete one run directory (full id); returns whether it
+        existed.  Use :meth:`resolve_run_id` first to expand prefixes."""
+        run_dir = self.run_dir(run_id)
+        if not run_dir.is_dir():
+            return False
+        shutil.rmtree(run_dir, ignore_errors=True)
+        return True
+
+    def _run_dir_mtime(self, run_dir: Path) -> float:
+        """Latest mtime across a run directory's files (0.0 if gone)."""
+        latest = 0.0
+        try:
+            entries = list(run_dir.iterdir())
+        except OSError:
+            return latest
+        for p in entries:
+            try:
+                latest = max(latest, p.stat().st_mtime)
+            except OSError:
+                continue
+        return latest
+
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        max_runs: Optional[int] = None,
+        incomplete: bool = False,
+        dry_run: bool = False,
+        min_age_hours: float = 1.0,
+    ) -> List[Dict[str, object]]:
+        """Garbage-collect stored runs; returns the pruned manifests.
+
+        Selection is the union of the given criteria:
+
+        * ``incomplete=True`` — runs that never completed (crashed and
+          abandoned checkpoints), including **orphaned run
+          directories** with no readable manifest of the current
+          layout format (a crash before the first manifest write, disk
+          corruption, or a format bump) — exactly the debris a GC
+          exists to clear;
+        * ``max_age_days`` — runs created longer ago than this;
+        * ``max_runs`` — keep only the newest N of whatever survives
+          the other criteria.
+
+        ``dry_run=True`` reports what *would* be pruned without
+        deleting anything.
+
+        ``min_age_hours`` protects **live** runs from the
+        ``incomplete`` criterion: an in-flight search looks exactly
+        like a crashed one (manifest not completed, checkpoints
+        accruing), so incomplete runs whose files were touched within
+        this window are skipped (default: one hour; pass ``0`` to
+        collect everything regardless of recency).
+
+        :raises ConfigError: when called with no criterion at all, or
+            with negative values.
+        """
+        if max_age_days is None and max_runs is None and not incomplete:
+            raise ConfigError(
+                "prune() requires at least one criterion "
+                "(max_age_days=, max_runs=, or incomplete=True)"
+            )
+        # destructive knobs reject out-of-range values instead of
+        # coercing (-1 would silently select every stored run)
+        if max_runs is not None and int(max_runs) < 0:
+            raise ConfigError(
+                f"max_runs must be >= 0, got {max_runs!r}"
+            )
+        if max_age_days is not None and float(max_age_days) < 0:
+            raise ConfigError(
+                f"max_age_days must be >= 0, got {max_age_days!r}"
+            )
+        if float(min_age_hours) < 0:
+            raise ConfigError(
+                f"min_age_hours must be >= 0, got {min_age_hours!r}"
+            )
+        recency_cutoff = time.time() - float(min_age_hours) * 3600.0
+        manifests = self.list_runs()  # newest first
+        victims: List[Dict[str, object]] = []
+        victim_ids = set()
+
+        def condemn(m: Dict[str, object]) -> None:
+            rid = str(m.get("run_id"))
+            if rid not in victim_ids:
+                victim_ids.add(rid)
+                victims.append(m)
+
+        if incomplete:
+            for m in manifests:
+                if not m.get("completed") and (
+                    self._run_dir_mtime(
+                        self.run_dir(str(m["run_id"]))
+                    )
+                    <= recency_cutoff
+                ):
+                    condemn(m)
+            # orphaned run directories (no readable current-format
+            # manifest) are invisible to list_runs but still take
+            # disk.  Only condemn directories that demonstrably were
+            # run dirs — holding run files or named like one (32 hex
+            # chars) — never arbitrary colocated data, and never a
+            # whole store written by a *newer* layout format
+            known_dirs = {
+                str(self.run_dir(str(m["run_id"]))) for m in manifests
+            }
+            for sub in sorted(self.root.iterdir()):
+                if not sub.is_dir() or str(sub) in known_dirs:
+                    continue
+                manifest_path = sub / "manifest.json"
+                if manifest_path.exists():
+                    try:
+                        fmt = json.loads(
+                            manifest_path.read_text()
+                        ).get("format")
+                    except (OSError, ValueError):
+                        fmt = None
+                    if isinstance(fmt, int) and fmt > RUN_FORMAT:
+                        # a newer library owns this run; leave it
+                        continue
+                run_shaped = (
+                    manifest_path.exists()
+                    or (sub / "evals.pkl").exists()
+                    or _looks_like_run_dir(sub.name)
+                )
+                if run_shaped and (
+                    self._run_dir_mtime(sub) <= recency_cutoff
+                ):
+                    condemn(
+                        {
+                            "run_id": sub.name,
+                            "label": "(orphaned)",
+                            "completed": False,
+                            "orphaned": True,
+                        }
+                    )
+        if max_age_days is not None:
+            cutoff = time.time() - float(max_age_days) * 86400.0
+            for m in manifests:
+                if float(m.get("created", 0.0)) < cutoff:
+                    condemn(m)
+        if max_runs is not None:
+            survivors = [
+                m
+                for m in manifests
+                if str(m.get("run_id")) not in victim_ids
+            ]
+            for m in survivors[int(max_runs):]:
+                condemn(m)
+        if not dry_run:
+            for m in victims:
+                if m.get("orphaned"):
+                    # the directory name is not a run id — remove it
+                    # directly
+                    shutil.rmtree(
+                        self.root / str(m["run_id"]), ignore_errors=True
+                    )
+                else:
+                    self.remove_run(str(m["run_id"]))
+        return victims
+
+    def compare(
+        self, run_ids: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, object]]:
+        """Comparison rows across stored runs (newest first).
+
+        Each row summarizes one run — label, kernel, completion state,
+        evaluation count, Pareto front size, and the cheapest front
+        point within the run's own threshold.  For runs that never
+        completed, the evaluation count is the number of checkpointed
+        records on disk (the resumable prefix), not the manifest's
+        stale counter.
+        """
+        stored = self.list_runs()  # one scan serves every lookup
+        if run_ids is not None:
+            by_id = {str(m["run_id"]): m for m in stored}
+            manifests = [
+                by_id[self._resolve_against(stored, rid)]
+                for rid in run_ids
+            ]
+        else:
+            manifests = stored
+        rows = []
+        for m in manifests:
+            front = m.get("front") or []
+            key = m.get("key") or {}
+            threshold = key.get("threshold")
+            best = None
+            if front and threshold is not None:
+                feasible = [
+                    p for p in front if p.get("error", 0) <= threshold
+                ]
+                if feasible:
+                    best = min(feasible, key=lambda p: p["cycles"])
+            completed = bool(m.get("completed"))
+            n_evaluations = self.stored_evaluation_count(m)
+            rows.append(
+                {
+                    "run_id": m.get("run_id"),
+                    "label": m.get("label"),
+                    "kernel": m.get("kernel"),
+                    "created": m.get("created"),
+                    "completed": completed,
+                    "n_evaluations": n_evaluations,
+                    "front_size": len(front),
+                    "threshold": threshold,
+                    "budget": key.get("budget"),
+                    "strategies": key.get("strategies"),
+                    "seed": key.get("seed"),
+                    "best_error": best["error"] if best else None,
+                    "best_cycles": best["cycles"] if best else None,
+                }
+            )
+        return rows
+
+    def diff_fronts(self, run_a: str, run_b: str) -> Dict[str, object]:
+        """Structured diff of two stored runs' Pareto fronts.
+
+        Front points are matched by configuration key; the result
+        reports points exclusive to either run and, for shared
+        configurations, their (error, cycles) deltas.
+
+        :raises StoreError: when either run never completed (it has no
+            final front to diff).
+        """
+        stored = self.list_runs()
+        by_id = {str(m["run_id"]): m for m in stored}
+        out: Dict[str, object] = {}
+        fronts: Dict[str, Dict[str, Dict[str, object]]] = {}
+        for name, rid in (("a", run_a), ("b", run_b)):
+            full = self._resolve_against(stored, rid)
+            manifest = by_id[full]
+            if not manifest.get("completed"):
+                raise StoreError(
+                    f"run {rid!r} never completed — no front to diff"
+                )
+            out[f"run_{name}"] = full
+            out[f"label_{name}"] = manifest.get("label")
+            fronts[name] = {
+                str(p["key"]): p for p in (manifest.get("front") or [])
+            }
+        keys_a, keys_b = set(fronts["a"]), set(fronts["b"])
+        common = []
+        for key in sorted(keys_a & keys_b):
+            pa, pb = fronts["a"][key], fronts["b"][key]
+            common.append(
+                {
+                    "key": key,
+                    "error_a": pa["error"],
+                    "error_b": pb["error"],
+                    "cycles_a": pa["cycles"],
+                    "cycles_b": pb["cycles"],
+                    "same": (
+                        pa["error"] == pb["error"]
+                        and pa["cycles"] == pb["cycles"]
+                    ),
+                }
+            )
+        out["only_a"] = [fronts["a"][k] for k in sorted(keys_a - keys_b)]
+        out["only_b"] = [fronts["b"][k] for k in sorted(keys_b - keys_a)]
+        out["common"] = common
+        out["identical"] = (
+            not out["only_a"]
+            and not out["only_b"]
+            and all(c["same"] for c in common)
+        )
         return out

@@ -58,6 +58,7 @@ from repro.search.evaluate import (
 )
 from repro.tuning.config import PrecisionConfig
 from repro.tuning.greedy import greedy_select
+from repro.util.errors import ConfigError, UnknownNameError
 
 Subset = FrozenSet[str]
 
@@ -169,7 +170,9 @@ DEFAULT_STRATEGIES: Tuple[str, ...] = ("greedy", "delta", "anneal")
 def register_strategy(cls: Type[SearchStrategy]) -> Type[SearchStrategy]:
     """Class decorator: add a strategy to the registry by its name."""
     if not cls.name:
-        raise ValueError(f"{cls.__name__} must define a non-empty name")
+        raise ConfigError(
+            f"{cls.__name__} must define a non-empty name"
+        )
     STRATEGIES[cls.name] = cls
     return cls
 
@@ -179,7 +182,7 @@ def get_strategy(name: str) -> SearchStrategy:
     try:
         return STRATEGIES[name]()
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown search strategy {name!r} "
             f"(registered: {sorted(STRATEGIES)})"
         ) from None

@@ -1,0 +1,22 @@
+"""Session facade: shared resources + the whole workflow as methods.
+
+* :class:`Session` — owns the estimator memo, sweep cache, run store,
+  and default models; exposes ``estimate`` / ``sweep`` / ``tune`` /
+  ``search`` / ``plan`` / ``runs`` (see :mod:`repro.session.session`);
+* :class:`SessionConfig` — the frozen, JSON-serializable defaults with
+  a stable content fingerprint (see :mod:`repro.session.config`);
+* :class:`RunsView` — run-store list/compare/prune/diff, the object
+  behind ``session.runs()`` and ``python -m repro runs`` (see
+  :mod:`repro.session.runs`).
+
+The legacy free functions (``repro.estimate_error``,
+``repro.sweep_error``, ``repro.greedy_tune``, ``repro.robust_tune``,
+``repro.search.search``) are deprecated thin wrappers constructing a
+default session; they warn once per callsite and disappear in 2.0.
+"""
+
+from repro.session.config import SessionConfig
+from repro.session.runs import RunsView
+from repro.session.session import Session
+
+__all__ = ["RunsView", "Session", "SessionConfig"]

@@ -1,0 +1,177 @@
+"""Run-store management: the object behind ``session.runs()``.
+
+:class:`RunsView` wraps a :class:`~repro.search.store.RunStore` with
+the list / compare / prune / diff-fronts operations the unified CLI's
+``runs`` subcommand exposes (``python -m repro runs --list/--compare/
+--prune/--diff``).  The data operations live on the store itself
+(:meth:`RunStore.prune`, :meth:`RunStore.compare`,
+:meth:`RunStore.diff_fronts`); this view adds the human-readable
+renderings so the CLI and interactive sessions print identical tables.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.search.store import RunStore
+
+
+def _age(created: Optional[float]) -> str:
+    if not created:
+        return "-"
+    delta = max(time.time() - float(created), 0.0)
+    if delta < 120:
+        return f"{delta:.0f}s"
+    if delta < 7200:
+        return f"{delta / 60:.0f}m"
+    if delta < 172800:
+        return f"{delta / 3600:.1f}h"
+    return f"{delta / 86400:.1f}d"
+
+
+class RunsView:
+    """List, compare, prune, and diff the runs of one store."""
+
+    def __init__(self, store: RunStore) -> None:
+        self.store = store
+
+    # -- data operations -----------------------------------------------------
+    def list(self) -> List[Dict[str, object]]:
+        """Manifests of every stored run, newest first."""
+        return self.store.list_runs()
+
+    def compare(
+        self, run_ids: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, object]]:
+        """Cross-run comparison rows (see :meth:`RunStore.compare`)."""
+        return self.store.compare(run_ids)
+
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        max_runs: Optional[int] = None,
+        incomplete: bool = False,
+        dry_run: bool = False,
+        min_age_hours: float = 1.0,
+    ) -> List[Dict[str, object]]:
+        """Garbage-collect runs (see :meth:`RunStore.prune`)."""
+        return self.store.prune(
+            max_age_days=max_age_days,
+            max_runs=max_runs,
+            incomplete=incomplete,
+            dry_run=dry_run,
+            min_age_hours=min_age_hours,
+        )
+
+    def diff(self, run_a: str, run_b: str) -> Dict[str, object]:
+        """Front diff of two runs (see :meth:`RunStore.diff_fronts`)."""
+        return self.store.diff_fronts(run_a, run_b)
+
+    # -- renderings ----------------------------------------------------------
+    def format_list(
+        self, manifests: Optional[List[Dict[str, object]]] = None
+    ) -> str:
+        if manifests is None:
+            manifests = self.list()
+        lines = [
+            f"{len(manifests)} stored run(s) [store: {self.store.root}]"
+        ]
+        if manifests:
+            lines.append(
+                f"  {'run':12s} {'label':14s} {'kernel':14s} "
+                f"{'state':10s} {'evals':>5s} {'front':>5s} {'age':>6s}"
+            )
+        for m in manifests:
+            front = m.get("front") or []
+            state = "completed" if m.get("completed") else "partial"
+            evals = self.store.stored_evaluation_count(m)
+            lines.append(
+                f"  {str(m.get('run_id', ''))[:12]:12s} "
+                f"{str(m.get('label', ''))[:14]:14s} "
+                f"{str(m.get('kernel', ''))[:14]:14s} "
+                f"{state:10s} {evals:5d} "
+                f"{len(front):5d} {_age(m.get('created')):>6s}"
+            )
+        return "\n".join(lines)
+
+    def format_compare(
+        self, rows: Optional[List[Dict[str, object]]] = None
+    ) -> str:
+        if rows is None:
+            rows = self.compare()
+        lines = [
+            f"comparing {len(rows)} run(s) [store: {self.store.root}]",
+            f"  {'run':12s} {'label':14s} {'state':10s} {'evals':>5s} "
+            f"{'front':>5s} {'thr':>9s} {'best@thr cycles':>15s}",
+        ]
+        for r in rows:
+            state = "completed" if r["completed"] else "partial"
+            thr = (
+                f"{r['threshold']:.3g}"
+                if r["threshold"] is not None
+                else "-"
+            )
+            best = (
+                f"{r['best_cycles']:.1f}"
+                if r["best_cycles"] is not None
+                else "-"
+            )
+            lines.append(
+                f"  {str(r['run_id'])[:12]:12s} "
+                f"{str(r['label'])[:14]:14s} {state:10s} "
+                f"{r['n_evaluations']:5d} {r['front_size']:5d} "
+                f"{thr:>9s} {best:>15s}"
+            )
+        return "\n".join(lines)
+
+    def format_prune(
+        self, pruned: Sequence[Dict[str, object]], dry_run: bool
+    ) -> str:
+        verb = "would prune" if dry_run else "pruned"
+        lines = [
+            f"{verb} {len(pruned)} run(s) [store: {self.store.root}]"
+        ]
+        for m in pruned:
+            state = "completed" if m.get("completed") else "partial"
+            lines.append(
+                f"  {str(m.get('run_id', ''))[:12]:12s} "
+                f"{str(m.get('label', ''))[:14]:14s} {state:10s} "
+                f"age {_age(m.get('created'))}"
+            )
+        return "\n".join(lines)
+
+    def format_diff(self, diff: Dict[str, object]) -> str:
+        lines = [
+            f"front diff: {str(diff['run_a'])[:12]} "
+            f"({diff['label_a']})  vs  {str(diff['run_b'])[:12]} "
+            f"({diff['label_b']})"
+        ]
+        only_a: List[Dict[str, object]] = diff["only_a"]  # type: ignore[assignment]
+        only_b: List[Dict[str, object]] = diff["only_b"]  # type: ignore[assignment]
+        common: List[Dict[str, object]] = diff["common"]  # type: ignore[assignment]
+        if diff["identical"]:
+            lines.append(
+                f"  fronts are identical ({len(common)} shared points)"
+            )
+            return "\n".join(lines)
+        for name, only in (("a", only_a), ("b", only_b)):
+            for p in only:
+                lines.append(
+                    f"  only {name}: {str(p['key'])[:12]:12s} "
+                    f"error={p['error']:.4g} cycles={p['cycles']:.1f}"
+                )
+        for c in common:
+            if c["same"]:
+                continue
+            lines.append(
+                f"  changed: {str(c['key'])[:12]:12s} "
+                f"error {c['error_a']:.4g} -> {c['error_b']:.4g}  "
+                f"cycles {c['cycles_a']:.1f} -> {c['cycles_b']:.1f}"
+            )
+        shared_same = sum(1 for c in common if c["same"])
+        lines.append(
+            f"  ({shared_same} shared point(s) unchanged, "
+            f"{len(only_a)} only in a, {len(only_b)} only in b)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,580 @@
+"""The :class:`Session` facade: one object, the whole workflow.
+
+Every entry-point family of the CHEF-FP reproduction — error
+estimation, input sweeps, mixed-precision tuning, Pareto search,
+multi-scenario plans, and run-store management — historically re-plumbed
+the same resources (estimator memo, sweep cache, run store, worker
+pool settings, default error/cost models) through per-call keyword
+arguments.  A :class:`Session` owns those resources once::
+
+    import repro
+
+    sess = repro.Session(cache="~/.cache/repro-sweeps", store="runs/")
+    est = sess.estimate(kernel)                     # shared estimator memo
+    rep = sess.sweep(kernel, samples, fixed=fixed)  # shared sweep cache
+    cfg = sess.tune(kernel, 1e-6, samples=samples)  # robust tuning
+    res = sess.search("blackscholes", resume=True)  # durable search
+    orch = sess.plan(all_apps=True); orch.run()     # multi-scenario plan
+    sess.runs().prune(incomplete=True)              # run-store GC
+
+Defaults come from a frozen, serializable :class:`SessionConfig`; every
+result is stamped with session provenance (session id, config
+fingerprint, method, per-session sequence number).  The legacy free
+functions (``repro.estimate_error`` & co.) remain as deprecated thin
+wrappers constructing a default session, bit-identical by contract.
+"""
+
+from __future__ import annotations
+
+import uuid
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
+
+from repro.core.api import (
+    KernelLike,
+    cached_error_estimator,
+    estimator_memo_stats,
+    warm_start_estimator_memo,
+)
+from repro.core.models import ErrorModel
+from repro.core.report import ErrorReport
+from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.session.config import SessionConfig
+from repro.session.runs import RunsView
+from repro.sweep.batch import BatchReport
+from repro.sweep.cache import SweepCache
+from repro.sweep.engine import run_sweep
+from repro.tuning.greedy import TuningResult, run_greedy_tune
+from repro.tuning.robust import run_robust_tune
+from repro.util.errors import ConfigError, UnknownNameError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.search.store import RunStore
+
+#: "argument not supplied — fall back to the session default"
+_UNSET = object()
+
+
+def _pick(value: object, default: object) -> object:
+    return default if value is _UNSET else value
+
+
+class Session:
+    """Shared-resource facade over estimate / sweep / tune / search.
+
+    :param config: the frozen :class:`SessionConfig` defaults
+        (``None``: all defaults).
+    :param cache: sweep result cache — a :class:`SweepCache`, a
+        directory, or ``None`` to use ``config.cache_dir`` (no cache
+        when that is ``None`` too).
+    :param store: persistent run store — a
+        :class:`~repro.search.store.RunStore`, a directory, or ``None``
+        to use ``config.store_dir``.
+    :param model: default error model for **estimates and sweeps**
+        (and the search's sweep-estimate model); ``None`` keeps each
+        method's historical default.  Tuning is *not* affected: its
+        contribution ranking stays on the ADAPT demotion model unless
+        a model is passed to :meth:`tune` explicitly.
+    :param cost_model: default performance model for search.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SessionConfig] = None,
+        *,
+        cache: Union[None, str, Path, SweepCache] = None,
+        store: Union[None, str, Path, "RunStore"] = None,
+        model: Optional[ErrorModel] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        from repro.search.store import RunStore
+
+        self.config = config if config is not None else SessionConfig()
+        if not isinstance(self.config, SessionConfig):
+            raise ConfigError(
+                f"config must be a SessionConfig, "
+                f"got {type(self.config).__name__}"
+            )
+        if cache is None:
+            cache = self.config.cache_dir
+        self._cache: Optional[SweepCache] = (
+            cache
+            if isinstance(cache, SweepCache) or cache is None
+            else SweepCache(directory=cache)
+        )
+        if store is None:
+            store = self.config.store_dir
+        self._store: Optional[RunStore] = (
+            store
+            if isinstance(store, RunStore) or store is None
+            else RunStore(store)
+        )
+        self.model = model
+        self.cost_model = cost_model
+        #: unique id of this session instance (provenance)
+        self.id = f"sess-{uuid.uuid4().hex[:12]}"
+        self._seq = 0
+
+    # -- resources -----------------------------------------------------------
+    @property
+    def cache(self) -> Optional[SweepCache]:
+        """The shared sweep result cache (``None``: uncached)."""
+        return self._cache
+
+    @property
+    def store(self):
+        """The shared persistent run store (``None``: not durable)."""
+        return self._store
+
+    def _provenance(self, method: str) -> Dict[str, object]:
+        self._seq += 1
+        return {
+            "session_id": self.id,
+            "config_fingerprint": self.config.fingerprint(),
+            "method": method,
+            "seq": self._seq,
+        }
+
+    def __repr__(self) -> str:
+        cache = self._cache.directory if self._cache else None
+        store = self._store.root if self._store else None
+        return (
+            f"Session(id={self.id!r}, cache={str(cache) if cache else None!r}, "
+            f"store={str(store) if store else None!r})"
+        )
+
+    # -- estimate ------------------------------------------------------------
+    def estimate(
+        self,
+        k: KernelLike,
+        model: Optional[ErrorModel] = None,
+        track: Sequence[str] = (),
+        opt_level: object = _UNSET,
+        minimal_pushes: object = _UNSET,
+    ):
+        """A compiled error-estimating adjoint of ``k`` (Listing 1).
+
+        Served from the shared estimator memo whenever the kernel/model
+        pair is cacheable (tracked-sensitivity estimators and models
+        closing over arbitrary callables are built fresh).  Returns an
+        :class:`~repro.core.api.ErrorEstimator`.
+        """
+        return cached_error_estimator(
+            k,
+            model=model if model is not None else self.model,
+            track=track,
+            opt_level=_pick(opt_level, self.config.opt_level),
+            minimal_pushes=_pick(
+                minimal_pushes, self.config.minimal_pushes
+            ),
+        )
+
+    def estimate_at(
+        self,
+        k: KernelLike,
+        args: Sequence[object],
+        model: Optional[ErrorModel] = None,
+        track: Sequence[str] = (),
+    ) -> ErrorReport:
+        """Estimate at one input point: ``estimate(k).execute(*args)``."""
+        return self.estimate(k, model=model, track=track).execute(*args)
+
+    # -- sweep ---------------------------------------------------------------
+    def sweep(
+        self,
+        k: KernelLike,
+        samples: Mapping[str, Sequence[float]],
+        fixed: Optional[Mapping[str, object]] = None,
+        model: Optional[ErrorModel] = None,
+        opt_level: object = _UNSET,
+        minimal_pushes: object = _UNSET,
+    ) -> BatchReport:
+        """Estimate FP error over a batch of input points.
+
+        Repeated sweeps (same kernel content, model, inputs) are served
+        from the session's sweep cache; estimators come from the shared
+        memo.  Returns a :class:`~repro.sweep.batch.BatchReport` with
+        session provenance attached.
+        """
+        report = run_sweep(
+            k,
+            samples=samples,
+            fixed=fixed,
+            model=model if model is not None else self.model,
+            opt_level=_pick(opt_level, self.config.opt_level),
+            minimal_pushes=_pick(
+                minimal_pushes, self.config.minimal_pushes
+            ),
+            cache=self._cache,
+        )
+        report.provenance = self._provenance("sweep")
+        return report
+
+    # -- tune ----------------------------------------------------------------
+    def tune(
+        self,
+        k: KernelLike,
+        threshold: float,
+        *,
+        args: Optional[Sequence[object]] = None,
+        samples: Optional[Mapping[str, Sequence[float]]] = None,
+        fixed: Optional[Mapping[str, object]] = None,
+        robust: Optional[bool] = None,
+        model: Optional[ErrorModel] = None,
+        candidates: Optional[Sequence[str]] = None,
+        demote_to: object = _UNSET,
+        aggregate: object = _UNSET,
+    ) -> TuningResult:
+        """Greedy mixed-precision tuning under an error threshold.
+
+        Two modes, selected by ``robust`` (default: inferred from the
+        inputs given):
+
+        * **point** (``args=``) — the paper's single-point greedy pass;
+        * **robust** (``samples=``) — distribution-robust tuning: the
+          per-variable demotion contributions are aggregated across the
+          whole sweep (session default: worst case) before the same
+          greedy core runs.
+
+        Sweeps go through the session cache; estimators through the
+        shared memo.
+        """
+        if robust is None:
+            if args is not None and samples is not None:
+                raise ConfigError(
+                    "both args= and samples= given — pass robust=True "
+                    "(sweep-aggregated) or robust=False (point tuning "
+                    "at args) to pick the mode explicitly"
+                )
+            robust = samples is not None
+        if robust:
+            if samples is None:
+                raise ConfigError(
+                    "robust tuning requires samples= (an input sweep)"
+                )
+            result = run_robust_tune(
+                k,
+                samples=samples,
+                threshold=threshold,
+                fixed=fixed,
+                # per-call model only: the session default model scopes
+                # to estimates/sweeps; tuning contributions must stay
+                # on the ADAPT demotion model unless explicitly changed
+                model=model,
+                candidates=candidates,
+                demote_to=_pick(demote_to, self.config.demote_to),
+                aggregate=_pick(aggregate, self.config.aggregate),
+                cache=self._cache,
+                opt_level=self.config.opt_level,
+                minimal_pushes=self.config.minimal_pushes,
+            )
+        else:
+            if args is None:
+                raise ConfigError(
+                    "point tuning requires args= (one representative "
+                    "input tuple); pass samples= for robust tuning"
+                )
+            if samples is None and (
+                fixed is not None or aggregate is not _UNSET
+            ):
+                # these knobs only exist in robust mode — ignoring
+                # them would silently tune something else than asked.
+                # (With samples= present, an explicit robust=False
+                # deliberately discards the whole robust group.)
+                raise ConfigError(
+                    "fixed= and aggregate= apply to robust tuning "
+                    "only; point tuning takes the full input tuple "
+                    "via args="
+                )
+            result = run_greedy_tune(
+                k,
+                args,
+                threshold,
+                model=model,
+                candidates=candidates,
+                demote_to=_pick(demote_to, self.config.demote_to),
+                opt_level=self.config.opt_level,
+                minimal_pushes=self.config.minimal_pushes,
+            )
+        result.provenance = self._provenance("tune")
+        return result
+
+    # -- search --------------------------------------------------------------
+    def search(
+        self,
+        k,
+        points: Optional[Sequence[Sequence[object]]] = None,
+        threshold: Optional[float] = None,
+        *,
+        candidates: Optional[Sequence[str]] = None,
+        samples: object = _UNSET,
+        fixed: object = _UNSET,
+        demote_to: object = _UNSET,
+        strategies: object = _UNSET,
+        budget: object = _UNSET,
+        workers: object = _UNSET,
+        cache: object = _UNSET,
+        aggregate: object = _UNSET,
+        estimate_model: object = _UNSET,
+        cost_model: object = _UNSET,
+        approx: Optional[Set[str]] = None,
+        seed: object = _UNSET,
+        error_metric: object = _UNSET,
+        config_batch: object = _UNSET,
+        store: object = _UNSET,
+        resume: bool = False,
+        label: Optional[str] = None,
+        checkpoint_every: object = _UNSET,
+    ):
+        """Multi-objective precision search over (error, cycles).
+
+        ``k`` is a kernel plus explicit ``points``/``threshold``, a
+        ready-made :class:`~repro.search.scenario.SearchScenario`, or
+        the name of an app scenario (``"blackscholes"``); unset knobs
+        fall back to the session config, and the session's sweep cache
+        and run store are used unless overridden.  Returns a
+        :class:`~repro.search.api.SearchResult` with session
+        provenance; with the session store, runs checkpoint durably and
+        ``resume=True`` restores bit-identically.
+        """
+        from repro.search.api import run_search
+        from repro.search.scenario import SearchScenario
+
+        if isinstance(k, str):
+            from repro.search.orchestrator import app_scenarios
+
+            scenarios = app_scenarios()
+            if k not in scenarios:
+                raise UnknownNameError(
+                    f"unknown app scenario {k!r} "
+                    f"(available: {sorted(scenarios)})"
+                )
+            k = scenarios[k].search_scenario()
+        if isinstance(k, SearchScenario):
+            scen = k
+            if points is None:
+                points = scen.points
+            if threshold is None:
+                threshold = scen.threshold
+            if candidates is None:
+                candidates = scen.candidates
+            if samples is _UNSET:
+                samples = scen.samples
+            if fixed is _UNSET:
+                fixed = scen.fixed
+            if budget is _UNSET:
+                budget = scen.budget
+            if label is None:
+                label = scen.name
+            k = scen.kernel
+        if points is None or threshold is None:
+            raise ConfigError(
+                "search requires points= and threshold= (or a "
+                "SearchScenario / app scenario name)"
+            )
+        result = run_search(
+            k,
+            points,
+            threshold,
+            candidates=candidates,
+            samples=None if samples is _UNSET else samples,
+            fixed=None if fixed is _UNSET else fixed,
+            demote_to=_pick(demote_to, self.config.demote_to),
+            strategies=_pick(strategies, self.config.strategies),
+            budget=_pick(budget, self.config.budget),
+            workers=_pick(workers, self.config.workers),
+            cache=_pick(cache, self._cache),
+            aggregate=_pick(aggregate, self.config.aggregate),
+            estimate_model=_pick(estimate_model, self.model),
+            cost_model=_pick(cost_model, self.cost_model),
+            approx=approx,
+            seed=_pick(seed, self.config.seed),
+            error_metric=_pick(error_metric, self.config.error_metric),
+            config_batch=_pick(config_batch, self.config.config_batch),
+            store=_pick(store, self._store),
+            resume=resume,
+            label=label,
+            checkpoint_every=_pick(
+                checkpoint_every, self.config.checkpoint_every
+            ),
+        )
+        result.provenance = self._provenance("search")
+        return result
+
+    # -- plan ----------------------------------------------------------------
+    def plan(
+        self,
+        entries: Optional[Sequence[object]] = None,
+        *,
+        plan_file: Union[None, str, Path] = None,
+        all_apps: bool = False,
+        resume: bool = True,
+        defaults: Optional[Mapping[str, object]] = None,
+        store: object = _UNSET,
+    ):
+        """A durable multi-scenario search plan over the session store.
+
+        ``entries`` may mix scenario names and
+        :class:`~repro.search.orchestrator.PlanEntry`/dict entries;
+        alternatively pass ``plan_file=`` (a JSON plan) or
+        ``all_apps=True``.  Session config values (workers, seed,
+        strategies, ...) seed the plan defaults; explicit ``defaults``
+        and per-entry overrides win.  Returns the (not yet run)
+        :class:`~repro.search.orchestrator.SearchOrchestrator`.
+        """
+        from repro.search.orchestrator import (
+            PlanEntry,
+            SearchOrchestrator,
+        )
+
+        run_store = _pick(store, self._store)
+        if run_store is None:
+            raise ConfigError(
+                "plan() requires a run store — construct the session "
+                "with store= (or SessionConfig.store_dir)"
+            )
+        merged: Dict[str, object] = {
+            "workers": self.config.workers,
+            "seed": self.config.seed,
+            "strategies": tuple(self.config.strategies),
+            "aggregate": self.config.aggregate,
+            "error_metric": self.config.error_metric,
+            "config_batch": self.config.config_batch,
+            "checkpoint_every": self.config.checkpoint_every,
+        }
+        # the session's sweep cache is NOT injected into defaults: the
+        # orchestrator carries the session itself, so entries reach the
+        # live cache through session.search's fallback — and defaults
+        # stay JSON-serializable for to_dict()/--json
+        given = sum(
+            1 for x in (entries, plan_file) if x is not None
+        ) + int(all_apps)
+        if given != 1:
+            raise ConfigError(
+                "plan() takes exactly one of entries=, plan_file=, or "
+                "all_apps=True"
+            )
+        if plan_file is not None:
+            from repro.search.orchestrator import _check_overrides
+
+            explicit = dict(defaults or {})
+            _check_overrides(explicit, "plan defaults")
+            orch = SearchOrchestrator.from_plan_file(
+                plan_file, store=run_store, resume=resume, session=self
+            )
+            # plan-file defaults win over session config; explicit
+            # defaults= win over both
+            for key, value in merged.items():
+                orch.defaults.setdefault(key, value)
+            orch.defaults.update(explicit)
+            return orch
+        merged.update(dict(defaults or {}))
+        if all_apps:
+            return SearchOrchestrator.over_all_apps(
+                run_store, resume=resume, session=self, **merged
+            )
+        plan_entries: List[PlanEntry] = []
+        for entry in entries or ():
+            if isinstance(entry, PlanEntry):
+                plan_entries.append(entry)
+            elif isinstance(entry, str):
+                plan_entries.append(PlanEntry(scenario=entry))
+            elif isinstance(entry, Mapping):
+                plan_entries.append(PlanEntry.from_dict(entry))
+            else:
+                raise ConfigError(
+                    f"plan entries must be scenario names, dicts, or "
+                    f"PlanEntry — got {type(entry).__name__}"
+                )
+        if not plan_entries:
+            raise ConfigError("plan has no entries")
+        # fail fast on typo'd scenario names (like the plan-file path)
+        # instead of running every valid sibling first and reporting
+        # the bad entry as 'failed' at the end
+        from repro.search.orchestrator import app_scenarios
+
+        known = app_scenarios()
+        unknown = [
+            e.scenario for e in plan_entries if e.scenario not in known
+        ]
+        if unknown:
+            raise UnknownNameError(
+                f"unknown plan scenarios {unknown} "
+                f"(available: {sorted(known)})"
+            )
+        return SearchOrchestrator(
+            run_store,
+            plan_entries,
+            resume=resume,
+            defaults=merged,
+            session=self,
+        )
+
+    # -- runs ----------------------------------------------------------------
+    def runs(self, store: object = _UNSET) -> RunsView:
+        """List / compare / prune / diff the stored runs."""
+        run_store = _pick(store, self._store)
+        if run_store is None:
+            raise ConfigError(
+                "runs() requires a run store — construct the session "
+                "with store= (or SessionConfig.store_dir)"
+            )
+        from repro.search.store import RunStore
+
+        if not isinstance(run_store, RunStore):
+            run_store = RunStore(run_store)
+        return RunsView(run_store)
+
+    # -- shared-resource telemetry ------------------------------------------
+    def warm_start(
+        self,
+        kernels: Sequence[KernelLike],
+        models: Sequence[Optional[ErrorModel]] = (None,),
+    ) -> int:
+        """Pre-compile estimators into the shared memo (see
+        :func:`repro.core.api.warm_start_estimator_memo`)."""
+        return warm_start_estimator_memo(
+            kernels,
+            models=models,
+            opt_level=self.config.opt_level,
+            minimal_pushes=self.config.minimal_pushes,
+        )
+
+    def estimator_memo_stats(self) -> Dict[str, int]:
+        """Occupancy and hit/miss counters of the shared estimator
+        memo (process-wide; shared with forked worker pools)."""
+        return estimator_memo_stats()
+
+    def cache_stats(self) -> Optional[Dict[str, object]]:
+        """Sweep-cache counters, or ``None`` without a cache."""
+        return (
+            self._cache.cache_stats() if self._cache is not None else None
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """All shared-resource telemetry in one mapping."""
+        from repro.codegen.compile import config_kernel_cache_stats
+
+        out: Dict[str, object] = {
+            "session_id": self.id,
+            "config_fingerprint": self.config.fingerprint(),
+            "estimator_memo": self.estimator_memo_stats(),
+            "config_kernel_cache": dict(config_kernel_cache_stats()),
+        }
+        if self._cache is not None:
+            out["sweep_cache"] = self._cache.cache_stats()
+        if self._store is not None:
+            out["run_store"] = {
+                "root": str(self._store.root),
+                "runs": len(self._store.list_runs()),
+            }
+        return out

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Tuple, Union
 import numpy as np
 
 from repro.sweep.batch import BatchReport
+from repro.util.errors import ConfigError
 
 Aggregator = Callable[[np.ndarray], float]
 AggregatorSpec = Union[str, Tuple[str, float], Aggregator]
@@ -32,7 +33,7 @@ def resolve_aggregator(how: AggregatorSpec) -> Tuple[str, Aggregator]:
     if isinstance(how, tuple):
         kind, q = how
         if kind != "percentile":
-            raise ValueError(f"unknown aggregator tuple {how!r}")
+            raise ConfigError(f"unknown aggregator tuple {how!r}")
         qf = float(q)
         return f"p{qf:g}", lambda a: float(np.percentile(a, qf))
     if how == "max":
@@ -43,11 +44,11 @@ def resolve_aggregator(how: AggregatorSpec) -> Tuple[str, Aggregator]:
         try:
             qf = float(how[1:])
         except ValueError:
-            raise ValueError(f"unknown aggregator {how!r}") from None
+            raise ConfigError(f"unknown aggregator {how!r}") from None
         if not 0.0 <= qf <= 100.0:
-            raise ValueError(f"percentile out of range: {how!r}")
+            raise ConfigError(f"percentile out of range: {how!r}")
         return f"p{qf:g}", lambda a: float(np.percentile(a, qf))
-    raise ValueError(f"unknown aggregator {how!r}")
+    raise ConfigError(f"unknown aggregator {how!r}")
 
 
 @dataclass

@@ -59,6 +59,11 @@ class BatchReport:
     backend: str = "vectorized"
     #: True when the report was served from a sweep cache
     from_cache: bool = False
+    #: session provenance (session/config identity, method, sequence
+    #: number) — stamped by :class:`repro.session.Session`; never
+    #: serialized (cache entries are provenance-free by design, the
+    #: session re-stamps every report it hands out)
+    provenance: Optional[Dict[str, object]] = None
 
     def point(self, i: int) -> ErrorReport:
         """The scalar :class:`ErrorReport` of sample ``i``."""
@@ -92,6 +97,11 @@ class BatchReport:
             },
             backend=self.backend,
             from_cache=self.from_cache,
+            provenance=(
+                dict(self.provenance)
+                if self.provenance is not None
+                else None
+            ),
         )
 
     def to_dict(self) -> Dict[str, object]:

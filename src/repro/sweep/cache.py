@@ -40,6 +40,7 @@ from repro.core.models import ErrorModel
 from repro.ir import nodes as N
 from repro.ir.fingerprint import ir_fingerprint
 from repro.sweep.batch import BatchReport
+from repro.util.errors import InputError
 
 #: pickle protocol pinned for cross-version disk compatibility
 _PICKLE_PROTOCOL = 4
@@ -69,7 +70,7 @@ def _bad_element_index(seq: Sequence[object]) -> int:
 def _sequence_array(a: Sequence[object]) -> np.ndarray:
     """A list/tuple argument as a digestible uniform numeric array.
 
-    :raises TypeError: for ragged nesting, ``None`` elements, or any
+    :raises InputError: (a :class:`TypeError`) for ragged nesting, ``None`` elements, or any
         non-numeric content — naming the offending index instead of
         leaking raw numpy errors (``tobytes`` on an object array) or
         silently coercing.
@@ -80,7 +81,7 @@ def _sequence_array(a: Sequence[object]) -> np.ndarray:
         arr = None  # ragged nesting (numpy >= 1.24 raises directly)
     if arr is None or arr.dtype.kind not in "biuf":
         idx = _bad_element_index(a)
-        raise TypeError(
+        raise InputError(
             f"cannot digest sequence argument: element {idx} "
             f"({type(a[idx]).__name__}: {a[idx]!r}) breaks uniform "
             f"numeric shape/dtype"
@@ -91,7 +92,7 @@ def _sequence_array(a: Sequence[object]) -> np.ndarray:
 def digest_inputs(args: Sequence[object]) -> str:
     """SHA-256 digest of a positional argument tuple.
 
-    :raises TypeError: for undigestible arguments — unsupported types,
+    :raises InputError: (a :class:`TypeError`) for undigestible arguments — unsupported types,
         and list/tuple arguments with ragged nesting, ``None``, or
         non-numeric elements (the offending index is named).
     """
@@ -118,7 +119,7 @@ def digest_inputs(args: Sequence[object]) -> str:
             h.update(repr(arr.shape).encode())
             h.update(arr.tobytes())
         else:
-            raise TypeError(
+            raise InputError(
                 f"cannot digest argument of type {type(a).__name__}"
             )
     return h.hexdigest()

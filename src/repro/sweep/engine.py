@@ -1,17 +1,23 @@
 """Sweep orchestration: samples → batch evaluation → (cached) report.
 
-:func:`sweep_error` is the one-call entry point of the sweep subsystem::
+:func:`run_sweep` is the engine behind
+:meth:`repro.session.Session.sweep`, the one-call entry point of the
+sweep subsystem::
 
-    from repro.sweep import sweep_error, random_sweep
+    import repro
+    from repro.sweep import random_sweep
 
-    report = sweep_error(
+    sess = repro.Session(cache="~/.cache/repro-sweeps")
+    report = sess.sweep(
         kernel,
         samples=random_sweep({"x": (0.1, 10.0)}, n=1000, seed=7),
         fixed={"n": 100},
         model=AdaptModel(),
-        cache="~/.cache/repro-sweeps",
     )
     report.total_error        # (N,) per-point estimates
+
+(:func:`sweep_error` survives as a deprecated free-function wrapper;
+removal in 2.0.)
 
 It reuses compiled estimators across calls (content-addressed memo in
 :mod:`repro.core.api`), consults the result cache before evaluating,
@@ -31,6 +37,7 @@ from repro.core.models import ErrorModel, TaylorModel
 from repro.ir import nodes as N
 from repro.sweep.batch import BatchReport
 from repro.sweep.cache import SweepCache, make_key
+from repro.util.deprecation import warn_legacy
 from repro.util.errors import ExecutionError
 
 CacheLike = Union[None, str, Path, SweepCache]
@@ -78,7 +85,7 @@ def build_args(
     return args
 
 
-def sweep_error(
+def run_sweep(
     k: KernelLike,
     samples: Mapping[str, Sequence[float]],
     fixed: Optional[Mapping[str, object]] = None,
@@ -87,16 +94,12 @@ def sweep_error(
     minimal_pushes: bool = True,
     cache: CacheLike = None,
 ) -> BatchReport:
-    """Estimate FP error over a batch of input points.
+    """The sweep engine proper — see :meth:`repro.session.Session.sweep`.
 
-    :param k: kernel (or IR function) to analyze.
-    :param samples: ``{param: length-N array}`` — swept parameters (see
-        :mod:`repro.sweep.samplers`).
-    :param fixed: lane-uniform values for the remaining parameters.
-    :param model: error model (default: Taylor, Eq. 1).
-    :param cache: ``None``, a directory path, or a :class:`SweepCache` —
-        repeated estimates (same kernel content, model, inputs) are
-        served from it without re-running the adjoint.
+    This is the non-deprecated implementation shared by the session
+    facade and the internal callers (robust tuning, candidate
+    evaluation, contribution ranking); :func:`sweep_error` is the
+    legacy wrapper around it.
     """
     model = model or TaylorModel()
     est = cached_error_estimator(
@@ -117,3 +120,37 @@ def sweep_error(
     if store is not None:
         store.put(key, report)
     return report
+
+
+def sweep_error(
+    k: KernelLike,
+    samples: Mapping[str, Sequence[float]],
+    fixed: Optional[Mapping[str, object]] = None,
+    model: Optional[ErrorModel] = None,
+    opt_level: int = 2,
+    minimal_pushes: bool = True,
+    cache: CacheLike = None,
+) -> BatchReport:
+    """Estimate FP error over a batch of input points.
+
+    .. deprecated:: 1.1
+        Legacy wrapper, removed in 2.0 — use
+        :meth:`repro.session.Session.sweep`, which shares one result
+        cache and estimator memo across the whole workflow.
+
+    :param k: kernel (or IR function) to analyze.
+    :param samples: ``{param: length-N array}`` — swept parameters (see
+        :mod:`repro.sweep.samplers`).
+    :param fixed: lane-uniform values for the remaining parameters.
+    :param model: error model (default: Taylor, Eq. 1).
+    :param cache: ``None``, a directory path, or a :class:`SweepCache` —
+        repeated estimates (same kernel content, model, inputs) are
+        served from it without re-running the adjoint.
+    """
+    warn_legacy("repro.sweep_error()", "Session.sweep()")
+    from repro.session import Session
+
+    return Session(cache=cache).sweep(
+        k, samples, fixed=fixed, model=model,
+        opt_level=opt_level, minimal_pushes=minimal_pushes,
+    )

@@ -20,6 +20,8 @@ from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.util.errors import ConfigError
+
 Axis = Union[Tuple[float, float, int], Tuple[float, float, int, str], Sequence[float]]
 Sweep = Dict[str, np.ndarray]
 
@@ -31,22 +33,22 @@ def _axis_points(name: str, spec: Axis) -> np.ndarray:
         lo, hi, count = float(spec[0]), float(spec[1]), int(spec[2])
         spacing = spec[3] if len(spec) == 4 else "linear"
         if count < 1:
-            raise ValueError(f"axis {name!r}: count must be >= 1")
+            raise ConfigError(f"axis {name!r}: count must be >= 1")
         if spacing == "linear":
             return np.linspace(lo, hi, count)
         if spacing == "log":
             if lo <= 0 or hi <= 0:
-                raise ValueError(
+                raise ConfigError(
                     f"axis {name!r}: log spacing needs positive bounds"
                 )
             return np.geomspace(lo, hi, count)
-        raise ValueError(
+        raise ConfigError(
             f"axis {name!r}: unknown spacing {spacing!r} "
             "(expected 'linear' or 'log')"
         )
     arr = np.asarray(spec, dtype=np.float64)
     if arr.ndim != 1 or arr.size == 0:
-        raise ValueError(f"axis {name!r}: expected a non-empty 1-D array")
+        raise ConfigError(f"axis {name!r}: expected a non-empty 1-D array")
     return arr
 
 
@@ -62,7 +64,7 @@ def grid_sweep(axes: Mapping[str, Axis]) -> Sweep:
         grid_sweep({"lo": (0.0, 1.0, 5), "hi": (1.0, 3.0, 7)})  # N = 35
     """
     if not axes:
-        raise ValueError("grid_sweep: at least one axis required")
+        raise ConfigError("grid_sweep: at least one axis required")
     names = list(axes)
     points = [_axis_points(n, axes[n]) for n in names]
     mesh = np.meshgrid(*points, indexing="ij")
@@ -83,19 +85,19 @@ def random_sweep(
     :param log: parameter names sampled log-uniformly (positive bounds).
     """
     if n < 1:
-        raise ValueError("random_sweep: n must be >= 1")
+        raise ConfigError("random_sweep: n must be >= 1")
     rng = np.random.default_rng(seed)
     logset = set(log)
     unknown = logset - set(bounds)
     if unknown:
-        raise ValueError(
+        raise ConfigError(
             f"random_sweep: log parameters not in bounds: {sorted(unknown)}"
         )
     out: Sweep = {}
     for name, (lo, hi) in bounds.items():
         if name in logset:
             if lo <= 0 or hi <= 0:
-                raise ValueError(
+                raise ConfigError(
                     f"random_sweep: log-uniform {name!r} needs positive "
                     "bounds"
                 )
@@ -110,19 +112,19 @@ def random_sweep(
 def explicit_sweep(arrays: Mapping[str, Sequence[float]]) -> Sweep:
     """Normalize user-supplied arrays into a sweep (equal-length 1-D)."""
     if not arrays:
-        raise ValueError("explicit_sweep: at least one array required")
+        raise ConfigError("explicit_sweep: at least one array required")
     out: Sweep = {}
     n = None
     for name, a in arrays.items():
         arr = np.asarray(a)
         if arr.ndim != 1 or arr.size == 0:
-            raise ValueError(
+            raise ConfigError(
                 f"explicit_sweep: {name!r} must be a non-empty 1-D array"
             )
         if n is None:
             n = arr.size
         elif arr.size != n:
-            raise ValueError(
+            raise ConfigError(
                 f"explicit_sweep: length mismatch ({n} vs {arr.size} "
                 f"for {name!r})"
             )

@@ -30,6 +30,7 @@ from repro.frontend.registry import Kernel
 from repro.ir import nodes as N
 from repro.ir.types import DType
 from repro.tuning.config import PrecisionConfig
+from repro.util.deprecation import warn_legacy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.batch import BatchReport
@@ -53,6 +54,11 @@ class TuningResult:
     threshold: float = 0.0
     #: the per-point sweep results behind a ``robust_tune`` decision
     sweep: Optional["BatchReport"] = field(repr=False, default=None)
+    #: session provenance (session/config identity, method, sequence
+    #: number) — stamped by :class:`repro.session.Session`
+    provenance: Optional[Dict[str, object]] = field(
+        repr=False, default=None
+    )
 
     @property
     def demoted(self) -> List[str]:
@@ -88,6 +94,39 @@ def greedy_select(
     return ranking, chosen, acc
 
 
+def run_greedy_tune(
+    k: Union[Kernel, N.Function],
+    args: Sequence[object],
+    threshold: float,
+    model: Optional[ErrorModel] = None,
+    candidates: Optional[Sequence[str]] = None,
+    demote_to: DType = DType.F32,
+    opt_level: int = 2,
+    minimal_pushes: bool = True,
+) -> TuningResult:
+    """The single-point greedy tuner proper — see
+    :meth:`repro.session.Session.tune`.
+
+    Non-deprecated implementation shared by the session facade;
+    :func:`greedy_tune` is the legacy wrapper around it.
+    """
+    est = cached_error_estimator(
+        k, model=model or AdaptModel(demote_to),
+        opt_level=opt_level, minimal_pushes=minimal_pushes,
+    )
+    report = est.execute(*args)
+    ranking, chosen, acc = greedy_select(
+        report.per_variable, threshold, candidates
+    )
+    return TuningResult(
+        config=PrecisionConfig.demote(chosen, to=demote_to),
+        estimated_error=acc,
+        report=report,
+        ranking=ranking,
+        threshold=threshold,
+    )
+
+
 def greedy_tune(
     k: Union[Kernel, N.Function],
     args: Sequence[object],
@@ -97,6 +136,11 @@ def greedy_tune(
     demote_to: DType = DType.F32,
 ) -> TuningResult:
     """Find a mixed-precision configuration under an error threshold.
+
+    .. deprecated:: 1.1
+        Legacy wrapper, removed in 2.0 — use
+        :meth:`repro.session.Session.tune` (``session.tune(k,
+        threshold, args=args)``).
 
     :param k: the kernel to tune.
     :param args: representative inputs (the paper's Discussion notes the
@@ -110,15 +154,10 @@ def greedy_tune(
         variable with an error register).
     :param demote_to: target precision (binary32 by default).
     """
-    est = cached_error_estimator(k, model=model or AdaptModel(demote_to))
-    report = est.execute(*args)
-    ranking, chosen, acc = greedy_select(
-        report.per_variable, threshold, candidates
-    )
-    return TuningResult(
-        config=PrecisionConfig.demote(chosen, to=demote_to),
-        estimated_error=acc,
-        report=report,
-        ranking=ranking,
-        threshold=threshold,
+    warn_legacy("repro.greedy_tune()", "Session.tune(k, threshold, args=...)")
+    from repro.session import Session
+
+    return Session().tune(
+        k, threshold, args=args, robust=False, model=model,
+        candidates=candidates, demote_to=demote_to,
     )

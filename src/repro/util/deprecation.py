@@ -1,0 +1,37 @@
+"""Deprecation plumbing for the legacy free-function entry points.
+
+The PR-5 API redesign routes the whole workflow through
+:class:`repro.session.Session`; the historical free functions
+(``estimate_error``, ``sweep_error``, ``greedy_tune``, ``robust_tune``,
+``repro.search.search``) and the ``python -m repro.search`` CLI remain
+as thin wrappers over a default session, but warn on use and are
+scheduled for removal in repro 2.0.
+
+The warning fires **once per callsite** (the default Python
+``__warningregistry__`` behaviour: one entry per message/category/
+module/line), so a tuning loop calling a wrapper a thousand times warns
+a single time.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: the release in which the deprecated wrappers disappear
+REMOVAL_VERSION = "2.0"
+
+
+def warn_legacy(name: str, replacement: str, stacklevel: int = 3) -> None:
+    """Warn that ``name`` is a legacy wrapper; point at ``replacement``.
+
+    ``stacklevel=3`` attributes the warning to the *caller of the
+    wrapper* (helper -> wrapper -> callsite), which is what makes the
+    once-per-callsite dedup meaningful.
+    """
+    warnings.warn(
+        f"{name} is deprecated and will be removed in repro "
+        f"{REMOVAL_VERSION}; use {replacement} instead (see "
+        f"repro.session.Session)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

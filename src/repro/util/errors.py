@@ -3,6 +3,32 @@
 Every error raised deliberately by this library derives from
 :class:`ReproError`, so callers can ``except ReproError`` to distinguish
 library-level failures from genuine bugs.
+
+User-facing validation errors additionally derive from the builtin
+exception they historically were, so existing ``except ValueError`` /
+``except TypeError`` / ``except KeyError`` callers keep working:
+
+=========================  ===================  =========================
+class                      also a               raised for
+=========================  ===================  =========================
+:class:`InputError`        ``TypeError``        undigestible/malformed
+                                                user data (``digest_inputs``,
+                                                validation-point shapes)
+:class:`ConfigError`       ``ValueError``       invalid options or
+                                                configuration (search knobs,
+                                                plan validation, aggregator
+                                                and sampler specs, prune
+                                                criteria, ``SessionConfig``)
+:class:`UnknownNameError`  ``ConfigError`` +    unknown registered names
+                           ``KeyError``         (strategies, app scenarios,
+                                                stored run ids)
+:class:`StoreError`        ``RuntimeError``     run-store misuse (restore
+                                                onto a warm evaluator,
+                                                diffing incomplete runs)
+:class:`InvalidRecordError` ``StoreError`` +    structurally invalid
+                           ``ValueError``       stored records (history
+                                                not a contiguous prefix)
+=========================  ===================  =========================
 """
 
 from __future__ import annotations
@@ -39,6 +65,57 @@ class ValidationError(ReproError):
 
 class ExecutionError(ReproError):
     """Executing generated or interpreted code failed."""
+
+
+class InputError(ReproError, TypeError):
+    """User-supplied data could not be interpreted.
+
+    Raised for undigestible argument tuples (ragged nesting, ``None``
+    or non-numeric elements, unsupported types) and malformed
+    validation-point sequences.  Also a :class:`TypeError` for
+    backwards compatibility.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """An option or configuration value is invalid.
+
+    Covers search/tune knobs (error metrics, aggregator and sampler
+    specs), plan validation, and :class:`repro.session.SessionConfig`
+    construction.  Also a :class:`ValueError` for backwards
+    compatibility.
+    """
+
+
+class UnknownNameError(ConfigError, KeyError):
+    """A name was not found in a registry.
+
+    Unknown search strategies, app scenarios, or stored run ids.  Also
+    a :class:`KeyError` (and, via :class:`ConfigError`, a
+    :class:`ValueError`) for backwards compatibility.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep prose
+        return Exception.__str__(self)
+
+
+class StoreError(ReproError, RuntimeError):
+    """A persistent run store was misused or is inconsistent.
+
+    Restoring history onto a non-fresh evaluator, diffing runs that
+    never completed.  (Invalid *option* values — a prune call without
+    a criterion, a negative ``max_runs`` — are :class:`ConfigError`.)
+    Also a :class:`RuntimeError` for backwards compatibility.
+    """
+
+
+class InvalidRecordError(StoreError, ValueError):
+    """Stored evaluation records are structurally invalid.
+
+    E.g. a restored history that is not a contiguous prefix of the
+    deterministic evaluation order.  Also a :class:`ValueError` (this
+    site historically raised one) on top of :class:`StoreError`.
+    """
 
 
 class AnalysisOutOfMemory(ReproError):
