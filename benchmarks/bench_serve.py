@@ -1,0 +1,262 @@
+"""Job-server benchmark: cold vs warm latency over real HTTP.
+
+Quantifies what one shared :class:`repro.session.Session` buys a
+stream of service requests:
+
+* **cold** — first search submission on a fresh server: compiles,
+  evaluates, checkpoints;
+* **warm dedupe** — the identical spec resubmitted to the same server:
+  answered by the content-hash dedup, no execution at all;
+* **warm restart** — a *new* server life over the same store: the
+  journal rehydrates the finished job (dedupe across restarts), and a
+  job with the same search identity but a distinct job id resumes
+  from the run store with **zero** candidate evaluations;
+* **threshold-varied** — submissions that differ only in threshold:
+  new runs, but the estimator memo and config-kernel cache absorb the
+  compile cost (hit counters read back from ``/v1/metrics``).
+
+Run as a script to (re)generate ``BENCH_serve.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Under pytest (``pytest benchmarks/``) a scaled-down version of the
+same flow runs as a test.  Exit code asserts the dedupe answered
+without execution, the warm restart recomputed nothing, and the
+caches took hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+SEARCH_SPEC = {
+    "kind": "search",
+    "kernel": "kmeans",
+    "budget": 12,
+    "strategies": ["greedy", "delta", "anneal"],
+}
+
+
+class Client:
+    def __init__(self, port: int) -> None:
+        self.base = f"http://127.0.0.1:{port}"
+
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        req = urllib.request.Request(
+            self.base + path,
+            data=None if body is None else json.dumps(body).encode(),
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def run_job(self, spec: dict) -> Tuple[float, bool, dict]:
+        """Submit and wait; returns (latency_s, created, result)."""
+        t0 = time.perf_counter()
+        status, payload = self.request("POST", "/v1/jobs", spec)
+        assert status in (200, 201), payload
+        job_id, created = payload["id"], payload["created"]
+        while True:
+            status, payload = self.request(
+                "GET", f"/v1/jobs/{job_id}/result"
+            )
+            if status != 202:
+                break
+            time.sleep(0.02)
+        assert status == 200, payload
+        return time.perf_counter() - t0, created, payload["result"]
+
+
+def spawn_server(store: Path) -> Tuple[subprocess.Popen, Client]:
+    env = dict(os.environ, PYTHONPATH=str(_REPO_ROOT / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(store), "--port", "0", "--workers", "2",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on http://[^:]+:(\d+)", banner)
+    if match is None:
+        proc.kill()
+        raise RuntimeError(f"no banner: {banner!r}\n{proc.stderr.read()}")
+    return proc, Client(int(match.group(1)))
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)
+    proc.wait(timeout=60)
+
+
+def run_flow(n_thresholds: int = 3) -> Dict[str, object]:
+    out: Dict[str, object] = {"search_spec": SEARCH_SPEC}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "runs"
+
+        # life 1: cold, dedupe, threshold sweep
+        proc, client = spawn_server(store)
+        try:
+            cold_s, created, cold = client.run_job(SEARCH_SPEC)
+            assert created and cold["front"]
+            out["cold_s"] = cold_s
+            out["n_evaluated"] = cold["n_evaluated"]
+            out["front_size"] = len(cold["front"])
+
+            dedupe_s, created, deduped = client.run_job(SEARCH_SPEC)
+            assert not created
+            assert deduped["front"] == cold["front"]
+            out["warm_dedupe_s"] = dedupe_s
+            out["dedupe_executed"] = False
+
+            _, metrics_before = client.request("GET", "/v1/metrics")
+            varied = []
+            for i in range(n_thresholds):
+                spec = dict(SEARCH_SPEC, threshold=10.0 ** -(3 + i))
+                lat, created, result = client.run_job(spec)
+                assert created and result["front"]
+                varied.append(lat)
+            _, metrics_after = client.request("GET", "/v1/metrics")
+            memo_b = metrics_before["session"]["estimator_memo"]
+            memo_a = metrics_after["session"]["estimator_memo"]
+            kern_b = metrics_before["session"]["config_kernel_cache"]
+            kern_a = metrics_after["session"]["config_kernel_cache"]
+            out["threshold_varied_s"] = varied
+            out["threshold_varied_memo_hits"] = (
+                memo_a["hits"] - memo_b["hits"]
+            )
+            out["threshold_varied_memo_misses"] = (
+                memo_a["misses"] - memo_b["misses"]
+            )
+            out["threshold_varied_kernel_hits"] = (
+                kern_a["hits"] - kern_b["hits"]
+            )
+            out["threshold_varied_kernel_misses"] = (
+                kern_a["misses"] - kern_b["misses"]
+            )
+            out["jobs_counters_life1"] = metrics_after["jobs"]["counters"]
+        finally:
+            stop_server(proc)
+
+        # life 2: a fresh process over the same store
+        proc, client = spawn_server(store)
+        try:
+            # identical spec: answered by the journal-rehydrated job
+            restart_dedupe_s, created, rehydrated = client.run_job(
+                SEARCH_SPEC
+            )
+            assert not created
+            assert rehydrated["front"] == cold["front"]
+            out["restart_dedupe_s"] = restart_dedupe_s
+
+            # distinct job id (timeout knob), same search identity:
+            # actually executes, resuming everything from the store
+            warm_spec = dict(SEARCH_SPEC, timeout_s=3600.0)
+            warm_s, created, warm = client.run_job(warm_spec)
+            assert created
+            assert warm["resumed"]
+            assert warm["n_restored"] == warm["n_evaluated"]
+            assert warm["stats"]["run_store"]["computed"] == 0
+            assert warm["front"] == cold["front"]
+            out["warm_restart_run_s"] = warm_s
+            out["warm_restart_recomputed"] = warm["stats"]["run_store"][
+                "computed"
+            ]
+        finally:
+            stop_server(proc)
+    out["cold_over_warm_dedupe"] = out["cold_s"] / max(
+        out["warm_dedupe_s"], 1e-9
+    )
+    out["cold_over_warm_restart"] = out["cold_s"] / max(
+        out["warm_restart_run_s"], 1e-9
+    )
+    return out
+
+
+def build_report(n_thresholds: int) -> Dict[str, object]:
+    return {
+        "benchmark": "serve",
+        "description": (
+            "HTTP job-server latency: cold search vs content-hash "
+            "dedupe vs restart-resume from the run store (zero "
+            "candidates recomputed), plus estimator-memo/config-"
+            "kernel-cache hit counts across threshold-varied "
+            "submissions — all over one shared Session"
+        ),
+        "cpu_count": os.cpu_count(),
+        "results": run_flow(n_thresholds),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--thresholds", type=int, default=3,
+        help="threshold-varied submissions (default 3)",
+    )
+    ap.add_argument(
+        "--out", type=Path, default=_REPO_ROOT / "BENCH_serve.json"
+    )
+    args = ap.parse_args(argv)
+    report = build_report(args.thresholds)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    r = report["results"]
+    print(
+        f"cold {r['cold_s']:6.2f}s  "
+        f"dedupe {r['warm_dedupe_s']*1e3:6.1f}ms "
+        f"({r['cold_over_warm_dedupe']:.0f}x)  "
+        f"restart-dedupe {r['restart_dedupe_s']*1e3:6.1f}ms  "
+        f"warm-run {r['warm_restart_run_s']*1e3:6.1f}ms "
+        f"({r['cold_over_warm_restart']:.0f}x, recomputed="
+        f"{r['warm_restart_recomputed']})"
+    )
+    print(
+        f"threshold-varied: memo hits +{r['threshold_varied_memo_hits']} "
+        f"misses +{r['threshold_varied_memo_misses']}, "
+        f"kernel cache hits +{r['threshold_varied_kernel_hits']} "
+        f"misses +{r['threshold_varied_kernel_misses']}"
+    )
+    print(f"wrote {args.out}")
+    ok = (
+        r["warm_restart_recomputed"] == 0
+        and not r["dedupe_executed"]
+        and r["threshold_varied_memo_hits"] > 0
+        and r["threshold_varied_kernel_hits"] > 0
+    )
+    return 0 if ok else 1
+
+
+# -- pytest smoke version -----------------------------------------------------
+
+
+def test_serve_bench_smoke():
+    r = run_flow(n_thresholds=1)
+    assert r["warm_restart_recomputed"] == 0
+    assert r["front_size"] > 0
+    assert r["threshold_varied_memo_hits"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,241 @@
+"""End-to-end crash/recovery smoke for ``python -m repro serve``.
+
+Exercises the service's survival story over real HTTP, the way CI
+wants it told:
+
+1. compute an uninterrupted **reference** search in-process;
+2. start a server over a fresh store, submit a **tune** job and wait
+   for it, then submit the matching **search** job with
+   ``REPRO_SEARCH_CRASH_AFTER`` armed so the whole process SIGKILLs
+   itself after 4 computed evaluations (post-checkpoint);
+3. verify the store holds a strict prefix of the reference run;
+4. restart the server over the same store: the job journal requeues
+   the interrupted search, which resumes from the checkpoint; the
+   finished tune job is rehydrated without re-running;
+5. assert the resumed Pareto front — and every stored evaluation
+   record — is **bit-identical** to the reference, then SIGTERM and
+   expect a clean drain.
+
+Run as a script (exit 0 = pass)::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+or under pytest, which wraps the same flow in a test function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+SEARCH_SPEC = {
+    "kind": "search",
+    "kernel": "kmeans",
+    "budget": 12,
+    "strategies": ["greedy", "delta", "anneal"],
+}
+TUNE_SPEC = {"kind": "tune", "kernel": "kmeans", "threshold": 1e-6}
+CRASH_AFTER = 4
+
+
+class Client:
+    def __init__(self, port: int) -> None:
+        self.base = f"http://127.0.0.1:{port}"
+
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        req = urllib.request.Request(
+            self.base + path,
+            data=None if body is None else json.dumps(body).encode(),
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def wait_result(
+        self, job_id: str, timeout: float = 180.0
+    ) -> Tuple[int, dict]:
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload = self.request(
+                "GET", f"/v1/jobs/{job_id}/result"
+            )
+            if status != 202:
+                return status, payload
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still pending")
+            time.sleep(0.05)
+
+
+def spawn_server(
+    store: Path, crash_after: Optional[int] = None
+) -> Tuple[subprocess.Popen, Client]:
+    env = dict(os.environ, PYTHONPATH=str(_REPO_ROOT / "src"))
+    env.pop("REPRO_SEARCH_CRASH_AFTER", None)
+    if crash_after is not None:
+        env["REPRO_SEARCH_CRASH_AFTER"] = str(crash_after)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(store), "--port", "0", "--workers", "1",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on http://[^:]+:(\d+)", banner)
+    if match is None:
+        proc.kill()
+        raise RuntimeError(f"no banner: {banner!r}\n{proc.stderr.read()}")
+    return proc, Client(int(match.group(1)))
+
+
+def run_smoke(verbose: bool = True) -> None:
+    from repro import RunStore, Session
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(f"serve-smoke: {msg}", flush=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+
+        # uninterrupted reference, computed in-process
+        ref_sess = Session(store=tmp_path / "ref-runs")
+        reference = ref_sess.search(
+            "kmeans",
+            budget=SEARCH_SPEC["budget"],
+            strategies=tuple(SEARCH_SPEC["strategies"]),
+            seed=0,
+        )
+        ref_front = reference.to_dict()["front"]
+        assert reference.n_evaluated > CRASH_AFTER
+        say(
+            f"reference run {reference.run_id[:12]}: "
+            f"{reference.n_evaluated} evaluations, "
+            f"front size {len(ref_front)}"
+        )
+
+        # life 1: tune completes, search SIGKILLs the server mid-run
+        store = tmp_path / "runs"
+        proc, client = spawn_server(store, crash_after=CRASH_AFTER)
+        status, tune = client.request("POST", "/v1/jobs", TUNE_SPEC)
+        assert status == 201, tune
+        status, tune_done = client.wait_result(tune["id"])
+        assert status == 200, tune_done
+        assert tune_done["result"]["configuration"]
+        say(f"tune job {tune['id']} completed")
+
+        status, search = client.request("POST", "/v1/jobs", SEARCH_SPEC)
+        assert status == 201, search
+        job_id, run_id = search["id"], search["run_id"]
+        assert run_id == reference.run_id, (run_id, reference.run_id)
+        exit_code = proc.wait(timeout=180)
+        assert exit_code == -signal.SIGKILL, exit_code
+        say(
+            f"server SIGKILLed itself mid-search "
+            f"(crash_after={CRASH_AFTER})"
+        )
+
+        killed = RunStore(store)
+        n_partial = len(killed.load_records(run_id))
+        assert 0 < n_partial < len(reference.evaluations), n_partial
+        manifest = killed.load_manifest(run_id)
+        assert manifest is not None and not manifest["completed"]
+        say(
+            f"store holds a strict prefix: {n_partial}/"
+            f"{len(reference.evaluations)} records, incomplete manifest"
+        )
+
+        # life 2: journal recovery requeues + resumes; tune rehydrates
+        proc2, client2 = spawn_server(store)
+        try:
+            status, payload = client2.request(
+                "GET", f"/v1/jobs/{job_id}"
+            )
+            assert status == 200 and payload["recovered"], payload
+            status, payload = client2.wait_result(job_id)
+            assert status == 200, payload
+            result = payload["result"]
+            assert result["resumed"], result
+            assert result["n_restored"] >= n_partial
+            assert result["front"] == ref_front
+            say(
+                f"recovered search resumed: {result['n_restored']} "
+                f"restored, front matches reference"
+            )
+
+            status, payload = client2.request(
+                "GET", f"/v1/jobs/{tune['id']}"
+            )
+            assert status == 200, payload
+            assert payload["state"] == "completed"
+            status, payload = client2.request(
+                "GET", f"/v1/jobs/{tune['id']}/result"
+            )
+            assert status == 200, payload
+            assert payload["result"] == tune_done["result"]
+            say("finished tune job rehydrated without re-running")
+
+            status, payload = client2.request(
+                "POST", "/v1/jobs", SEARCH_SPEC
+            )
+            assert status == 200 and not payload["created"], payload
+            status, metrics = client2.request("GET", "/v1/metrics")
+            assert metrics["jobs"]["counters"]["recovered"] >= 1
+            assert metrics["jobs"]["counters"]["deduped"] >= 1
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+        assert proc2.wait(timeout=60) == 0
+        say("SIGTERM drained cleanly")
+
+        # the resumed run is bit-identical to the reference
+        assert len(killed.load_records(run_id)) == len(
+            reference.evaluations
+        )
+        ref_store = RunStore(tmp_path / "ref-runs")
+        assert killed.load_records(run_id) == ref_store.load_records(
+            run_id
+        )
+        say("stored records are bit-identical to the reference run")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress lines",
+    )
+    args = ap.parse_args(argv)
+    run_smoke(verbose=not args.quiet)
+    print("serve-smoke: OK", flush=True)
+    return 0
+
+
+# -- pytest smoke version -----------------------------------------------------
+
+
+def test_serve_crash_recovery_smoke():
+    run_smoke(verbose=False)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,9 @@ One :class:`~repro.session.Session` owns the shared resources
 (estimator memo, sweep cache, run store, default models) and exposes
 the whole workflow — ``estimate`` / ``sweep`` / ``tune`` / ``search`` /
 ``plan`` / ``runs`` — as methods; ``python -m repro`` is the matching
-CLI.  The historical free functions (``estimate_error``,
+CLI, and ``python -m repro serve`` exposes the same workflow as a
+long-lived HTTP/JSON job service over one shared session
+(:mod:`repro.serve`).  The historical free functions (``estimate_error``,
 ``sweep_error``, ``greedy_tune``, ``robust_tune``,
 ``repro.search.search``) remain as deprecated wrappers over a default
 session and disappear in 2.0.
@@ -82,7 +84,7 @@ from repro.util.errors import (  # noqa: E402
     UnknownNameError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "kernel",

@@ -12,6 +12,7 @@ tune     greedy / distribution-robust mixed-precision tuning
 search   cost-aware Pareto precision search (durable with --store)
 plan     multi-scenario search plans through the orchestrator
 runs     run-store management: list / compare / prune / diff
+serve    long-lived HTTP/JSON job server over one shared session
 ======== ====================================================== =
 
 Examples::
@@ -23,6 +24,7 @@ Examples::
     python -m repro plan --all --store runs/ --resume
     python -m repro runs --store runs/ --compare
     python -m repro runs --store runs/ --prune --incomplete
+    python -m repro serve --store runs/ --port 8321 --workers 2
 
 ``python -m repro.search`` remains as a deprecated alias of the
 ``search`` subcommand (removal in 2.0).
@@ -440,6 +442,33 @@ def cmd_runs(args) -> int:
     return 0
 
 
+# -- serve --------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import run_server
+    from repro.session import Session, SessionConfig
+
+    config = SessionConfig(
+        seed=args.seed,
+        strategies=tuple(s for s in args.strategies.split(",") if s)
+        or SessionConfig().strategies,
+    )
+    session = Session(config, cache=args.cache, store=args.store)
+    run_server(
+        session,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_budget=args.max_budget,
+        default_timeout_s=args.timeout,
+        resume=args.resume,
+        drain_timeout_s=args.drain_timeout,
+    )
+    return 0
+
+
 # -- parser -------------------------------------------------------------------
 
 
@@ -474,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
             "input sweeps, mixed-precision tuning, Pareto precision "
             "search, and run management — one session-backed CLI"
         ),
+    )
+    from repro.search.store import library_version
+
+    ap.add_argument(
+        "--version", action="version",
+        version=f"repro {library_version()}",
     )
     sub = ap.add_subparsers(dest="command", metavar="command")
 
@@ -654,6 +689,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--json", type=Path, default=None)
     sp.set_defaults(func=cmd_runs, parser=sp)
+
+    # serve
+    sp = sub.add_parser(
+        "serve",
+        help="long-lived HTTP/JSON job server over one shared session",
+    )
+    sp.add_argument(
+        "--store", required=True,
+        help="run-store directory (anchors durable runs and the job "
+             "journal — required: a server must survive restarts)",
+    )
+    sp.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    sp.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0: pick a free port, printed on start)",
+    )
+    sp.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job executions (default 2)",
+    )
+    sp.add_argument(
+        "--max-queue", type=int, default=16,
+        help="pending jobs accepted before 429 backpressure "
+             "(default 16)",
+    )
+    sp.add_argument(
+        "--max-budget", type=int, default=None,
+        help="server-wide cap on a search job's evaluation budget",
+    )
+    sp.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-job wall-clock deadline in seconds",
+    )
+    sp.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        default=True,
+        help="do not requeue unfinished jobs from a previous server "
+             "life",
+    )
+    sp.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight jobs on SIGTERM "
+             "(default 30)",
+    )
+    sp.add_argument(
+        "--cache", default=None,
+        help="sweep result cache directory (content-addressed)",
+    )
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument(
+        "--strategies", default="",
+        help="session default strategy line-up (comma-separated)",
+    )
+    sp.set_defaults(func=cmd_serve, parser=sp)
 
     return ap
 

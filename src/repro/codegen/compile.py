@@ -9,6 +9,7 @@ exit to preserve the IR's by-reference array semantics.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -924,6 +925,10 @@ class ConfigLaneKernel:
 _CONFIG_KERNEL_MEMO: "OrderedDict[tuple, ConfigLaneKernel]" = OrderedDict()
 _CONFIG_KERNEL_MEMO_MAX = 32
 _CONFIG_KERNEL_COUNTERS = {"hits": 0, "misses": 0, "unvectorizable": 0}
+#: guards the memo and its counters against concurrent server worker
+#: threads (repro.serve); held across a miss's codegen+exec so one
+#: kernel is built per content key, never one per racing thread
+_CONFIG_KERNEL_LOCK = threading.RLock()
 
 
 def config_lane_kernel(
@@ -948,58 +953,61 @@ def config_lane_kernel(
     """
     from repro.codegen.npgen import UnvectorizableError
 
-    key = None
-    if use_cache and extra_bindings is None:
-        key = (
-            ir_fingerprint(fn),
-            frozenset(batched),
-            counting,
-            allow_arrays,
-            frozenset(approx or ()),
+    with _CONFIG_KERNEL_LOCK:
+        key = None
+        if use_cache and extra_bindings is None:
+            key = (
+                ir_fingerprint(fn),
+                frozenset(batched),
+                counting,
+                allow_arrays,
+                frozenset(approx or ()),
+            )
+            hit = _CONFIG_KERNEL_MEMO.get(key)
+            if hit is not None:
+                _CONFIG_KERNEL_COUNTERS["hits"] += 1
+                _CONFIG_KERNEL_MEMO.move_to_end(key)
+                return hit
+        _CONFIG_KERNEL_COUNTERS["misses"] += 1
+        try:
+            program = generate_config_lane_source(
+                fn,
+                batched=set(batched),
+                counting=counting,
+                allow_arrays=allow_arrays,
+            )
+        except UnvectorizableError:
+            _CONFIG_KERNEL_COUNTERS["unvectorizable"] += 1
+            raise
+        g = runtime.config_lane_bindings(approx=approx)
+        if extra_bindings:
+            g.update(extra_bindings)
+        code = compile(
+            program.source, filename=f"<repro-config:{fn.name}>", mode="exec"
         )
-        hit = _CONFIG_KERNEL_MEMO.get(key)
-        if hit is not None:
-            _CONFIG_KERNEL_COUNTERS["hits"] += 1
-            _CONFIG_KERNEL_MEMO.move_to_end(key)
-            return hit
-    _CONFIG_KERNEL_COUNTERS["misses"] += 1
-    try:
-        program = generate_config_lane_source(
-            fn,
-            batched=set(batched),
-            counting=counting,
-            allow_arrays=allow_arrays,
-        )
-    except UnvectorizableError:
-        _CONFIG_KERNEL_COUNTERS["unvectorizable"] += 1
-        raise
-    g = runtime.config_lane_bindings(approx=approx)
-    if extra_bindings:
-        g.update(extra_bindings)
-    code = compile(
-        program.source, filename=f"<repro-config:{fn.name}>", mode="exec"
-    )
-    ns: Dict[str, object] = {}
-    exec(code, g, ns)  # noqa: S102 - compiling our own generated source
-    kernel = ConfigLaneKernel(program, ns[fn.name])  # type: ignore[arg-type]
-    if key is not None:
-        _CONFIG_KERNEL_MEMO[key] = kernel
-        while len(_CONFIG_KERNEL_MEMO) > _CONFIG_KERNEL_MEMO_MAX:
-            _CONFIG_KERNEL_MEMO.popitem(last=False)
-    return kernel
+        ns: Dict[str, object] = {}
+        exec(code, g, ns)  # noqa: S102 - compiling our own generated source
+        kernel = ConfigLaneKernel(program, ns[fn.name])  # type: ignore[arg-type]
+        if key is not None:
+            _CONFIG_KERNEL_MEMO[key] = kernel
+            while len(_CONFIG_KERNEL_MEMO) > _CONFIG_KERNEL_MEMO_MAX:
+                _CONFIG_KERNEL_MEMO.popitem(last=False)
+        return kernel
 
 
 def config_kernel_cache_stats() -> Dict[str, int]:
     """Occupancy and hit/miss counters of the config-kernel memo."""
-    return {
-        "entries": len(_CONFIG_KERNEL_MEMO),
-        "capacity": _CONFIG_KERNEL_MEMO_MAX,
-        **_CONFIG_KERNEL_COUNTERS,
-    }
+    with _CONFIG_KERNEL_LOCK:
+        return {
+            "entries": len(_CONFIG_KERNEL_MEMO),
+            "capacity": _CONFIG_KERNEL_MEMO_MAX,
+            **_CONFIG_KERNEL_COUNTERS,
+        }
 
 
 def clear_config_kernel_cache() -> None:
     """Drop all memoized config-lane kernels (test isolation helper)."""
-    _CONFIG_KERNEL_MEMO.clear()
-    for key in _CONFIG_KERNEL_COUNTERS:
-        _CONFIG_KERNEL_COUNTERS[key] = 0
+    with _CONFIG_KERNEL_LOCK:
+        _CONFIG_KERNEL_MEMO.clear()
+        for key in _CONFIG_KERNEL_COUNTERS:
+            _CONFIG_KERNEL_COUNTERS[key] = 0

@@ -10,6 +10,7 @@ friendly calling convention.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -339,6 +340,12 @@ _ESTIMATOR_MEMO_MAX = 64
 #: process-cumulative hit/miss counters (misses = estimators compiled
 #: through the memo; uncacheable builds count as misses too)
 _MEMO_COUNTERS = {"hits": 0, "misses": 0}
+#: guards the memo and its counters: long-lived servers (repro.serve)
+#: share one process-wide memo across concurrent worker threads, and
+#: an unguarded read-modify-write would corrupt occupancy/hit counts.
+#: Held across a miss's compile too, so concurrent requests for the
+#: same kernel/model pair build one estimator, not one per thread.
+_MEMO_LOCK = threading.RLock()
 
 
 def _memo_key(
@@ -371,26 +378,28 @@ def cached_error_estimator(
     and tracked-sensitivity estimators are never memoized.
     """
     if (model is not None and not model.cacheable) or track:
-        _MEMO_COUNTERS["misses"] += 1
+        with _MEMO_LOCK:
+            _MEMO_COUNTERS["misses"] += 1
         return ErrorEstimator(
             k, model=model, track=track, opt_level=opt_level,
             minimal_pushes=minimal_pushes,
         )
     key = _memo_key(k, model, opt_level, minimal_pushes)
-    est = _ESTIMATOR_MEMO.get(key)
-    if est is None:
-        _MEMO_COUNTERS["misses"] += 1
-        est = ErrorEstimator(
-            k, model=model, opt_level=opt_level,
-            minimal_pushes=minimal_pushes,
-        )
-        _ESTIMATOR_MEMO[key] = est
-        while len(_ESTIMATOR_MEMO) > _ESTIMATOR_MEMO_MAX:
-            _ESTIMATOR_MEMO.popitem(last=False)
-    else:
-        _MEMO_COUNTERS["hits"] += 1
-        _ESTIMATOR_MEMO.move_to_end(key)
-    return est
+    with _MEMO_LOCK:
+        est = _ESTIMATOR_MEMO.get(key)
+        if est is None:
+            _MEMO_COUNTERS["misses"] += 1
+            est = ErrorEstimator(
+                k, model=model, opt_level=opt_level,
+                minimal_pushes=minimal_pushes,
+            )
+            _ESTIMATOR_MEMO[key] = est
+            while len(_ESTIMATOR_MEMO) > _ESTIMATOR_MEMO_MAX:
+                _ESTIMATOR_MEMO.popitem(last=False)
+        else:
+            _MEMO_COUNTERS["hits"] += 1
+            _ESTIMATOR_MEMO.move_to_end(key)
+        return est
 
 
 def warm_start_estimator_memo(
@@ -417,12 +426,13 @@ def warm_start_estimator_memo(
             if model is not None and not model.cacheable:
                 continue
             key = _memo_key(k, model, opt_level, minimal_pushes)
-            if key in _ESTIMATOR_MEMO:
-                continue
-            cached_error_estimator(
-                k, model=model, opt_level=opt_level,
-                minimal_pushes=minimal_pushes,
-            )
+            with _MEMO_LOCK:
+                if key in _ESTIMATOR_MEMO:
+                    continue
+                cached_error_estimator(
+                    k, model=model, opt_level=opt_level,
+                    minimal_pushes=minimal_pushes,
+                )
             built += 1
     return built
 
@@ -437,12 +447,13 @@ def estimator_memo_stats() -> Dict[str, int]:
     ``hits``/``misses`` are process-cumulative; ``entries``/``capacity``
     are gauges.
     """
-    return {
-        "entries": len(_ESTIMATOR_MEMO),
-        "capacity": _ESTIMATOR_MEMO_MAX,
-        "hits": _MEMO_COUNTERS["hits"],
-        "misses": _MEMO_COUNTERS["misses"],
-    }
+    with _MEMO_LOCK:
+        return {
+            "entries": len(_ESTIMATOR_MEMO),
+            "capacity": _ESTIMATOR_MEMO_MAX,
+            "hits": _MEMO_COUNTERS["hits"],
+            "misses": _MEMO_COUNTERS["misses"],
+        }
 
 
 def clear_estimator_memo() -> None:
@@ -450,6 +461,7 @@ def clear_estimator_memo() -> None:
 
     Counters reset too, so tests can assert per-scope hit deltas.
     """
-    _ESTIMATOR_MEMO.clear()
-    _MEMO_COUNTERS["hits"] = 0
-    _MEMO_COUNTERS["misses"] = 0
+    with _MEMO_LOCK:
+        _ESTIMATOR_MEMO.clear()
+        _MEMO_COUNTERS["hits"] = 0
+        _MEMO_COUNTERS["misses"] = 0

@@ -45,7 +45,7 @@ The canonical entry point is :meth:`repro.session.Session.search` /
 remains as a deprecated wrapper over a default session (removal 2.0).
 """
 
-from repro.search.api import SearchResult, search
+from repro.search.api import SearchResult, search, search_run_id
 from repro.search.evaluate import (
     CandidateEvaluator,
     EvaluatedCandidate,
@@ -88,5 +88,6 @@ __all__ = [
     "dominates",
     "get_strategy",
     "register_strategy",
+    "search_run_id",
     "search",
 ]

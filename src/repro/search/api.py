@@ -37,6 +37,7 @@ import re
 import signal
 from dataclasses import dataclass
 from typing import (
+    Callable,
     Dict,
     List,
     Mapping,
@@ -271,6 +272,80 @@ def _restored_result(
     )
 
 
+def _search_components(
+    fn: N.Function,
+    points: Sequence[Sequence[object]],
+    threshold: float,
+    candidates: Optional[Sequence[str]],
+    samples: Optional[Mapping[str, Sequence[float]]],
+    fixed: Optional[Mapping[str, object]],
+    demote_to: DType,
+    strategies: Sequence[str],
+    budget: int,
+    seed: int,
+    aggregate: AggregatorSpec,
+    estimate_model,
+    cost_model: CostModel,
+    approx: Optional[Set[str]],
+    error_metric: str,
+) -> Dict[str, object]:
+    """Run-key components as :func:`run_search` computes them — shared
+    by the driver and :func:`search_run_id` so the two can never
+    disagree about a run's identity."""
+    return run_key_components(
+        fn,
+        points=points,
+        threshold=float(threshold),
+        candidates=candidates,
+        samples=samples,
+        fixed=fixed,
+        demote_to=demote_to,
+        strategies=tuple(strategies),
+        budget=int(budget),
+        seed=int(seed),
+        aggregate=resolve_aggregator(aggregate)[0],
+        error_metric=error_metric,
+        model_fingerprint=_estimate_model_fingerprint(estimate_model),
+        cost_model=cost_model,
+        approx=approx,
+    )
+
+
+def search_run_id(
+    k: KernelLike,
+    points: Sequence[Sequence[object]],
+    threshold: float,
+    candidates: Optional[Sequence[str]] = None,
+    samples: Optional[Mapping[str, Sequence[float]]] = None,
+    fixed: Optional[Mapping[str, object]] = None,
+    demote_to: DType = DType.F32,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    budget: int = 64,
+    aggregate: AggregatorSpec = "max",
+    estimate_model=None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    approx: Optional[Set[str]] = None,
+    seed: int = 0,
+    error_metric: str = "worst",
+) -> str:
+    """The content-addressed run id :func:`run_search` would use for
+    these parameters — without running anything.
+
+    Lets callers (the job server, progress UIs) locate a run's store
+    directory and poll :meth:`~repro.search.store.RunStore.run_progress`
+    before/while the search executes.  Knobs that are bit-identical by
+    contract (``workers``, ``config_batch``) and pure plumbing
+    (``cache``, ``store``) are not part of a run's identity.
+    """
+    return run_id_of(
+        _search_components(
+            _as_ir(k), points, threshold, candidates, samples, fixed,
+            demote_to, strategies, budget, seed, aggregate,
+            estimate_model, cost_model, approx, error_metric,
+        )
+    )
+
+
 def _register_contributions(
     fn: N.Function,
     points: Sequence[Sequence[object]],
@@ -334,6 +409,7 @@ def run_search(
     resume: bool = False,
     label: Optional[str] = None,
     checkpoint_every: int = 1,
+    on_batch: Optional[Callable[[int], None]] = None,
 ) -> SearchResult:
     """Multi-objective precision search over (error, modelled cycles).
 
@@ -385,6 +461,14 @@ def run_search(
     :param label: human-readable run label for the manifest (default:
         kernel name).
     :param checkpoint_every: checkpoint cadence, in computed batches.
+    :param on_batch: optional callback invoked with the running
+        computed-evaluation count after every computed batch (after the
+        store checkpoint for that batch, when a store is in use).  An
+        exception raised by the callback aborts the search — with a
+        store, resumably: the checkpointed prefix stays valid, so a
+        later ``resume=True`` run continues bit-identically.  This is
+        the cancellation/deadline surface of the job server
+        (:mod:`repro.serve`).
     """
     fn = _as_ir(k)
     if points and not isinstance(points[0], (tuple, list)):
@@ -401,22 +485,10 @@ def run_search(
     manifest: Optional[Dict[str, object]] = None
     restored: List[EvaluatedCandidate] = []
     if run_store is not None:
-        components = run_key_components(
-            fn,
-            points=points,
-            threshold=float(threshold),
-            candidates=candidates,
-            samples=samples,
-            fixed=fixed,
-            demote_to=demote_to,
-            strategies=names,
-            budget=int(budget),
-            seed=int(seed),
-            aggregate=resolve_aggregator(aggregate)[0],
-            error_metric=error_metric,
-            model_fingerprint=_estimate_model_fingerprint(estimate_model),
-            cost_model=cost_model,
-            approx=approx,
+        components = _search_components(
+            fn, points, threshold, candidates, samples, fixed,
+            demote_to, names, budget, seed, aggregate, estimate_model,
+            cost_model, approx, error_metric,
         )
         run_id = run_id_of(components)
         if resume:
@@ -470,19 +542,23 @@ def run_search(
 
     evaluator = ev_cls(fn, points, **ev_kwargs)
     n_checkpoints = 0
-    if run_store is not None:
+    if run_store is not None or on_batch is not None:
         every = max(int(checkpoint_every), 1)
         batches = 0
 
         def _on_computed(ev: CandidateEvaluator) -> None:
             nonlocal batches, n_checkpoints
             batches += 1
-            if batches % every == 0:
+            if run_store is not None and batches % every == 0:
                 run_store.checkpoint(
                     run_id, [record_of(c) for c in ev.history]
                 )
                 n_checkpoints += 1
             _crash_hook(ev.n_computed)
+            if on_batch is not None:
+                # after the checkpoint: an abort raised here keeps the
+                # just-checkpointed batch resumable on disk
+                on_batch(ev.n_computed)
 
         evaluator.checkpoint = _on_computed
     kernel_cache_before = config_kernel_cache_stats()

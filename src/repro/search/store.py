@@ -281,6 +281,11 @@ class RunStore:
             manifest = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
+        # a concurrent writer may have left a torn/foreign payload —
+        # valid JSON that is not a manifest object degrades like a
+        # missing one instead of raising downstream
+        if not isinstance(manifest, dict):
+            return None
         if manifest.get("format") != RUN_FORMAT:
             return None
         return manifest
@@ -365,6 +370,11 @@ class RunStore:
             try:
                 manifest = json.loads((sub / "manifest.json").read_text())
             except (OSError, ValueError):
+                # half-written run dir (a concurrent writer mkdir'd but
+                # hasn't landed the manifest yet) or plain corruption:
+                # skip it, never fail the listing
+                continue
+            if not isinstance(manifest, dict):
                 continue
             if manifest.get("format") == RUN_FORMAT:
                 out.append(manifest)
@@ -400,6 +410,49 @@ class RunStore:
             is ambiguous.
         """
         return self._resolve_against(self.list_runs(), prefix)
+
+    def run_progress(self, run_id: str) -> Dict[str, object]:
+        """Live progress of one run, read from its checkpoints.
+
+        Safe to call while another process (or thread) is writing the
+        run: checkpoints are atomic, so the snapshot is always a valid
+        prefix of the evaluation order.  This is the polling surface
+        the job server (:mod:`repro.serve`) streams search progress
+        from.  Returns ``{"exists": False}`` for an unknown run id.
+        """
+        manifest = self.load_manifest(run_id)
+        if manifest is None:
+            return {"run_id": run_id, "exists": False}
+        key = manifest.get("key") or {}
+        n_evaluations = self.stored_evaluation_count(manifest)
+        budget = key.get("budget")
+        return {
+            "run_id": manifest.get("run_id"),
+            "exists": True,
+            "label": manifest.get("label"),
+            "kernel": manifest.get("kernel"),
+            "completed": bool(manifest.get("completed")),
+            "n_evaluations": n_evaluations,
+            "budget": budget,
+            "fraction": (
+                min(1.0, n_evaluations / budget)
+                if isinstance(budget, int) and budget > 0
+                else None
+            ),
+            "front_size": len(manifest.get("front") or []),
+            "created": manifest.get("created"),
+            "library_version": manifest.get("library_version"),
+        }
+
+    def in_flight_runs(self) -> List[Dict[str, object]]:
+        """Manifests of runs that never completed, newest first.
+
+        These are the resumable runs a restarted server discovers:
+        each still has a valid checkpointed prefix on disk, and
+        re-running the same parameters with ``resume=True`` continues
+        bit-identically from it.
+        """
+        return [m for m in self.list_runs() if not m.get("completed")]
 
     def stored_evaluation_count(
         self, manifest: Mapping[str, object]

@@ -1,0 +1,150 @@
+"""A deliberately small HTTP/1.1 layer over asyncio streams.
+
+The service speaks plain HTTP/JSON so any client (``curl``, a CI
+script, a notebook) can drive it, but the repo takes no web-framework
+dependency — the protocol surface the job API needs is tiny: parse a
+request line + headers + optional ``Content-Length`` body, answer with
+a JSON payload, keep the connection alive when asked.  Anything
+fancier (chunked bodies, TLS, HTTP/2) is out of scope on purpose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.util.errors import ReproError
+
+#: refuse request bodies larger than this (a job spec is ~200 bytes)
+MAX_BODY_BYTES = 1 << 20
+#: cap on the request line + headers block
+MAX_HEADER_BYTES = 1 << 16
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ReproError, RuntimeError):
+    """A protocol-level problem that maps straight to a status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HttpRequest:
+    """One parsed request: method, path, query, headers, raw body."""
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: Mapping[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method.upper()
+        parts = urlsplit(target)
+        self.path = unquote(parts.path) or "/"
+        self.query: Dict[str, str] = dict(
+            parse_qsl(parts.query, keep_blank_values=True)
+        )
+        self.headers = {k.lower(): v for k, v in headers.items()}
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> object:
+        """The body decoded as JSON (:class:`HttpError` 400 if not)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    :raises HttpError: malformed request line/headers (400), header
+        block or body over the caps (413).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request headers too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    request_line = lines[0].split(" ")
+    if len(request_line) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = request_line
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(
+                400, f"bad Content-Length {length_header!r}"
+            ) from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        body = await reader.readexactly(length)
+    return HttpRequest(method, target, headers, body)
+
+
+def render(
+    status: int,
+    payload: object,
+    *,
+    keep_alive: bool = True,
+    headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Serialize one JSON response, ready for ``writer.write``."""
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    out = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        out.append(f"{name}: {value}")
+    return ("\r\n".join(out) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,779 @@
+"""Job model of the tuning service: specs, lifecycle, journal, registry.
+
+A **job** is one unit of client-requested work — an estimate, sweep,
+tune, or search over a named app scenario.  The design leans on the
+properties the rest of the library already guarantees:
+
+* job ids are **content hashes** of the (validated, normalized) job
+  spec, so identical submissions dedupe into one job instead of
+  recomputing — the same discipline as the estimator memo, the sweep
+  cache, and the run store;
+* search jobs resolve their **content-addressed run id** at submission
+  time (:meth:`repro.session.Session.search_run_id`), so clients can
+  poll live progress from the run store's checkpointed manifests while
+  the job executes, and a resubmitted search rides the store's
+  bit-identical warm-resume path;
+* every state transition lands in a durable :class:`JobJournal`
+  (atomic JSON files), so a server killed mid-job restarts, requeues
+  the unfinished jobs, and — for searches — resumes them from the run
+  store's checkpoints with fronts bit-identical to an uninterrupted
+  run.
+
+Robustness knobs live in the :class:`JobRegistry`: a bounded queue
+(submitting past it raises :class:`QueueFullError` → HTTP 429), a
+server-wide evaluation-budget cap, and per-job wall-clock deadlines
+enforced cooperatively through the search driver's ``on_batch`` hook
+(an aborted search keeps its checkpointed prefix and stays resumable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.search.store import _atomic_write
+from repro.util.errors import ConfigError, ReproError, UnknownNameError
+
+#: job kinds, mirroring the Session workflow methods
+KINDS = ("estimate", "sweep", "tune", "search")
+
+#: lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+#: terminal states — jobs here never transition again
+FINISHED = (COMPLETED, FAILED, CANCELLED)
+
+
+class QueueFullError(ReproError, RuntimeError):
+    """The pending-job queue is at capacity (HTTP 429 backpressure)."""
+
+
+class JobInterrupted(ReproError, RuntimeError):
+    """A running job was interrupted cooperatively."""
+
+
+class JobCancelled(JobInterrupted):
+    """The client cancelled the job."""
+
+
+class JobTimeout(JobInterrupted):
+    """The job exceeded its wall-clock deadline."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A frozen, validated job request — the unit of content identity.
+
+    Follows the :class:`~repro.session.config.SessionConfig`
+    discipline: plain JSON-expressible fields, validation on
+    construction, a stable content hash (:attr:`job_id`).  Two
+    requests that normalize to the same spec are the *same job*.
+    """
+
+    #: one of :data:`KINDS`
+    kind: str
+    #: app scenario name (``"blackscholes"``, ``"kmeans"``, ...)
+    kernel: str
+    #: error threshold (tune/search; ``None``: scenario default)
+    threshold: Optional[float] = None
+    #: evaluation budget (search; ``None``: scenario default)
+    budget: Optional[int] = None
+    #: strategy line-up (search; ``None``: session default)
+    strategies: Optional[Tuple[str, ...]] = None
+    #: RNG seed (search)
+    seed: int = 0
+    #: validation point index (estimate / point-mode tune)
+    point: int = 0
+    #: distribution-robust tuning over the scenario sweep (tune)
+    robust: bool = False
+    #: sweep/robust-tune aggregation name (``None``: worst case)
+    aggregate: Optional[str] = None
+    #: per-job wall-clock deadline in seconds (``None``: server default)
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"job kind must be one of {list(KINDS)}, "
+                f"got {self.kind!r}"
+            )
+        if not isinstance(self.kernel, str) or not self.kernel:
+            raise ConfigError(
+                f"kernel must be an app scenario name, got {self.kernel!r}"
+            )
+        for name, kinds in (
+            ("threshold", ("tune", "search")),
+            ("budget", ("search",)),
+            ("strategies", ("search",)),
+            ("aggregate", ("sweep", "tune")),
+        ):
+            if getattr(self, name) is not None and self.kind not in kinds:
+                # silently dropping a knob would run a different job
+                # than the client asked for
+                raise ConfigError(
+                    f"{name}= applies to {'/'.join(kinds)} jobs, "
+                    f"not {self.kind!r}"
+                )
+        if self.robust and self.kind != "tune":
+            raise ConfigError("robust= applies to tune jobs only")
+        if self.threshold is not None:
+            object.__setattr__(self, "threshold", float(self.threshold))
+            if not self.threshold > 0:
+                raise ConfigError(
+                    f"threshold must be > 0, got {self.threshold!r}"
+                )
+        if self.budget is not None:
+            try:
+                object.__setattr__(self, "budget", int(self.budget))
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"budget must be an integer, got {self.budget!r}"
+                ) from None
+            if self.budget < 1:
+                raise ConfigError(
+                    f"budget must be >= 1, got {self.budget!r}"
+                )
+        if self.strategies is not None:
+            if isinstance(self.strategies, str):
+                raise ConfigError(
+                    "strategies must be a sequence of names, not a "
+                    f"bare string — got {self.strategies!r}"
+                )
+            object.__setattr__(
+                self, "strategies", tuple(self.strategies)
+            )
+            bad = [s for s in self.strategies if not isinstance(s, str)]
+            if bad:
+                raise ConfigError(
+                    f"strategies must be names (str), got {bad!r}"
+                )
+        for name in ("seed", "point"):
+            value = getattr(self, name)
+            try:
+                object.__setattr__(self, name, int(value))
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"{name} must be an integer, got {value!r}"
+                ) from None
+        if self.point < 0:
+            raise ConfigError(f"point must be >= 0, got {self.point!r}")
+        object.__setattr__(self, "robust", bool(self.robust))
+        if self.aggregate is not None and not isinstance(
+            self.aggregate, str
+        ):
+            raise ConfigError(
+                f"aggregate must be a name, got {self.aggregate!r}"
+            )
+        if self.timeout_s is not None:
+            object.__setattr__(self, "timeout_s", float(self.timeout_s))
+            if not self.timeout_s > 0:
+                raise ConfigError(
+                    f"timeout_s must be > 0, got {self.timeout_s!r}"
+                )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The full normalized field set (JSON-expressible)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "JobSpec":
+        """Build a spec from a wire payload.
+
+        :raises ConfigError: non-mapping payloads, unknown keys, or
+            invalid values (HTTP 400 at the API surface).
+        """
+        if not isinstance(raw, dict):
+            raise ConfigError(
+                f"job spec must be a JSON object, got "
+                f"{type(raw).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ConfigError(
+                f"job spec: unknown keys {unknown} "
+                f"(known: {sorted(known)})"
+            )
+        data = dict(raw)
+        if isinstance(data.get("strategies"), list):
+            data["strategies"] = tuple(data["strategies"])
+        return cls(**data)  # type: ignore[arg-type]
+
+    @property
+    def job_id(self) -> str:
+        """Content-addressed job id.
+
+        Explicit defaults and omitted fields normalize identically, so
+        ``{"kind": "search", "kernel": "kmeans"}`` and the same spec
+        with ``"seed": 0`` spelled out are one job.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return f"job-{digest[:16]}"
+
+
+@dataclass
+class Job:
+    """One job's live state (registry-internal; the wire view is
+    :meth:`to_dict`)."""
+
+    spec: JobSpec
+    id: str
+    state: str = QUEUED
+    submitted: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    #: kind-specific result payload (set on completion)
+    result: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    #: content-addressed search run id (resolved at submission)
+    run_id: Optional[str] = None
+    #: requeued by restart-recovery rather than a client
+    recovered: bool = False
+    #: cooperative cancellation flag, checked between computed batches
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    future: Optional[Future] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "kernel": self.spec.kernel,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "run_id": self.run_id,
+            "recovered": self.recovered,
+            "cancel_requested": self.cancel_event.is_set(),
+        }
+        if self.started is not None and self.finished is not None:
+            out["duration_s"] = self.finished - self.started
+        return out
+
+
+class JobJournal:
+    """Durable job records: one atomic JSON file per job id.
+
+    The journal is what survives a hard kill: it holds each job's spec
+    and last observed state (plus the result payload once finished), so
+    a restarted registry can requeue unfinished work and keep answering
+    for jobs that completed in a previous life.  Write discipline
+    matches the run store: ``mkstemp`` + ``os.replace``, so a reader or
+    a crash only ever sees a whole record.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_of(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.json"
+
+    def record(self, job: Job) -> None:
+        payload = job.to_dict()
+        payload["result"] = job.result
+        data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        _atomic_write(self.path_of(job.id), data)
+
+    def load(self) -> List[Dict[str, object]]:
+        """Every readable record, oldest submission first.
+
+        Corrupt or foreign files are skipped — a journal that lost a
+        record degrades to not knowing about that job, never to a
+        server that refuses to start."""
+        out: List[Dict[str, object]] = []
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                rec = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(rec, dict) and isinstance(rec.get("spec"), dict):
+                out.append(rec)
+        out.sort(key=lambda r: r.get("submitted") or 0.0)
+        return out
+
+    def remove(self, job_id: str) -> None:
+        try:
+            self.path_of(job_id).unlink()
+        except OSError:
+            pass
+
+
+class JobRegistry:
+    """Owns job lifecycle over one shared :class:`repro.session.Session`.
+
+    Jobs execute on a bounded thread pool; the session's process-wide
+    resources (estimator memo, sweep cache, config-kernel cache, run
+    store) are shared across all workers — that sharing is the whole
+    service story, and it is safe because the memos/counters are
+    lock-guarded process-wide.
+
+    :param session: the shared session (must have a run store for
+        search jobs to be durable/resumable).
+    :param workers: concurrent job executions.
+    :param max_queue: pending (queued) jobs accepted before
+        :meth:`submit` raises :class:`QueueFullError`.
+    :param max_budget: server-wide cap on a search job's effective
+        evaluation budget (``None``: uncapped).
+    :param default_timeout_s: wall-clock deadline applied to jobs that
+        don't carry their own ``timeout_s`` (``None``: no deadline).
+    :param journal: durable job journal (``None``: in-memory only —
+        restart-recovery disabled).
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        workers: int = 2,
+        max_queue: int = 16,
+        max_budget: Optional[int] = None,
+        default_timeout_s: Optional[float] = None,
+        journal: Optional[JobJournal] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers!r}")
+        if max_queue < 0:
+            raise ConfigError(
+                f"max_queue must be >= 0, got {max_queue!r}"
+            )
+        if max_budget is not None and max_budget < 1:
+            raise ConfigError(
+                f"max_budget must be >= 1, got {max_budget!r}"
+            )
+        self.session = session
+        self.workers = int(workers)
+        self.max_queue = int(max_queue)
+        self.max_budget = max_budget
+        self.default_timeout_s = default_timeout_s
+        self.journal = journal
+        self._jobs: "Dict[str, Job]" = {}
+        self._deadlines: Dict[str, float] = {}
+        self._lock = threading.RLock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        #: test seam: called with the job right after it turns RUNNING
+        self._pre_run_hook = None
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "deduped": 0,
+            "rejected": 0,
+            "recovered": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "timeouts": 0,
+        }
+
+    # -- submission ----------------------------------------------------------
+    def _scenario(self, spec: JobSpec):
+        from repro.search.orchestrator import app_scenarios
+
+        scenarios = app_scenarios()
+        if spec.kernel not in scenarios:
+            raise UnknownNameError(
+                f"unknown app scenario {spec.kernel!r} "
+                f"(available: {sorted(scenarios)})"
+            )
+        return scenarios[spec.kernel].search_scenario()
+
+    def _validate(self, spec: JobSpec) -> None:
+        """Submission-time validation: surface bad requests as HTTP 400
+        instead of failed jobs."""
+        scen = self._scenario(spec)
+        if spec.kind in ("estimate",) or (
+            spec.kind == "tune" and not spec.robust
+        ):
+            if spec.point >= len(scen.points):
+                raise ConfigError(
+                    f"point {spec.point} out of range (scenario "
+                    f"{spec.kernel!r} has {len(scen.points)} "
+                    f"validation points)"
+                )
+        if spec.kind == "sweep" or (spec.kind == "tune" and spec.robust):
+            if scen.samples is None:
+                raise ConfigError(
+                    f"scenario {spec.kernel!r} has no input sweep"
+                )
+        if spec.kind == "sweep" or spec.kind == "tune":
+            if spec.aggregate is not None:
+                from repro.sweep.aggregate import resolve_aggregator
+
+                resolve_aggregator(spec.aggregate)
+        if spec.kind == "search":
+            effective = spec.budget if spec.budget else scen.budget
+            if self.max_budget is not None and effective > self.max_budget:
+                raise ConfigError(
+                    f"budget {effective} exceeds the server cap "
+                    f"{self.max_budget}"
+                )
+
+    def _search_overrides(self, spec: JobSpec) -> Dict[str, object]:
+        overrides: Dict[str, object] = {"seed": spec.seed}
+        if spec.threshold is not None:
+            overrides["threshold"] = spec.threshold
+        if spec.budget is not None:
+            overrides["budget"] = spec.budget
+        if spec.strategies is not None:
+            overrides["strategies"] = spec.strategies
+        return overrides
+
+    def submit(
+        self, spec: JobSpec, *, force: bool = False
+    ) -> Tuple[Job, bool]:
+        """Submit (or dedupe) one job; returns ``(job, created)``.
+
+        Identical specs dedupe onto the existing job in any
+        non-terminal-failure state — queued, running, or completed —
+        so repeat traffic is answered from one execution.  A spec
+        whose previous job failed or was cancelled is requeued under
+        the same id.
+
+        :raises QueueFullError: the pending queue is at capacity
+            (skipped with ``force=True``, used by restart-recovery).
+        :raises ConfigError: invalid spec values for the target
+            scenario, or a budget above the server cap.
+        :raises UnknownNameError: unknown scenario name.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueFullError("registry is shut down")
+            existing = self._jobs.get(spec.job_id)
+            if existing is not None and existing.state not in (
+                FAILED,
+                CANCELLED,
+            ):
+                self.counters["deduped"] += 1
+                return existing, False
+            if not force and self.queue_depth() >= self.max_queue:
+                self.counters["rejected"] += 1
+                raise QueueFullError(
+                    f"job queue is full ({self.max_queue} pending)"
+                )
+            self._validate(spec)
+            job = Job(spec=spec, id=spec.job_id)
+            if spec.kind == "search":
+                # resolved through the same scenario/default pipeline
+                # the execution uses, so the id always matches the run
+                job.run_id = self.session.search_run_id(
+                    spec.kernel, **self._search_overrides(spec)
+                )
+            self._jobs[job.id] = job
+            self.counters["submitted"] += 1
+            if self.journal is not None:
+                self.journal.record(job)
+            job.future = self._executor.submit(self._run, job)
+            return job, True
+
+    # -- lookup --------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownNameError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            out = list(self._jobs.values())
+        if state is not None:
+            out = [j for j in out if j.state == state]
+        return out
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(
+                1 for j in self._jobs.values() if j.state == QUEUED
+            )
+
+    def progress(self, job: Job) -> Optional[Dict[str, object]]:
+        """Live search progress from the run store's checkpoints."""
+        store = getattr(self.session, "store", None)
+        if job.run_id is None or store is None:
+            return None
+        return store.run_progress(job.run_id)
+
+    # -- cancellation --------------------------------------------------------
+    def cancel(self, job_id: str) -> Tuple[Job, bool]:
+        """Request cancellation; returns ``(job, accepted)``.
+
+        Queued jobs cancel immediately.  Running search jobs abort
+        cooperatively at the next computed batch (their checkpointed
+        prefix stays resumable); other running kinds finish their
+        current call and only then observe the flag.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.state in FINISHED:
+                return job, False
+            job.cancel_event.set()
+            if (
+                job.state == QUEUED
+                and job.future is not None
+                and job.future.cancel()
+            ):
+                self._finish(job, CANCELLED, error="cancelled while queued")
+            return job, True
+
+    # -- execution -----------------------------------------------------------
+    def _check_interrupt(self, job: Job, _n: int = 0) -> None:
+        if job.cancel_event.is_set():
+            raise JobCancelled(f"job {job.id} cancelled")
+        deadline = self._deadlines.get(job.id)
+        if deadline is not None and time.time() > deadline:
+            raise JobTimeout(
+                f"job {job.id} exceeded its wall-clock deadline"
+            )
+
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        *,
+        result: Optional[Dict[str, object]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            if job.state in FINISHED:
+                return
+            job.state = state
+            job.finished = time.time()
+            job.result = result
+            job.error = error
+            self._deadlines.pop(job.id, None)
+            key = {
+                COMPLETED: "completed",
+                FAILED: "failed",
+                CANCELLED: "cancelled",
+            }[state]
+            self.counters[key] += 1
+            if self.journal is not None:
+                self.journal.record(job)
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            if job.cancel_event.is_set() or job.state != QUEUED:
+                self._finish(
+                    job, CANCELLED, error="cancelled while queued"
+                )
+                return
+            job.state = RUNNING
+            job.started = time.time()
+            timeout = (
+                job.spec.timeout_s
+                if job.spec.timeout_s is not None
+                else self.default_timeout_s
+            )
+            if timeout is not None:
+                self._deadlines[job.id] = job.started + float(timeout)
+            if self.journal is not None:
+                self.journal.record(job)
+        hook = self._pre_run_hook
+        if hook is not None:
+            hook(job)
+        try:
+            self._check_interrupt(job)
+            result = self._execute(job)
+        except JobCancelled:
+            self._finish(job, CANCELLED, error="cancelled")
+        except JobTimeout as exc:
+            with self._lock:
+                self.counters["timeouts"] += 1
+            self._finish(job, FAILED, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - job isolation barrier
+            self._finish(
+                job, FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            self._finish(job, COMPLETED, result=result)
+
+    def _execute(self, job: Job) -> Dict[str, object]:
+        """Dispatch one job onto the shared session (worker thread)."""
+        import numpy as np
+
+        from repro.sweep.aggregate import resolve_aggregator
+
+        spec = job.spec
+        scen = self._scenario(spec)
+        sess = self.session
+        base = {"kind": spec.kind, "kernel": spec.kernel}
+        if spec.kind == "estimate":
+            report = sess.estimate_at(scen.kernel, scen.points[spec.point])
+            return {
+                **base,
+                "point": spec.point,
+                "value": report.value,
+                "total_error": report.total_error,
+                "per_variable": dict(report.per_variable),
+            }
+        if spec.kind == "sweep":
+            agg_name, agg = resolve_aggregator(spec.aggregate or "max")
+            rep = sess.sweep(scen.kernel, scen.samples, fixed=scen.fixed)
+            return {
+                **base,
+                "n": rep.n,
+                "backend": rep.backend,
+                "from_cache": rep.from_cache,
+                "aggregate": agg_name,
+                "total_error": float(agg(np.asarray(rep.total_error))),
+                "per_variable": {
+                    v: float(agg(np.asarray(a)))
+                    for v, a in rep.per_variable.items()
+                },
+            }
+        if spec.kind == "tune":
+            threshold = (
+                spec.threshold
+                if spec.threshold is not None
+                else scen.threshold
+            )
+            if spec.robust:
+                result = sess.tune(
+                    scen.kernel,
+                    threshold,
+                    samples=scen.samples,
+                    fixed=scen.fixed,
+                    aggregate=spec.aggregate or "max",
+                )
+                mode = f"robust [{spec.aggregate or 'max'}]"
+            else:
+                result = sess.tune(
+                    scen.kernel,
+                    threshold,
+                    args=scen.points[spec.point],
+                )
+                mode = f"point {spec.point}"
+            return {
+                **base,
+                "threshold": threshold,
+                "mode": mode,
+                "configuration": result.config.describe(),
+                "demoted": list(result.demoted),
+                "estimated_error": result.estimated_error,
+                "ranking": [[v, e] for v, e in result.ranking],
+            }
+        # search: durable, resumable, cancellable between batches —
+        # resolved by scenario name through the same pipeline as the
+        # submission-time run id
+        result = sess.search(
+            spec.kernel,
+            resume=sess.store is not None,
+            on_batch=lambda n: self._check_interrupt(job, n),
+            **self._search_overrides(spec),
+        )
+        return {**base, **result.to_dict()}
+
+    # -- restart recovery ----------------------------------------------------
+    def recover(self) -> int:
+        """Reload the journal: requeue unfinished jobs, rehydrate
+        finished ones.  Returns the number of jobs requeued.
+
+        Requeued search jobs run with ``resume=True`` against the
+        shared run store, so a server killed mid-search continues from
+        the checkpointed prefix — the resumed front is bit-identical
+        to an uninterrupted run (the store's resume contract)."""
+        if self.journal is None:
+            return 0
+        requeued = 0
+        for rec in self.journal.load():
+            try:
+                spec = JobSpec.from_dict(rec["spec"])
+            except (ConfigError, TypeError):
+                continue
+            state = rec.get("state")
+            if state in (QUEUED, RUNNING):
+                try:
+                    job, created = self.submit(spec, force=True)
+                except (ConfigError, UnknownNameError):
+                    # e.g. a scenario that no longer exists
+                    continue
+                if created:
+                    job.recovered = True
+                    requeued += 1
+                    with self._lock:
+                        self.counters["recovered"] += 1
+            elif state in FINISHED:
+                job = Job(
+                    spec=spec,
+                    id=str(rec.get("id") or spec.job_id),
+                    state=str(state),
+                    submitted=float(rec.get("submitted") or 0.0),
+                    started=rec.get("started"),  # type: ignore[arg-type]
+                    finished=rec.get("finished"),  # type: ignore[arg-type]
+                    result=rec.get("result"),  # type: ignore[arg-type]
+                    error=rec.get("error"),  # type: ignore[arg-type]
+                    run_id=rec.get("run_id"),  # type: ignore[arg-type]
+                    recovered=True,
+                )
+                with self._lock:
+                    self._jobs.setdefault(job.id, job)
+        return requeued
+
+    # -- telemetry / shutdown ------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "counters": dict(self.counters),
+                "states": states,
+                "queue": {
+                    "depth": sum(
+                        1
+                        for j in self._jobs.values()
+                        if j.state == QUEUED
+                    ),
+                    "capacity": self.max_queue,
+                    "workers": self.workers,
+                },
+            }
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for in-flight jobs to finish; returns whether the
+        registry went idle within ``timeout`` seconds.
+
+        Jobs still queued or running when the deadline expires stay
+        QUEUED/RUNNING in the journal, which is exactly what
+        :meth:`recover` requeues on the next start."""
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        while True:
+            busy = [
+                j
+                for j in self.jobs()
+                if j.state in (QUEUED, RUNNING)
+            ]
+            if not busy:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.05)
+
+    def close(self) -> None:
+        """Shut the worker pool down (pending futures cancelled)."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,76 @@
+"""Service telemetry: one snapshot across every shared resource.
+
+``GET /v1/metrics`` is the observable proof of the service's central
+claim — that all jobs share one session's process-wide resources.  A
+repeated identical search shows up here as ``jobs.counters.deduped``
+(never re-executed at all); a resubmitted-but-rerun search shows up as
+``search.runs`` staying flat while ``estimator_memo.hits`` climbs; a
+threshold-varied sweep of submissions shows the config-kernel cache
+absorbing the compile cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.serve.jobs import JobRegistry
+
+
+class ServiceMetrics:
+    """Aggregates registry, session, cache, and HTTP counters."""
+
+    def __init__(
+        self, registry: JobRegistry, started: Optional[float] = None
+    ) -> None:
+        self.registry = registry
+        self.started = time.time() if started is None else started
+        self._lock = threading.Lock()
+        self._http: Dict[str, int] = {
+            "requests": 0,
+            "responses_2xx": 0,
+            "responses_4xx": 0,
+            "responses_5xx": 0,
+        }
+
+    def observe_response(self, status: int) -> None:
+        with self._lock:
+            self._http["requests"] += 1
+            bucket = f"responses_{status // 100}xx"
+            if bucket in self._http:
+                self._http[bucket] += 1
+
+    def identity(self) -> Dict[str, object]:
+        """The static who-am-I block shared by healthz and metrics."""
+        from repro.search.store import library_version
+
+        session = self.registry.session
+        return {
+            "version": library_version(),
+            "session_id": session.id,
+            "config_fingerprint": session.config.fingerprint(),
+            "uptime_s": round(time.time() - self.started, 3),
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        session = self.registry.session
+        out: Dict[str, object] = {"service": self.identity()}
+        out["jobs"] = self.registry.stats()
+        with self._lock:
+            out["http"] = dict(self._http)
+        # session.stats() already unifies estimator memo, config
+        # kernel cache, and sweep cache counters (PR 5)
+        out["session"] = session.stats()
+        store = session.store
+        if store is not None:
+            runs = store.list_runs()
+            out["store"] = {
+                "root": str(store.root),
+                "runs": len(runs),
+                "completed": sum(
+                    1 for m in runs if m.get("completed")
+                ),
+                "in_flight": len(store.in_flight_runs()),
+            }
+        return out

@@ -1,0 +1,209 @@
+"""The long-lived asyncio server: transport, signals, lifecycle.
+
+Single-process, two-layer concurrency: the asyncio loop owns sockets
+and request parsing (cheap, many connections), while job execution
+runs on the registry's bounded thread pool over one shared
+:class:`repro.session.Session`.  Route handling itself is synchronous
+and fast — submissions only enqueue — so handlers run inline on the
+loop via :meth:`ServeApp.handle`.
+
+Lifecycle contract:
+
+* **SIGTERM/SIGINT** → graceful drain: stop accepting submissions
+  (503 + Retry-After), close the listener, wait up to
+  ``drain_timeout_s`` for in-flight jobs, then exit.  Jobs still
+  running at the deadline stay RUNNING in the journal — exactly what
+  recovery requeues.
+* **SIGKILL** (or power loss) → nothing graceful happened, and that
+  is fine: job specs and states live in the journal (atomic writes),
+  search evaluations live in the run store's checkpoints.  The next
+  ``python -m repro serve`` on the same store requeues unfinished
+  jobs and resumes searches bit-identically from their checkpointed
+  prefixes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from pathlib import Path
+from typing import Optional
+
+from repro.serve.app import ServeApp
+from repro.serve.http import HttpError, read_request, render
+from repro.serve.jobs import JobJournal, JobRegistry
+from repro.serve.metrics import ServiceMetrics
+from repro.util.errors import ConfigError
+
+#: journal subdirectory name inside the server state dir
+_JOBS_DIR = "jobs"
+
+
+class ReproServer:
+    """Owns the listener, the registry, and the drain state machine."""
+
+    def __init__(
+        self,
+        session,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_queue: int = 16,
+        max_budget: Optional[int] = None,
+        default_timeout_s: Optional[float] = None,
+        state_dir: Optional[object] = None,
+        resume: bool = True,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        if session.store is None:
+            raise ConfigError(
+                "serving requires a durable session — construct the "
+                "session with store= (the run store also anchors the "
+                "job journal)"
+            )
+        self.session = session
+        self.host = host
+        self.port = int(port)
+        self.drain_timeout_s = float(drain_timeout_s)
+        if state_dir is None:
+            # "_serve" is not run-id-shaped, so store pruning/listing
+            # never mistakes it for a run directory
+            state_dir = Path(session.store.root) / "_serve"
+        self.state_dir = Path(state_dir)
+        journal = JobJournal(self.state_dir / _JOBS_DIR)
+        self.registry = JobRegistry(
+            session,
+            workers=workers,
+            max_queue=max_queue,
+            max_budget=max_budget,
+            default_timeout_s=default_timeout_s,
+            journal=journal,
+        )
+        self.recovered = self.registry.recover() if resume else 0
+        self.metrics = ServiceMetrics(self.registry)
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.app = ServeApp(
+            self.registry, self.metrics, is_draining=lambda: self._draining
+        )
+
+    # -- transport -----------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    req = await read_request(reader)
+                except HttpError as exc:
+                    self.metrics.observe_response(exc.status)
+                    writer.write(
+                        render(
+                            exc.status,
+                            {"error": exc.message},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if req is None:
+                    return
+                status, payload, headers = self.app.handle(req)
+                self.metrics.observe_response(status)
+                keep = req.keep_alive and not self._draining
+                writer.write(
+                    render(status, payload, keep_alive=keep, headers=headers)
+                )
+                await writer.drain()
+                if not keep:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (resolves ``self.port`` when given 0)."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        # parseable by scripts/tests that spawn the server and need
+        # the resolved port (flush: the reader blocks on this line)
+        print(
+            f"repro-serve: listening on http://{self.host}:{self.port} "
+            f"(workers={self.registry.workers}, "
+            f"recovered={self.recovered})",
+            flush=True,
+        )
+
+    def request_shutdown(self) -> None:
+        """Flip into draining mode (idempotent, signal-safe)."""
+        self._draining = True
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a signal (or :meth:`request_shutdown`), then
+        drain: refuse new submissions, finish in-flight jobs, exit."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        loop = asyncio.get_running_loop()
+        registered = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+                registered.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal support
+        try:
+            await self._stopped.wait()
+        finally:
+            for signum in registered:
+                loop.remove_signal_handler(signum)
+            await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = await asyncio.to_thread(
+            self.registry.drain, self.drain_timeout_s
+        )
+        self.registry.close()
+        print(
+            "repro-serve: drained"
+            if drained
+            else "repro-serve: drain timed out; unfinished jobs will "
+            "resume on restart",
+            flush=True,
+        )
+
+
+def run_server(session, **kwargs) -> ReproServer:
+    """Blocking entry point used by ``python -m repro serve``."""
+    server = ReproServer(session, **kwargs)
+
+    async def _main() -> None:
+        await server.start()
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass  # drain already handled by the SIGINT handler where possible
+    return server

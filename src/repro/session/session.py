@@ -26,6 +26,7 @@ wrappers constructing a default session, bit-identical by contract.
 
 from __future__ import annotations
 
+import threading
 import uuid
 from pathlib import Path
 from typing import (
@@ -123,6 +124,10 @@ class Session:
         #: unique id of this session instance (provenance)
         self.id = f"sess-{uuid.uuid4().hex[:12]}"
         self._seq = 0
+        # one session is shared by every worker thread of a server
+        # (repro.serve); the provenance sequence must not skip or
+        # duplicate numbers under concurrent method calls
+        self._seq_lock = threading.Lock()
 
     # -- resources -----------------------------------------------------------
     @property
@@ -136,12 +141,14 @@ class Session:
         return self._store
 
     def _provenance(self, method: str) -> Dict[str, object]:
-        self._seq += 1
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
         return {
             "session_id": self.id,
             "config_fingerprint": self.config.fingerprint(),
             "method": method,
-            "seq": self._seq,
+            "seq": seq,
         }
 
     def __repr__(self) -> str:
@@ -309,44 +316,35 @@ class Session:
         return result
 
     # -- search --------------------------------------------------------------
-    def search(
+    def _resolve_search(
         self,
         k,
-        points: Optional[Sequence[Sequence[object]]] = None,
-        threshold: Optional[float] = None,
+        points,
+        threshold,
         *,
-        candidates: Optional[Sequence[str]] = None,
-        samples: object = _UNSET,
-        fixed: object = _UNSET,
-        demote_to: object = _UNSET,
-        strategies: object = _UNSET,
-        budget: object = _UNSET,
-        workers: object = _UNSET,
-        cache: object = _UNSET,
-        aggregate: object = _UNSET,
-        estimate_model: object = _UNSET,
-        cost_model: object = _UNSET,
-        approx: Optional[Set[str]] = None,
-        seed: object = _UNSET,
-        error_metric: object = _UNSET,
-        config_batch: object = _UNSET,
-        store: object = _UNSET,
-        resume: bool = False,
-        label: Optional[str] = None,
-        checkpoint_every: object = _UNSET,
-    ):
-        """Multi-objective precision search over (error, cycles).
-
-        ``k`` is a kernel plus explicit ``points``/``threshold``, a
-        ready-made :class:`~repro.search.scenario.SearchScenario`, or
-        the name of an app scenario (``"blackscholes"``); unset knobs
-        fall back to the session config, and the session's sweep cache
-        and run store are used unless overridden.  Returns a
-        :class:`~repro.search.api.SearchResult` with session
-        provenance; with the session store, runs checkpoint durably and
-        ``resume=True`` restores bit-identically.
-        """
-        from repro.search.api import run_search
+        candidates,
+        samples,
+        fixed,
+        demote_to,
+        strategies,
+        budget,
+        workers,
+        cache,
+        aggregate,
+        estimate_model,
+        cost_model,
+        approx,
+        seed,
+        error_metric,
+        config_batch,
+        store,
+        label,
+        checkpoint_every,
+    ) -> Dict[str, object]:
+        """Resolve scenario/app-name targets and session defaults into
+        the full :func:`repro.search.api.run_search` keyword set —
+        shared by :meth:`search` and :meth:`search_run_id` so the run
+        a search executes is exactly the run the id predicts."""
         from repro.search.scenario import SearchScenario
 
         if isinstance(k, str):
@@ -381,10 +379,10 @@ class Session:
                 "search requires points= and threshold= (or a "
                 "SearchScenario / app scenario name)"
             )
-        result = run_search(
-            k,
-            points,
-            threshold,
+        return dict(
+            k=k,
+            points=points,
+            threshold=threshold,
             candidates=candidates,
             samples=None if samples is _UNSET else samples,
             fixed=None if fixed is _UNSET else fixed,
@@ -401,14 +399,111 @@ class Session:
             error_metric=_pick(error_metric, self.config.error_metric),
             config_batch=_pick(config_batch, self.config.config_batch),
             store=_pick(store, self._store),
-            resume=resume,
             label=label,
             checkpoint_every=_pick(
                 checkpoint_every, self.config.checkpoint_every
             ),
         )
+
+    def search(
+        self,
+        k,
+        points: Optional[Sequence[Sequence[object]]] = None,
+        threshold: Optional[float] = None,
+        *,
+        candidates: Optional[Sequence[str]] = None,
+        samples: object = _UNSET,
+        fixed: object = _UNSET,
+        demote_to: object = _UNSET,
+        strategies: object = _UNSET,
+        budget: object = _UNSET,
+        workers: object = _UNSET,
+        cache: object = _UNSET,
+        aggregate: object = _UNSET,
+        estimate_model: object = _UNSET,
+        cost_model: object = _UNSET,
+        approx: Optional[Set[str]] = None,
+        seed: object = _UNSET,
+        error_metric: object = _UNSET,
+        config_batch: object = _UNSET,
+        store: object = _UNSET,
+        resume: bool = False,
+        label: Optional[str] = None,
+        checkpoint_every: object = _UNSET,
+        on_batch=None,
+    ):
+        """Multi-objective precision search over (error, cycles).
+
+        ``k`` is a kernel plus explicit ``points``/``threshold``, a
+        ready-made :class:`~repro.search.scenario.SearchScenario`, or
+        the name of an app scenario (``"blackscholes"``); unset knobs
+        fall back to the session config, and the session's sweep cache
+        and run store are used unless overridden.  Returns a
+        :class:`~repro.search.api.SearchResult` with session
+        provenance; with the session store, runs checkpoint durably and
+        ``resume=True`` restores bit-identically.  ``on_batch`` is
+        called with the computed-evaluation count after every computed
+        batch (the job server's cancellation/deadline hook — see
+        :func:`repro.search.api.run_search`).
+        """
+        from repro.search.api import run_search
+
+        kwargs = self._resolve_search(
+            k, points, threshold,
+            candidates=candidates, samples=samples, fixed=fixed,
+            demote_to=demote_to, strategies=strategies, budget=budget,
+            workers=workers, cache=cache, aggregate=aggregate,
+            estimate_model=estimate_model, cost_model=cost_model,
+            approx=approx, seed=seed, error_metric=error_metric,
+            config_batch=config_batch, store=store, label=label,
+            checkpoint_every=checkpoint_every,
+        )
+        result = run_search(resume=resume, on_batch=on_batch, **kwargs)
         result.provenance = self._provenance("search")
         return result
+
+    def search_run_id(
+        self,
+        k,
+        points: Optional[Sequence[Sequence[object]]] = None,
+        threshold: Optional[float] = None,
+        *,
+        candidates: Optional[Sequence[str]] = None,
+        samples: object = _UNSET,
+        fixed: object = _UNSET,
+        demote_to: object = _UNSET,
+        strategies: object = _UNSET,
+        budget: object = _UNSET,
+        aggregate: object = _UNSET,
+        estimate_model: object = _UNSET,
+        cost_model: object = _UNSET,
+        approx: Optional[Set[str]] = None,
+        seed: object = _UNSET,
+        error_metric: object = _UNSET,
+    ) -> str:
+        """The content-addressed run id :meth:`search` would use for
+        these arguments — resolved through the same scenario/default
+        pipeline, without running anything.  Lets callers poll
+        :meth:`~repro.search.store.RunStore.run_progress` for a search
+        before and while it executes."""
+        from repro.search.api import search_run_id as _api_run_id
+
+        kwargs = self._resolve_search(
+            k, points, threshold,
+            candidates=candidates, samples=samples, fixed=fixed,
+            demote_to=demote_to, strategies=strategies, budget=budget,
+            workers=_UNSET, cache=_UNSET, aggregate=aggregate,
+            estimate_model=estimate_model, cost_model=cost_model,
+            approx=approx, seed=seed, error_metric=error_metric,
+            config_batch=_UNSET, store=_UNSET, label=None,
+            checkpoint_every=_UNSET,
+        )
+        # identity excludes bit-identical-by-contract and plumbing
+        # knobs (workers, config_batch, cache, store, label, cadence)
+        for knob in ("workers", "cache", "config_batch", "store",
+                     "label", "checkpoint_every"):
+            kwargs.pop(knob)
+        return _api_run_id(**kwargs)
 
     # -- plan ----------------------------------------------------------------
     def plan(

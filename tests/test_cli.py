@@ -28,8 +28,18 @@ class TestHelp:
             cli(["--help"])
         assert exc.value.code == 0
         out = capsys.readouterr().out
-        for name in ("estimate", "sweep", "tune", "search", "plan", "runs"):
+        for name in (
+            "estimate", "sweep", "tune", "search", "plan", "runs", "serve",
+        ):
             assert name in out
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            cli(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
 
     def test_no_subcommand_prints_help(self, capsys):
         assert cli([]) == 2
@@ -44,6 +54,7 @@ class TestHelp:
             ("search", "--store"),
             ("plan", "--all"),
             ("runs", "--prune"),
+            ("serve", "--max-queue"),
         ],
     )
     def test_subcommand_help(self, capsys, command, needle):

@@ -565,3 +565,116 @@ class TestStoreCLI:
         with pytest.raises(SystemExit):
             search_cli(["--kernel", "kmeans", "--resume"])
         capsys.readouterr()
+
+
+class TestStoreListingRobustness:
+    """list_runs / resolve_run_id against prefixes, half-written run
+    directories, and a concurrent writer — the surfaces the job server
+    polls while searches are being checkpointed."""
+
+    @staticmethod
+    def _manifest(run_id, created=0.0, completed=True):
+        from repro.search.store import RUN_FORMAT, library_version
+
+        return {
+            "format": RUN_FORMAT,
+            "run_id": run_id,
+            "created": created,
+            "completed": completed,
+            "n_evaluations": 0,
+            "label": "fabricated",
+            "kernel": "k",
+            "key": {"budget": 8},
+            "library_version": library_version(),
+        }
+
+    def test_resolve_run_id_prefix_and_ambiguity(self, tmp_path):
+        from repro.util.errors import UnknownNameError
+
+        store = RunStore(tmp_path)
+        id_a = "deadbeef" + "0" * 56
+        id_b = "deadbe" + "ff" + "0" * 56
+        store.save_run(self._manifest(id_a, created=1.0), [])
+        store.save_run(self._manifest(id_b, created=2.0), [])
+
+        assert store.resolve_run_id(id_a) == id_a
+        assert store.resolve_run_id("deadbeef") == id_a
+        assert store.resolve_run_id("deadbeff") == id_b
+        with pytest.raises(UnknownNameError, match="ambiguous"):
+            store.resolve_run_id("deadbe")
+        with pytest.raises(UnknownNameError, match="no stored run"):
+            store.resolve_run_id("f00f")
+
+    def test_list_runs_skips_half_written_dirs(self, tmp_path):
+        store = RunStore(tmp_path)
+        good = "ab" * 32
+        store.save_run(self._manifest(good), [])
+
+        # the shapes a concurrent writer / crash can leave behind:
+        (tmp_path / ("00" * 16)).mkdir()  # mkdir'd, nothing landed
+        torn = tmp_path / ("11" * 16)
+        torn.mkdir()
+        (torn / "manifest.json").write_text('{"format":')  # torn JSON
+        foreign = tmp_path / ("22" * 16)
+        foreign.mkdir()
+        (foreign / "manifest.json").write_text("[1, 2]")  # not a dict
+        stale = tmp_path / ("33" * 16)
+        stale.mkdir()
+        (stale / "manifest.json").write_text('{"format": 999}')
+        half = tmp_path / ("44" * 16)
+        half.mkdir()
+        (half / "records.pkl.tmp").write_bytes(b"partial")
+        (tmp_path / "stray-file").write_text("not a run dir")
+
+        runs = store.list_runs()
+        assert [m["run_id"] for m in runs] == [good]
+        assert store.resolve_run_id("abab") == good
+        # and the polling surface degrades to exists=False, not a crash
+        assert store.run_progress("00" * 32) == {
+            "run_id": "00" * 32,
+            "exists": False,
+        }
+
+    def test_list_runs_under_concurrent_writer(self, tmp_path):
+        import threading
+
+        store = RunStore(tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            try:
+                while not stop.is_set():
+                    run_id = f"{i:064x}"
+                    run_dir = store.run_dir(run_id)
+                    run_dir.mkdir(parents=True, exist_ok=True)
+                    # a torn non-atomic write first, then the real
+                    # manifest — the reader may observe either
+                    (run_dir / "manifest.json").write_text('{"forma')
+                    (run_dir / "manifest.json").write_text(
+                        json.dumps(self._manifest(run_id, created=float(i)))
+                    )
+                    i += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(300):
+                for manifest in store.list_runs():
+                    # every listed manifest is whole and well-formed
+                    assert manifest["format"] is not None
+                    assert len(str(manifest["run_id"])) == 64
+        finally:
+            stop.set()
+            thread.join(30)
+        assert not errors
+        # once the writer is quiet, the listing is exact and sorted
+        final = store.list_runs()
+        assert [m["run_id"] for m in final] == sorted(
+            (m["run_id"] for m in final),
+            key=lambda r: int(r, 16),
+            reverse=True,
+        )
