@@ -1,0 +1,65 @@
+"""Timing provenance for the ``BENCH_*.json`` writers.
+
+Every benchmark report records *where its wall-clock went*: the total
+build time plus the per-phase breakdown the observability tracer saw
+(compile vs estimate vs sweep vs checkpoint ...).  A benchmark number
+without provenance is hard to trust six months later — the ``timing``
+block makes each ``BENCH_*.json`` self-describing about what was
+actually measured.
+
+Usage (from a ``bench_*`` writer's ``main``)::
+
+    from _provenance import with_timing
+
+    report = with_timing(build_report, args.k, args.seed)
+    # report["timing"] == {"total_s": ..., "traced_s": ..., "phases": ...}
+
+The helper enables an in-memory tracer (no trace file) only when the
+process doesn't already have one, so a benchmark run under
+``--trace``-style instrumentation keeps its own tracer.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.obs import trace  # noqa: E402
+from repro.obs.profile import summarize_records  # noqa: E402
+
+
+def with_timing(
+    build: Callable[..., Dict[str, object]], *args, **kwargs
+) -> Dict[str, object]:
+    """Run ``build(*args, **kwargs)`` under the tracer and attach a
+    ``timing`` block to the returned report dict.
+
+    ``total_s`` is the wall-clock of the whole build; ``traced_s`` is
+    the portion attributed to traced root spans, and ``phases`` the
+    per-span-name self/total seconds (see
+    :func:`repro.obs.profile.summarize_records`).
+    """
+    owned = not trace.is_enabled()
+    if owned:
+        trace.enable(None)  # in-memory: sinks only, no trace file
+    t0 = time.perf_counter()
+    try:
+        with trace.collect() as records:
+            report = build(*args, **kwargs)
+    finally:
+        total_s = time.perf_counter() - t0
+        if owned:
+            trace.disable()
+    summary = summarize_records(records)
+    report["timing"] = {
+        "total_s": total_s,
+        "traced_s": summary["total_s"],
+        "phases": summary["phases"],
+    }
+    return report

@@ -209,7 +209,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=Path, default=_REPO_ROOT / "BENCH_eval.json"
     )
     args = ap.parse_args(argv)
-    report = build_report(args.k, args.seed)
+    from _provenance import with_timing
+
+    report = with_timing(build_report, args.k, args.seed)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for r in report["results"]:  # type: ignore[union-attr]
         print(

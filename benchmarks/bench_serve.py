@@ -220,7 +220,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=Path, default=_REPO_ROOT / "BENCH_serve.json"
     )
     args = ap.parse_args(argv)
-    report = build_report(args.thresholds)
+    from _provenance import with_timing
+
+    report = with_timing(build_report, args.thresholds)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     r = report["results"]
     print(

@@ -89,7 +89,9 @@ def main(argv: List[str] | None = None) -> int:
     ap.add_argument("--out", type=Path,
                     default=_REPO_ROOT / "BENCH_sweep.json")
     args = ap.parse_args(argv)
-    report = build_report(args.n, args.seed)
+    from _provenance import with_timing
+
+    report = with_timing(build_report, args.n, args.seed)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for r in report["results"]:  # type: ignore[union-attr]
         print(

@@ -75,6 +75,10 @@ from repro.search import (
 # run store, default models) + the whole workflow as methods — the
 # canonical API; the free functions above are deprecated wrappers
 from repro.session import RunsView, Session, SessionConfig  # noqa: E402
+
+# the observability layer: span tracing, the process-wide metrics
+# registry, and trace profiling (see README "Observability")
+from repro import obs  # noqa: E402
 from repro.util.errors import (  # noqa: E402
     ConfigError,
     InputError,
@@ -84,7 +88,7 @@ from repro.util.errors import (  # noqa: E402
     UnknownNameError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "kernel",
@@ -126,6 +130,7 @@ __all__ = [
     "RunsView",
     "RunStore",
     "SearchOrchestrator",
+    "obs",
     "ReproError",
     "InputError",
     "ConfigError",

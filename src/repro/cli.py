@@ -13,6 +13,7 @@ search   cost-aware Pareto precision search (durable with --store)
 plan     multi-scenario search plans through the orchestrator
 runs     run-store management: list / compare / prune / diff
 serve    long-lived HTTP/JSON job server over one shared session
+trace    summarize a JSONL trace file into a per-phase profile
 ======== ====================================================== =
 
 Examples::
@@ -21,10 +22,12 @@ Examples::
     python -m repro sweep --kernel simpsons --aggregate p95
     python -m repro tune --kernel blackscholes --threshold 1e-6 --robust
     python -m repro search --kernel kmeans --budget 32 --store runs/
+    python -m repro search --kernel blackscholes --trace run.trace.jsonl
     python -m repro plan --all --store runs/ --resume
     python -m repro runs --store runs/ --compare
     python -m repro runs --store runs/ --prune --incomplete
     python -m repro serve --store runs/ --port 8321 --workers 2
+    python -m repro trace --summarize run.trace.jsonl
 
 ``python -m repro.search`` remains as a deprecated alias of the
 ``search`` subcommand (removal in 2.0).
@@ -355,28 +358,44 @@ def _run_plan(args) -> int:
 
 
 def cmd_search(args) -> int:
+    from repro.obs import trace as obs_trace
+
     if args.resume and not args.store:
         args.parser.error("--resume requires --store")
     if (args.plan or args.all) and not args.store:
         args.parser.error("--plan/--all require --store")
-    if args.plan or args.all:
-        return _run_plan(args)
 
-    scen, code = _load_scenario(args)
-    if scen is None:
-        return code
-    sess = _session_for(args)
-    overrides: Dict[str, object] = {}
-    if args.budget is not None:
-        overrides["budget"] = args.budget
-    if args.threshold is not None:
-        overrides["threshold"] = args.threshold
-    if args.store is not None:
-        overrides["resume"] = args.resume
-    result = scen.run(session=sess, **overrides)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        obs_trace.enable(trace_path)
+    try:
+        if args.plan or args.all:
+            return _run_plan(args)
+
+        scen, code = _load_scenario(args)
+        if scen is None:
+            return code
+        sess = _session_for(args)
+        overrides: Dict[str, object] = {}
+        if args.budget is not None:
+            overrides["budget"] = args.budget
+        if args.threshold is not None:
+            overrides["threshold"] = args.threshold
+        if args.store is not None:
+            overrides["resume"] = args.resume
+        with obs_trace.span("cli.search", kernel=args.kernel):
+            result = scen.run(session=sess, **overrides)
+    finally:
+        if trace_path is not None:
+            obs_trace.disable()
 
     print(result.summary())
     _print_search_stats(result)
+    if result.profile is not None:
+        from repro.obs.profile import format_summary
+
+        print(f"trace profile ({trace_path}):")
+        print(format_summary(result.profile))
     _write_json(args, result.to_dict())
     ok = len(result.front) > 0 and result.front.is_consistent()
     return 0 if ok else 1
@@ -446,26 +465,62 @@ def cmd_runs(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.obs import trace as obs_trace
     from repro.serve import run_server
     from repro.session import Session, SessionConfig
 
+    if args.trace is not None:
+        # server-lifetime tracing: every job execution appends its
+        # serve.job (and nested) spans to this file
+        obs_trace.enable(args.trace)
     config = SessionConfig(
         seed=args.seed,
         strategies=tuple(s for s in args.strategies.split(",") if s)
         or SessionConfig().strategies,
     )
     session = Session(config, cache=args.cache, store=args.store)
-    run_server(
-        session,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        max_queue=args.max_queue,
-        max_budget=args.max_budget,
-        default_timeout_s=args.timeout,
-        resume=args.resume,
-        drain_timeout_s=args.drain_timeout,
+    try:
+        run_server(
+            session,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            max_budget=args.max_budget,
+            default_timeout_s=args.timeout,
+            resume=args.resume,
+            drain_timeout_s=args.drain_timeout,
+        )
+    finally:
+        if args.trace is not None:
+            obs_trace.disable()
+    return 0
+
+
+# -- trace --------------------------------------------------------------------
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.profile import (
+        format_summary,
+        load_trace,
+        summarize_records,
     )
+
+    try:
+        records = load_trace(args.summarize)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # load_trace names the offending line — the validation exit
+        # the CI trace-smoke job keys on
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_records(records)
+    print(f"trace: {args.summarize}")
+    print(format_summary(summary))
+    _write_json(args, summary)
     return 0
 
 
@@ -609,6 +664,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true",
         help="legacy alias of `plan --all` (requires --store)",
     )
+    sp.add_argument(
+        "--trace", type=Path, default=None,
+        help="append span records (JSONL) to this trace file and "
+             "print the per-phase profile (see the trace subcommand)",
+    )
     sp.set_defaults(func=cmd_search, parser=sp)
 
     # plan
@@ -745,7 +805,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategies", default="",
         help="session default strategy line-up (comma-separated)",
     )
+    sp.add_argument(
+        "--trace", type=Path, default=None,
+        help="append span records (JSONL) for every job execution to "
+             "this trace file",
+    )
     sp.set_defaults(func=cmd_serve, parser=sp)
+
+    # trace
+    sp = sub.add_parser(
+        "trace",
+        help="summarize a JSONL trace file into a per-phase profile",
+    )
+    sp.add_argument(
+        "--summarize", type=Path, required=True, metavar="TRACE",
+        help="trace file written by --trace (search/serve) to "
+             "validate and aggregate",
+    )
+    sp.add_argument(
+        "--json", type=Path, default=None,
+        help="write the summary as JSON to this path",
+    )
+    sp.set_defaults(func=cmd_trace, parser=sp)
 
     return ap
 

@@ -10,6 +10,7 @@ exit to preserve the IR's by-reference array semantics.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -17,6 +18,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.codegen import runtime
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.codegen.npgen import (
     _FLOAT_DTYPES,
     ConfigLaneProgram,
@@ -924,7 +927,29 @@ class ConfigLaneKernel:
 #: and the approx-intrinsic set (baked into the runtime bindings).
 _CONFIG_KERNEL_MEMO: "OrderedDict[tuple, ConfigLaneKernel]" = OrderedDict()
 _CONFIG_KERNEL_MEMO_MAX = 32
-_CONFIG_KERNEL_COUNTERS = {"hits": 0, "misses": 0, "unvectorizable": 0}
+# hit/miss/unvectorizable counts live in the process-wide metrics
+# registry; config_kernel_cache_stats()/Session.stats() are views
+_CK_HITS = obs_metrics.REGISTRY.counter(
+    "repro_config_kernel_hits_total", "config-lane kernel cache hits"
+)
+_CK_MISSES = obs_metrics.REGISTRY.counter(
+    "repro_config_kernel_misses_total",
+    "config-lane kernel cache misses (compiles)",
+)
+_CK_UNVEC = obs_metrics.REGISTRY.counter(
+    "repro_config_kernel_unvectorizable_total",
+    "kernels that could not be rendered in config-batched form",
+)
+_CK_ENTRIES = obs_metrics.REGISTRY.gauge(
+    "repro_config_kernel_entries", "config-lane kernel cache occupancy"
+)
+_CK_CAPACITY = obs_metrics.REGISTRY.gauge(
+    "repro_config_kernel_capacity", "config-lane kernel cache capacity"
+)
+_CK_CAPACITY.set(_CONFIG_KERNEL_MEMO_MAX)
+_CK_COMPILE_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_kernel_compile_seconds", "config-lane kernel codegen+compile latency"
+)
 #: guards the memo and its counters against concurrent server worker
 #: threads (repro.serve); held across a miss's codegen+exec so one
 #: kernel is built per content key, never one per racing thread
@@ -965,49 +990,79 @@ def config_lane_kernel(
             )
             hit = _CONFIG_KERNEL_MEMO.get(key)
             if hit is not None:
-                _CONFIG_KERNEL_COUNTERS["hits"] += 1
+                _CK_HITS.inc()
                 _CONFIG_KERNEL_MEMO.move_to_end(key)
                 return hit
-        _CONFIG_KERNEL_COUNTERS["misses"] += 1
-        try:
-            program = generate_config_lane_source(
-                fn,
-                batched=set(batched),
-                counting=counting,
-                allow_arrays=allow_arrays,
+        _CK_MISSES.inc()
+        t0 = time.perf_counter()
+        with obs_trace.span(
+            "codegen.compile", kernel=fn.name, cached=key is not None
+        ):
+            try:
+                program = generate_config_lane_source(
+                    fn,
+                    batched=set(batched),
+                    counting=counting,
+                    allow_arrays=allow_arrays,
+                )
+            except UnvectorizableError:
+                _CK_UNVEC.inc()
+                raise
+            g = runtime.config_lane_bindings(approx=approx)
+            if extra_bindings:
+                g.update(extra_bindings)
+            code = compile(
+                program.source,
+                filename=f"<repro-config:{fn.name}>",
+                mode="exec",
             )
-        except UnvectorizableError:
-            _CONFIG_KERNEL_COUNTERS["unvectorizable"] += 1
-            raise
-        g = runtime.config_lane_bindings(approx=approx)
-        if extra_bindings:
-            g.update(extra_bindings)
-        code = compile(
-            program.source, filename=f"<repro-config:{fn.name}>", mode="exec"
-        )
-        ns: Dict[str, object] = {}
-        exec(code, g, ns)  # noqa: S102 - compiling our own generated source
-        kernel = ConfigLaneKernel(program, ns[fn.name])  # type: ignore[arg-type]
+            ns: Dict[str, object] = {}
+            exec(code, g, ns)  # noqa: S102 - compiling our own generated source
+            kernel = ConfigLaneKernel(program, ns[fn.name])  # type: ignore[arg-type]
+        _CK_COMPILE_SECONDS.observe(time.perf_counter() - t0)
         if key is not None:
             _CONFIG_KERNEL_MEMO[key] = kernel
             while len(_CONFIG_KERNEL_MEMO) > _CONFIG_KERNEL_MEMO_MAX:
                 _CONFIG_KERNEL_MEMO.popitem(last=False)
+            _CK_ENTRIES.set(len(_CONFIG_KERNEL_MEMO))
         return kernel
 
 
-def config_kernel_cache_stats() -> Dict[str, int]:
-    """Occupancy and hit/miss counters of the config-kernel memo."""
+def _cache_stats() -> Dict[str, int]:
+    """Registry view of the config-kernel memo (non-deprecated internal
+    form of :func:`config_kernel_cache_stats`; same dict shape)."""
     with _CONFIG_KERNEL_LOCK:
         return {
             "entries": len(_CONFIG_KERNEL_MEMO),
             "capacity": _CONFIG_KERNEL_MEMO_MAX,
-            **_CONFIG_KERNEL_COUNTERS,
+            "hits": _CK_HITS.value,
+            "misses": _CK_MISSES.value,
+            "unvectorizable": _CK_UNVEC.value,
         }
 
 
+def config_kernel_cache_stats() -> Dict[str, int]:
+    """Occupancy and hit/miss counters of the config-kernel memo.
+
+    .. deprecated:: 1.3
+        Legacy wrapper, removed in 2.0 — the counts live in
+        :data:`repro.obs.metrics.REGISTRY` (``repro_config_kernel_*``);
+        read them via :meth:`repro.session.Session.stats`.
+    """
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.codegen.compile.config_kernel_cache_stats()",
+        'Session.stats()["config_kernel_cache"]',
+    )
+    return _cache_stats()
+
+
 def clear_config_kernel_cache() -> None:
-    """Drop all memoized config-lane kernels (test isolation helper)."""
+    """Drop all memoized config-lane kernels (test isolation helper).
+
+    The ``repro_config_kernel_*`` registry counters reset too."""
     with _CONFIG_KERNEL_LOCK:
         _CONFIG_KERNEL_MEMO.clear()
-        for key in _CONFIG_KERNEL_COUNTERS:
-            _CONFIG_KERNEL_COUNTERS[key] = 0
+        obs_metrics.REGISTRY.reset(prefix="repro_config_kernel_")
+        _CK_CAPACITY.set(_CONFIG_KERNEL_MEMO_MAX)

@@ -11,12 +11,15 @@ friendly calling convention.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.codegen.compile import CompiledFunction, compile_raw
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.core.estimation import ErrorEstimationModule
 from repro.core.models import ErrorModel
 from repro.core.report import ErrorReport, GradientResult
@@ -74,15 +77,23 @@ class _AdjointRunner:
         extra_bindings: Optional[Dict[str, object]] = None,
     ) -> None:
         self.primal = primal
-        adjoint = build_adjoint(
-            primal, extension, opt_level=opt_level,
-            minimal_pushes=minimal_pushes,
-        )
-        self.adjoint = adjoint
-        self.layout = adjoint.meta["adjoint"]
-        self.compiled: CompiledFunction = compile_raw(
-            adjoint, extra_bindings=extra_bindings
-        )
+        t0 = time.perf_counter()
+        with obs_trace.span(
+            "estimate.build",
+            kernel=primal.name,
+            opt_level=opt_level,
+            estimating=extension is not None,
+        ):
+            adjoint = build_adjoint(
+                primal, extension, opt_level=opt_level,
+                minimal_pushes=minimal_pushes,
+            )
+            self.adjoint = adjoint
+            self.layout = adjoint.meta["adjoint"]
+            self.compiled: CompiledFunction = compile_raw(
+                adjoint, extra_bindings=extra_bindings
+            )
+        _BUILD_SECONDS.observe(time.perf_counter() - t0)
         self._n_primal_params = len(primal.params)
 
     @property
@@ -337,9 +348,26 @@ def estimate_error(
 
 _ESTIMATOR_MEMO: "OrderedDict[tuple, ErrorEstimator]" = OrderedDict()
 _ESTIMATOR_MEMO_MAX = 64
-#: process-cumulative hit/miss counters (misses = estimators compiled
-#: through the memo; uncacheable builds count as misses too)
-_MEMO_COUNTERS = {"hits": 0, "misses": 0}
+# process-cumulative hit/miss counts live in the process-wide metrics
+# registry (misses = estimators compiled through the memo; uncacheable
+# builds count as misses too); estimator_memo_stats()/Session.stats()
+# are views over these instruments
+_MEMO_HITS = obs_metrics.REGISTRY.counter(
+    "repro_memo_hits_total", "estimator memo hits"
+)
+_MEMO_MISSES = obs_metrics.REGISTRY.counter(
+    "repro_memo_misses_total", "estimator memo misses (compiles)"
+)
+_MEMO_ENTRIES = obs_metrics.REGISTRY.gauge(
+    "repro_memo_entries", "estimator memo occupancy"
+)
+_MEMO_CAPACITY = obs_metrics.REGISTRY.gauge(
+    "repro_memo_capacity", "estimator memo capacity"
+)
+_MEMO_CAPACITY.set(_ESTIMATOR_MEMO_MAX)
+_BUILD_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_estimate_build_seconds", "adjoint build+compile latency"
+)
 #: guards the memo and its counters: long-lived servers (repro.serve)
 #: share one process-wide memo across concurrent worker threads, and
 #: an unguarded read-modify-write would corrupt occupancy/hit counts.
@@ -378,8 +406,7 @@ def cached_error_estimator(
     and tracked-sensitivity estimators are never memoized.
     """
     if (model is not None and not model.cacheable) or track:
-        with _MEMO_LOCK:
-            _MEMO_COUNTERS["misses"] += 1
+        _MEMO_MISSES.inc()
         return ErrorEstimator(
             k, model=model, track=track, opt_level=opt_level,
             minimal_pushes=minimal_pushes,
@@ -388,7 +415,7 @@ def cached_error_estimator(
     with _MEMO_LOCK:
         est = _ESTIMATOR_MEMO.get(key)
         if est is None:
-            _MEMO_COUNTERS["misses"] += 1
+            _MEMO_MISSES.inc()
             est = ErrorEstimator(
                 k, model=model, opt_level=opt_level,
                 minimal_pushes=minimal_pushes,
@@ -397,8 +424,9 @@ def cached_error_estimator(
             while len(_ESTIMATOR_MEMO) > _ESTIMATOR_MEMO_MAX:
                 _ESTIMATOR_MEMO.popitem(last=False)
         else:
-            _MEMO_COUNTERS["hits"] += 1
+            _MEMO_HITS.inc()
             _ESTIMATOR_MEMO.move_to_end(key)
+        _MEMO_ENTRIES.set(len(_ESTIMATOR_MEMO))
         return est
 
 
@@ -437,8 +465,25 @@ def warm_start_estimator_memo(
     return built
 
 
+def _memo_stats() -> Dict[str, int]:
+    """Registry view of the estimator memo (non-deprecated internal
+    form of :func:`estimator_memo_stats`; same dict shape)."""
+    with _MEMO_LOCK:
+        return {
+            "entries": len(_ESTIMATOR_MEMO),
+            "capacity": _ESTIMATOR_MEMO_MAX,
+            "hits": _MEMO_HITS.value,
+            "misses": _MEMO_MISSES.value,
+        }
+
+
 def estimator_memo_stats() -> Dict[str, int]:
     """Occupancy of the process-wide estimator memo.
+
+    .. deprecated:: 1.3
+        Legacy wrapper, removed in 2.0 — the counts live in
+        :data:`repro.obs.metrics.REGISTRY` (``repro_memo_*``); read
+        them via :meth:`repro.session.Session.stats`.
 
     Useful for sizing parallel search runs: entries memoized in the
     parent before a fork-started worker pool spawns are inherited by
@@ -447,21 +492,22 @@ def estimator_memo_stats() -> Dict[str, int]:
     ``hits``/``misses`` are process-cumulative; ``entries``/``capacity``
     are gauges.
     """
-    with _MEMO_LOCK:
-        return {
-            "entries": len(_ESTIMATOR_MEMO),
-            "capacity": _ESTIMATOR_MEMO_MAX,
-            "hits": _MEMO_COUNTERS["hits"],
-            "misses": _MEMO_COUNTERS["misses"],
-        }
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy(
+        "repro.core.api.estimator_memo_stats()",
+        'Session.stats()["estimator_memo"]',
+    )
+    return _memo_stats()
 
 
 def clear_estimator_memo() -> None:
     """Drop all memoized estimators (test isolation helper).
 
-    Counters reset too, so tests can assert per-scope hit deltas.
+    The ``repro_memo_*`` registry counters reset too, so tests can
+    assert per-scope hit deltas.
     """
     with _MEMO_LOCK:
         _ESTIMATOR_MEMO.clear()
-        _MEMO_COUNTERS["hits"] = 0
-        _MEMO_COUNTERS["misses"] = 0
+        obs_metrics.REGISTRY.reset(prefix="repro_memo_")
+        _MEMO_CAPACITY.set(_ESTIMATOR_MEMO_MAX)

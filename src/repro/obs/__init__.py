@@ -1,0 +1,38 @@
+"""repro.obs — the unified observability layer.
+
+Three pieces, used together or alone:
+
+* :mod:`repro.obs.trace` — span-based structured tracing to
+  append-only JSONL (``trace.enable(path)`` /
+  ``with trace.span("search.batch", k=32): ...``), a zero-cost no-op
+  while disabled;
+* :mod:`repro.obs.metrics` — the process-wide :data:`~repro.obs.metrics.REGISTRY`
+  of counters/gauges/bounded histograms that every subsystem's stat
+  dict is a view over, with Prometheus text exposition
+  (``/v1/metrics?format=prom``);
+* :mod:`repro.obs.profile` — span-tree aggregation into per-phase
+  time breakdowns (``python -m repro trace --summarize``,
+  ``SearchResult.profile``).
+
+See the README "Observability" section for the trace record format,
+the metric name glossary, and a ``--trace`` walkthrough.
+"""
+
+from repro.obs import metrics, profile, trace
+from repro.obs.metrics import REGISTRY, MetricsRegistry, render_prom
+from repro.obs.profile import format_summary, load_trace, summarize_records
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "trace",
+    "metrics",
+    "profile",
+    "REGISTRY",
+    "MetricsRegistry",
+    "render_prom",
+    "load_trace",
+    "summarize_records",
+    "format_summary",
+    "Span",
+    "Tracer",
+]

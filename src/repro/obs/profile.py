@@ -1,0 +1,197 @@
+"""Trace profiling: span trees → per-phase time breakdowns.
+
+Consumes the JSONL records :mod:`repro.obs.trace` emits (from a file
+via :func:`load_trace`, or in memory via ``trace.collect()``) and
+aggregates them into the per-phase report behind
+``python -m repro trace --summarize`` and ``SearchResult.profile``.
+
+The key quantity is **self time** (exclusive time): a span's duration
+minus the summed durations of its direct children.  Self times
+partition wall-clock exactly — summed over every span in a tree they
+equal the root span's duration — so "compile vs evaluate vs checkpoint
+vs merge" breakdowns add up instead of double-counting nested work.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "load_trace",
+    "summarize_records",
+    "format_summary",
+]
+
+Record = Dict[str, object]
+
+
+def load_trace(path: Union[str, Path]) -> List[Record]:
+    """Parse a JSONL trace file into a list of span records.
+
+    Raises ``ValueError`` naming the offending line when any line is
+    not valid JSON or lacks the mandatory span fields — the validation
+    the CI ``trace-smoke`` job leans on.
+    """
+    records: List[Record] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSON in trace: {exc}"
+                ) from exc
+            if not isinstance(rec, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: trace record is not an object"
+                )
+            for field in ("name", "span", "dur_s", "t_start"):
+                if field not in rec:
+                    raise ValueError(
+                        f"{path}:{lineno}: trace record missing {field!r}"
+                    )
+            records.append(rec)
+    return records
+
+
+def summarize_records(
+    records: Iterable[Record],
+    root: Optional[str] = None,
+) -> Dict[str, object]:
+    """Aggregate span records into a per-phase time breakdown.
+
+    :param records: finished-span records (file or collector order —
+        children appear before their parents, but order is not
+        assumed).
+    :param root: restrict the summary to the subtree under this span
+        id (e.g. a ``search.run`` span inside a larger serve trace);
+        default is every span in the trace.
+
+    Returns::
+
+        {
+          "spans": <int>,                 # spans summarized
+          "errors": <int>,                # spans with error status
+          "total_s": <float>,             # summed root-span durations
+          "phases": {                     # keyed by span name,
+            name: {                       # ordered by self_s desc
+              "count": <int>,
+              "total_s": <float>,         # inclusive
+              "self_s": <float>,          # exclusive — sums to total_s
+            }, ...
+          },
+        }
+
+    ``total_s`` is the summed duration of the summarized roots, and
+    the ``self_s`` column sums to it exactly (up to float rounding).
+    """
+    recs = [dict(r) for r in records]
+    by_id: Dict[str, Record] = {}
+    for r in recs:
+        span_id = r.get("span")
+        if isinstance(span_id, str):
+            by_id[span_id] = r
+
+    if root is not None:
+        selected = _subtree(recs, by_id, root)
+    else:
+        selected = recs
+
+    child_sum: Dict[str, float] = {}
+    for r in selected:
+        parent = r.get("parent")
+        if isinstance(parent, str):
+            child_sum[parent] = child_sum.get(parent, 0.0) + float(
+                r.get("dur_s", 0.0)
+            )
+
+    selected_ids = {
+        r["span"] for r in selected if isinstance(r.get("span"), str)
+    }
+    phases: Dict[str, Dict[str, float]] = {}
+    total_s = 0.0
+    errors = 0
+    for r in selected:
+        name = str(r.get("name", "?"))
+        dur = float(r.get("dur_s", 0.0))
+        self_s = max(0.0, dur - child_sum.get(str(r.get("span")), 0.0))
+        phase = phases.setdefault(
+            name, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        phase["count"] += 1
+        phase["total_s"] += dur
+        phase["self_s"] += self_s
+        status = str(r.get("status", "ok"))
+        if status.startswith("error"):
+            errors += 1
+        parent = r.get("parent")
+        is_root = not (isinstance(parent, str) and parent in selected_ids)
+        if is_root:
+            total_s += dur
+
+    ordered = dict(
+        sorted(phases.items(), key=lambda kv: kv[1]["self_s"], reverse=True)
+    )
+    return {
+        "spans": len(selected),
+        "errors": errors,
+        "total_s": total_s,
+        "phases": ordered,
+    }
+
+
+def _subtree(
+    recs: List[Record], by_id: Dict[str, Record], root: str
+) -> List[Record]:
+    """Records in the subtree rooted at span id ``root`` (inclusive),
+    found by walking each record's parent chain."""
+    member: Dict[str, bool] = {root: True}
+
+    def in_subtree(span_id: str) -> bool:
+        chain: List[str] = []
+        cur: Optional[str] = span_id
+        while isinstance(cur, str) and cur not in member:
+            chain.append(cur)
+            rec = by_id.get(cur)
+            cur = rec.get("parent") if rec is not None else None  # type: ignore[assignment]
+        verdict = bool(isinstance(cur, str) and member.get(cur, False))
+        for sid in chain:
+            member[sid] = verdict
+        return verdict
+
+    out: List[Record] = []
+    for r in recs:
+        span_id = r.get("span")
+        if isinstance(span_id, str) and in_subtree(span_id):
+            out.append(r)
+    return out
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Render a :func:`summarize_records` result as an aligned text
+    table (the ``python -m repro trace --summarize`` output)."""
+    phases = summary.get("phases", {})
+    assert isinstance(phases, dict)
+    total_s = float(summary.get("total_s", 0.0))  # type: ignore[arg-type]
+    lines = [
+        f"spans: {summary.get('spans', 0)}   "
+        f"errors: {summary.get('errors', 0)}   "
+        f"total: {total_s:.4f}s",
+        f"{'phase':<28} {'count':>7} {'self_s':>10} "
+        f"{'total_s':>10} {'self%':>7}",
+    ]
+    for name, st in phases.items():
+        self_s = float(st["self_s"])
+        pct = (100.0 * self_s / total_s) if total_s > 0 else 0.0
+        lines.append(
+            f"{name:<28} {int(st['count']):>7} {self_s:>10.4f} "
+            f"{float(st['total_s']):>10.4f} {pct:>6.1f}%"
+        )
+    self_sum = sum(float(st["self_s"]) for st in phases.values())
+    lines.append(f"{'(self-time sum)':<28} {'':>7} {self_sum:>10.4f}")
+    return "\n".join(lines)

@@ -56,6 +56,8 @@ from repro.frontend.registry import Kernel
 from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.ir import nodes as N
 from repro.ir.types import DType
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
 from repro.search.parallel import ParallelEvaluator
 from repro.search.pareto import ParetoFront
@@ -118,6 +120,10 @@ class SearchResult:
     #: session provenance (session/config identity, method, sequence
     #: number) — stamped by :class:`repro.session.Session`
     provenance: Optional[Dict[str, object]] = None
+    #: per-phase time breakdown aggregated from this run's span tree
+    #: (:func:`repro.obs.profile.summarize_records` output); ``None``
+    #: unless tracing was enabled during the search
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def n_evaluated(self) -> int:
@@ -149,6 +155,7 @@ class SearchResult:
             "resumed": self.resumed,
             "n_restored": self.n_restored,
             "provenance": self.provenance,
+            "profile": self.profile,
         }
 
     def summary(self) -> str:
@@ -538,7 +545,7 @@ def run_search(
     )
     if ev_cls is ParallelEvaluator:
         ev_kwargs["workers"] = int(workers)
-    from repro.codegen.compile import config_kernel_cache_stats
+    from repro.codegen.compile import _cache_stats
 
     evaluator = ev_cls(fn, points, **ev_kwargs)
     n_checkpoints = 0
@@ -561,100 +568,126 @@ def run_search(
                 on_batch(ev.n_computed)
 
         evaluator.checkpoint = _on_computed
-    kernel_cache_before = config_kernel_cache_stats()
-    try:
-        evaluator.prepare()
-        if restored:
-            evaluator.restore(restored)
-        if (
-            manifest is not None
-            and manifest.get("contributions") is not None
-        ):
-            # resume: the candidate set and contribution ranking were
-            # derived (and persisted) by the original run — reuse them
-            # instead of re-sweeping
-            cand = tuple(manifest["candidates"])
-            contributions = {
-                c: float(v)
-                for c, v in manifest["contributions"].items()
-            }
-        else:
-            registers = _register_contributions(
-                fn, evaluator.points, samples, fixed, demote_to,
-                aggregate, sweep_cache,
-            )
-            if candidates is None:
-                cand = _derive_candidates(registers)
+    kernel_cache_before = _cache_stats()
+    obs_metrics.REGISTRY.counter(
+        "repro_search_runs_total", "precision searches driven"
+    ).inc()
+    # with tracing enabled, this run's spans are also collected in
+    # memory (forked workers' spans go to the trace file only) and
+    # aggregated into SearchResult.profile; with tracing disabled the
+    # collector stays empty and profile is None
+    with obs_trace.collect() as trace_records, obs_trace.span(
+        "search.run",
+        kernel=fn.name,
+        budget=int(budget),
+        run_id=run_id,
+        strategies=list(names),
+    ) as root_span:
+        try:
+            with obs_trace.span("search.prepare", kernel=fn.name):
+                evaluator.prepare()
+            if restored:
+                evaluator.restore(restored)
+            if (
+                manifest is not None
+                and manifest.get("contributions") is not None
+            ):
+                # resume: the candidate set and contribution ranking were
+                # derived (and persisted) by the original run — reuse them
+                # instead of re-sweeping
+                cand = tuple(manifest["candidates"])
+                contributions = {
+                    c: float(v)
+                    for c, v in manifest["contributions"].items()
+                }
             else:
-                cand = tuple(candidates)
-            contributions = {
-                c: sum(
-                    e for r, e in registers.items() if matches_inlined(r, c)
-                )
-                for c in cand
-            }
-            if run_store is not None and manifest is not None:
-                manifest["candidates"] = list(cand)
-                manifest["contributions"] = contributions
-                run_store.save_manifest(run_id, manifest)
-        problem = SearchProblem(
-            evaluator=evaluator,
-            candidates=cand,
-            threshold=float(threshold),
-            contributions=contributions,
-            demote_to=demote_to,
-            budget=int(budget),
-            seed=int(seed),
-        )
-        if restored:
-            # stored evaluations already consumed budget in the run
-            # that computed them
-            problem.charge(evaluator.n_restored)
-        for name in names:
-            if problem.exhausted:
-                break
-            get_strategy(name).run(problem)
-        front = ParetoFront(evaluator.history)
-        parallel = bool(getattr(evaluator, "parallel", False))
-        from repro.core.api import estimator_memo_stats
-
-        # hit/miss counters are process-cumulative: report this run's
-        # deltas (entries/capacity stay gauges)
-        kernel_cache = dict(config_kernel_cache_stats())
-        for counter in ("hits", "misses", "unvectorizable"):
-            kernel_cache[counter] -= kernel_cache_before[counter]
-        stats: Dict[str, object] = {
-            "evaluator": evaluator.eval_stats(),
-            "estimator_memo": estimator_memo_stats(),
-            "config_kernel_cache": kernel_cache,
-        }
-        if sweep_cache is not None:
-            stats["sweep_cache"] = sweep_cache.cache_stats()
-        if run_store is not None and manifest is not None:
-            records = [record_of(c) for c in evaluator.history]
-            run_store.complete_run(
-                run_id,
-                manifest,
-                records,
-                baseline_key=(
-                    problem.baseline.key if problem.baseline else None
-                ),
-                front=[
-                    {"key": p.key, "error": p.error, "cycles": p.cycles}
-                    for p in front.points
-                ],
+                with obs_trace.span("search.contributions"):
+                    registers = _register_contributions(
+                        fn, evaluator.points, samples, fixed, demote_to,
+                        aggregate, sweep_cache,
+                    )
+                if candidates is None:
+                    cand = _derive_candidates(registers)
+                else:
+                    cand = tuple(candidates)
+                contributions = {
+                    c: sum(
+                        e
+                        for r, e in registers.items()
+                        if matches_inlined(r, c)
+                    )
+                    for c in cand
+                }
+                if run_store is not None and manifest is not None:
+                    manifest["candidates"] = list(cand)
+                    manifest["contributions"] = contributions
+                    run_store.save_manifest(run_id, manifest)
+            problem = SearchProblem(
+                evaluator=evaluator,
+                candidates=cand,
+                threshold=float(threshold),
+                contributions=contributions,
+                demote_to=demote_to,
+                budget=int(budget),
+                seed=int(seed),
             )
-            n_checkpoints += 1
-            stats["run_store"] = {
-                "run_id": run_id,
-                "root": str(run_store.root),
-                "restored": evaluator.n_restored,
-                "computed": evaluator.n_computed,
-                "checkpoints": n_checkpoints,
-                "replayed": bool(restored),
+            if restored:
+                # stored evaluations already consumed budget in the run
+                # that computed them
+                problem.charge(evaluator.n_restored)
+            for name in names:
+                if problem.exhausted:
+                    break
+                with obs_trace.span("search.strategy", strategy=name):
+                    get_strategy(name).run(problem)
+            front = ParetoFront(evaluator.history)
+            parallel = bool(getattr(evaluator, "parallel", False))
+            from repro.core.api import _memo_stats
+
+            # hit/miss counters are process-cumulative: report this
+            # run's deltas (entries/capacity stay gauges)
+            kernel_cache = dict(_cache_stats())
+            for counter in ("hits", "misses", "unvectorizable"):
+                kernel_cache[counter] -= kernel_cache_before[counter]
+            stats: Dict[str, object] = {
+                "evaluator": evaluator.eval_stats(),
+                "estimator_memo": _memo_stats(),
+                "config_kernel_cache": kernel_cache,
             }
-    finally:
-        evaluator.close()
+            if sweep_cache is not None:
+                stats["sweep_cache"] = sweep_cache.cache_stats()
+            if run_store is not None and manifest is not None:
+                records = [record_of(c) for c in evaluator.history]
+                run_store.complete_run(
+                    run_id,
+                    manifest,
+                    records,
+                    baseline_key=(
+                        problem.baseline.key if problem.baseline else None
+                    ),
+                    front=[
+                        {"key": p.key, "error": p.error, "cycles": p.cycles}
+                        for p in front.points
+                    ],
+                )
+                n_checkpoints += 1
+                stats["run_store"] = {
+                    "run_id": run_id,
+                    "root": str(run_store.root),
+                    "restored": evaluator.n_restored,
+                    "computed": evaluator.n_computed,
+                    "checkpoints": n_checkpoints,
+                    "replayed": bool(restored),
+                }
+        finally:
+            evaluator.close()
+    profile: Optional[Dict[str, object]] = None
+    if trace_records:
+        from repro.obs.profile import summarize_records
+
+        profile = summarize_records(
+            trace_records, root=getattr(root_span, "span_id", None)
+        )
     return SearchResult(
         kernel=fn.name,
         front=front,
@@ -670,6 +703,7 @@ def run_search(
         run_id=run_id,
         resumed=bool(restored),
         n_restored=evaluator.n_restored,
+        profile=profile,
     )
 
 

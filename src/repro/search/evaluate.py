@@ -21,6 +21,7 @@ order — the substrate the Pareto front is built from.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -40,6 +41,8 @@ from repro.core.api import KernelLike
 from repro.frontend.registry import Kernel
 from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.ir import nodes as N
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.ir.types import DType
 from repro.sweep.aggregate import AggregatorSpec, resolve_aggregator
 from repro.sweep.engine import CacheLike, run_sweep
@@ -324,13 +327,35 @@ class CandidateEvaluator:
         self.prepare()
         keys = [config_key(c) for c in configs]
         fresh: "Dict[str, PrecisionConfig]" = {}
+        memo_hits = 0
         for c, key in zip(configs, keys):
             if key in self.memo:
                 self.n_memo_hits += 1
+                memo_hits += 1
             elif key not in fresh:
                 fresh[key] = c
+        if memo_hits:
+            obs_metrics.REGISTRY.counter(
+                "repro_search_memo_hits_total",
+                "candidate evaluations served from the evaluator memo",
+            ).inc(memo_hits)
         if fresh:
-            computed = self._compute_many(list(fresh.values()))
+            t0 = time.perf_counter()
+            with obs_trace.span(
+                "search.batch",
+                k=len(fresh),
+                memo_hits=memo_hits,
+                strategy=strategy,
+            ):
+                computed = self._compute_many(list(fresh.values()))
+            obs_metrics.REGISTRY.histogram(
+                "repro_search_batch_seconds",
+                "latency of one computed candidate batch",
+            ).observe(time.perf_counter() - t0)
+            obs_metrics.REGISTRY.counter(
+                "repro_search_evaluations_total",
+                "candidate configurations computed (not memoized)",
+            ).inc(len(fresh))
             for key, cand in zip(fresh, computed):
                 cand.index = len(self.history)
                 cand.strategy = strategy

@@ -30,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs import trace as obs_trace
 from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
 from repro.tuning.config import PrecisionConfig
 
@@ -57,7 +58,16 @@ def _worker_compute_block(
     ev = _FORK_EVALUATOR
     assert ev is not None, "worker forked without evaluator"
     before = (ev.n_pool_runs, ev.n_pool_lanes, ev.n_pool_fallbacks)
-    out = CandidateEvaluator._compute_many(ev, configs)
+    # worker attribution: the span's pid field identifies which forked
+    # process scored this block (the inherited tracer appends to the
+    # same O_APPEND trace file, one atomic line per record).  The
+    # inherited thread-local span stack holds the *parent's* open spans
+    # — stale in this process — so it is dropped before tracing here.
+    tracer = obs_trace.current()
+    if tracer is not None:
+        tracer._stack().clear()
+    with obs_trace.span("search.worker", k=len(configs)):
+        out = CandidateEvaluator._compute_many(ev, configs)
     delta = (
         ev.n_pool_runs - before[0],
         ev.n_pool_lanes - before[1],
@@ -174,7 +184,15 @@ class ParallelEvaluator(CandidateEvaluator):
         # shipping would pay one lane execution per config)
         blocks = _blocks(list(configs), self.workers)
         try:
-            results = pool.map(_worker_compute_block, blocks, chunksize=1)
+            with obs_trace.span(
+                "search.parallel",
+                k=len(configs),
+                blocks=len(blocks),
+                workers=self.workers,
+            ):
+                results = pool.map(
+                    _worker_compute_block, blocks, chunksize=1
+                )
         except Exception:
             # a worker raised (or died): the pool may have lost
             # processes or hold half-delivered results, so it is not
@@ -184,8 +202,9 @@ class ParallelEvaluator(CandidateEvaluator):
             self._pool_failed = True
             self._reap()
             return super()._compute_many(configs)
-        for _, (runs, lanes, fallbacks) in results:
-            self.n_pool_runs += runs
-            self.n_pool_lanes += lanes
-            self.n_pool_fallbacks += fallbacks
-        return [cand for block, _ in results for cand in block]
+        with obs_trace.span("search.merge", blocks=len(blocks)):
+            for _, (runs, lanes, fallbacks) in results:
+                self.n_pool_runs += runs
+                self.n_pool_lanes += lanes
+                self.n_pool_fallbacks += fallbacks
+            return [cand for block, _ in results for cand in block]

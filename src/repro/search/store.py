@@ -45,6 +45,8 @@ from repro.interp.cost_model import CostModel
 from repro.ir import nodes as N
 from repro.ir.fingerprint import ir_fingerprint
 from repro.ir.types import DType
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.search.evaluate import EvaluatedCandidate
 from repro.sweep.cache import digest_inputs
 from repro.tuning.config import PrecisionConfig
@@ -299,9 +301,19 @@ class RunStore:
         Called after every computed batch; budgets are small (tens to a
         few hundred records), so rewriting beats the bookkeeping of an
         append-only log while keeping the all-or-nothing guarantee."""
-        self.run_dir(run_id).mkdir(parents=True, exist_ok=True)
-        data = pickle.dumps(list(records), protocol=_PICKLE_PROTOCOL)
-        _atomic_write(self._records_path(run_id), data)
+        t0 = time.perf_counter()
+        with obs_trace.span(
+            "store.checkpoint", run_id=run_id, records=len(records)
+        ):
+            self.run_dir(run_id).mkdir(parents=True, exist_ok=True)
+            data = pickle.dumps(list(records), protocol=_PICKLE_PROTOCOL)
+            _atomic_write(self._records_path(run_id), data)
+        obs_metrics.REGISTRY.counter(
+            "repro_search_checkpoints_total", "run-store checkpoint writes"
+        ).inc()
+        obs_metrics.REGISTRY.histogram(
+            "repro_checkpoint_write_seconds", "run-store checkpoint latency"
+        ).observe(time.perf_counter() - t0)
 
     def load_records(self, run_id: str) -> List[Dict[str, object]]:
         """Stored evaluation records, as the longest valid prefix.

@@ -5,22 +5,29 @@ by calling :meth:`ServeApp.handle` with a synthetic
 :class:`~repro.serve.http.HttpRequest`; the asyncio server in
 :mod:`repro.serve.server` is just transport around this.
 
-Endpoints (all JSON)::
+Endpoints (all JSON unless noted)::
 
     GET    /v1/healthz          liveness (503 while draining)
     GET    /v1/metrics          service + session + cache telemetry
+    GET    /v1/metrics?format=prom  Prometheus text exposition
     GET    /v1/jobs             job listing (?state= filter)
     POST   /v1/jobs             submit a job spec (dedupes by content)
     GET    /v1/jobs/{id}        job state + live search progress
     GET    /v1/jobs/{id}/result result payload (202 while pending)
     DELETE /v1/jobs/{id}        cancel
+
+Submissions carry a request id (client ``X-Request-Id`` header, or a
+generated one) that is stamped on the job and echoed in the response
+headers — the same id appears on the job's ``serve.job`` root span
+when tracing is enabled, joining HTTP traffic to trace files.
 """
 
 from __future__ import annotations
 
+import uuid
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
-from repro.serve.http import HttpError, HttpRequest
+from repro.serve.http import HttpError, HttpRequest, PlainText
 from repro.serve.jobs import (
     COMPLETED,
     FINISHED,
@@ -80,6 +87,13 @@ class ServeApp:
             return self._healthz()
         if path == "/v1/metrics":
             self._require(method, "GET")
+            fmt = req.query.get("format", "json")
+            if fmt == "prom":
+                return 200, PlainText(self.metrics.render_prom()), {}
+            if fmt != "json":
+                raise HttpError(
+                    400, f"unknown metrics format {fmt!r} (json|prom)"
+                )
             return 200, self.metrics.snapshot(), {}
         if path == "/v1/jobs":
             if method == "GET":
@@ -140,11 +154,18 @@ class ServeApp:
                 {"Retry-After": str(RETRY_AFTER_S)},
             )
         spec = JobSpec.from_dict(req.json())
-        job, created = self.registry.submit(spec)
+        request_id = (
+            req.headers.get("x-request-id") or f"req-{uuid.uuid4().hex[:12]}"
+        )
+        job, created = self.registry.submit(spec, request_id=request_id)
         payload = job.to_dict()
         payload["created"] = created
         # 201 for new work, 200 when answered by the content-hash dedup
-        return (201 if created else 200), payload, {}
+        return (
+            (201 if created else 200),
+            payload,
+            {"X-Request-Id": request_id},
+        )
 
     def _job(self, job_id: str) -> Response:
         job = self.registry.get(job_id)

@@ -129,6 +129,21 @@ async def read_request(
     return HttpRequest(method, target, headers, body)
 
 
+class PlainText:
+    """A non-JSON response payload: rendered verbatim as
+    ``text/plain`` (the Prometheus exposition content type by
+    default).  Route handlers return one instead of a JSON-expressible
+    object when the client expects a text format."""
+
+    def __init__(
+        self,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
 def render(
     status: int,
     payload: object,
@@ -136,12 +151,18 @@ def render(
     keep_alive: bool = True,
     headers: Optional[Mapping[str, str]] = None,
 ) -> bytes:
-    """Serialize one JSON response, ready for ``writer.write``."""
-    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    """Serialize one response (JSON, or :class:`PlainText` verbatim),
+    ready for ``writer.write``."""
+    if isinstance(payload, PlainText):
+        body = payload.text.encode("utf-8")
+        content_type = payload.content_type
+    else:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        content_type = "application/json"
     reason = REASONS.get(status, "Unknown")
     out = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]

@@ -37,8 +37,14 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.search.store import _atomic_write
 from repro.util.errors import ConfigError, ReproError, UnknownNameError
+
+_JOB_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_job_duration_seconds", "job execution latency (started→finished)"
+)
 
 #: job kinds, mirroring the Session workflow methods
 KINDS = ("estimate", "sweep", "tune", "search")
@@ -246,6 +252,10 @@ class Job:
     run_id: Optional[str] = None
     #: requeued by restart-recovery rather than a client
     recovered: bool = False
+    #: HTTP request id of the submitting request (trace linkage: the
+    #: job's root span carries it, so a trace can be joined back to
+    #: the originating client call)
+    request_id: Optional[str] = None
     #: cooperative cancellation flag, checked between computed batches
     cancel_event: threading.Event = field(default_factory=threading.Event)
     future: Optional[Future] = field(default=None, repr=False)
@@ -263,6 +273,7 @@ class Job:
             "error": self.error,
             "run_id": self.run_id,
             "recovered": self.recovered,
+            "request_id": self.request_id,
             "cancel_requested": self.cancel_event.is_set(),
         }
         if self.started is not None and self.finished is not None:
@@ -386,6 +397,20 @@ class JobRegistry:
             "timeouts": 0,
         }
 
+    def _count(self, key: str, n: int = 1) -> None:
+        """Bump one lifecycle counter, instance + process-wide.
+
+        The instance dict is exact for this registry (``stats()``);
+        the mirrored ``repro_jobs_<key>_total`` registry counter spans
+        every registry in the process.  Both are lock-guarded, so
+        increments from the asyncio loop and worker threads never
+        race."""
+        with self._lock:
+            self.counters[key] += n
+        obs_metrics.REGISTRY.counter(
+            f"repro_jobs_{key}_total", f"jobs {key}"
+        ).inc(n)
+
     # -- submission ----------------------------------------------------------
     def _scenario(self, spec: JobSpec):
         from repro.search.orchestrator import app_scenarios
@@ -440,7 +465,11 @@ class JobRegistry:
         return overrides
 
     def submit(
-        self, spec: JobSpec, *, force: bool = False
+        self,
+        spec: JobSpec,
+        *,
+        force: bool = False,
+        request_id: Optional[str] = None,
     ) -> Tuple[Job, bool]:
         """Submit (or dedupe) one job; returns ``(job, created)``.
 
@@ -449,6 +478,10 @@ class JobRegistry:
         so repeat traffic is answered from one execution.  A spec
         whose previous job failed or was cancelled is requeued under
         the same id.
+
+        ``request_id`` (the HTTP ``X-Request-Id`` of the submitting
+        call) is stamped on newly created jobs so their ``serve.job``
+        trace span can be joined back to the originating request.
 
         :raises QueueFullError: the pending queue is at capacity
             (skipped with ``force=True``, used by restart-recovery).
@@ -464,15 +497,15 @@ class JobRegistry:
                 FAILED,
                 CANCELLED,
             ):
-                self.counters["deduped"] += 1
+                self._count("deduped")
                 return existing, False
             if not force and self.queue_depth() >= self.max_queue:
-                self.counters["rejected"] += 1
+                self._count("rejected")
                 raise QueueFullError(
                     f"job queue is full ({self.max_queue} pending)"
                 )
             self._validate(spec)
-            job = Job(spec=spec, id=spec.job_id)
+            job = Job(spec=spec, id=spec.job_id, request_id=request_id)
             if spec.kind == "search":
                 # resolved through the same scenario/default pipeline
                 # the execution uses, so the id always matches the run
@@ -480,7 +513,7 @@ class JobRegistry:
                     spec.kernel, **self._search_overrides(spec)
                 )
             self._jobs[job.id] = job
-            self.counters["submitted"] += 1
+            self._count("submitted")
             if self.journal is not None:
                 self.journal.record(job)
             job.future = self._executor.submit(self._run, job)
@@ -567,7 +600,9 @@ class JobRegistry:
                 FAILED: "failed",
                 CANCELLED: "cancelled",
             }[state]
-            self.counters[key] += 1
+            self._count(key)
+            if job.started is not None and job.finished is not None:
+                _JOB_SECONDS.observe(job.finished - job.started)
             if self.journal is not None:
                 self.journal.record(job)
 
@@ -594,12 +629,22 @@ class JobRegistry:
             hook(job)
         try:
             self._check_interrupt(job)
-            result = self._execute(job)
+            # per-job root span: links the worker-thread execution back
+            # to the submitting HTTP request via request_id (the trace
+            # analogue of the X-Request-Id response header)
+            with obs_trace.span(
+                "serve.job",
+                job_id=job.id,
+                kind=job.spec.kind,
+                kernel=job.spec.kernel,
+                request_id=job.request_id,
+                recovered=job.recovered,
+            ):
+                result = self._execute(job)
         except JobCancelled:
             self._finish(job, CANCELLED, error="cancelled")
         except JobTimeout as exc:
-            with self._lock:
-                self.counters["timeouts"] += 1
+            self._count("timeouts")
             self._finish(job, FAILED, error=str(exc))
         except Exception as exc:  # noqa: BLE001 - job isolation barrier
             self._finish(
@@ -712,7 +757,7 @@ class JobRegistry:
                     job.recovered = True
                     requeued += 1
                     with self._lock:
-                        self.counters["recovered"] += 1
+                        self._count("recovered")
             elif state in FINISHED:
                 job = Job(
                     spec=spec,

@@ -7,6 +7,21 @@ repeated identical search shows up here as ``jobs.counters.deduped``
 ``search.runs`` staying flat while ``estimator_memo.hits`` climbs; a
 threshold-varied sweep of submissions shows the config-kernel cache
 absorbing the compile cost.
+
+Since the observability layer landed, the counters here are **views
+over the process-wide registry** (:data:`repro.obs.metrics.REGISTRY`):
+every HTTP observation folds into ``repro_http_*`` instruments, and
+``GET /v1/metrics?format=prom`` renders the whole registry in the
+Prometheus text exposition format.  ``ServiceMetrics`` keeps exact
+per-instance counts too (one server's snapshot must not include a
+previous server's traffic in the same process — tests rely on that),
+guarded by the instance lock.
+
+Thread-safety: ``observe_response`` is called from the asyncio loop
+thread while job-side counters mutate under worker threads; both the
+instance dict updates (``self._lock``) and the registry increments
+(registry lock) are lock-guarded, so concurrent observers can never
+lose increments.
 """
 
 from __future__ import annotations
@@ -15,11 +30,34 @@ import threading
 import time
 from typing import Dict, Optional
 
+from repro.obs import metrics as obs_metrics
 from repro.serve.jobs import JobRegistry
+
+_HTTP_REQUESTS = obs_metrics.REGISTRY.counter(
+    "repro_http_requests_total", "HTTP requests received"
+)
+_HTTP_CLASSES = {
+    2: obs_metrics.REGISTRY.counter(
+        "repro_http_responses_2xx_total", "HTTP 2xx responses"
+    ),
+    4: obs_metrics.REGISTRY.counter(
+        "repro_http_responses_4xx_total", "HTTP 4xx responses"
+    ),
+    5: obs_metrics.REGISTRY.counter(
+        "repro_http_responses_5xx_total", "HTTP 5xx responses"
+    ),
+}
+_HTTP_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_http_request_seconds", "HTTP request handling latency"
+)
 
 
 class ServiceMetrics:
-    """Aggregates registry, session, cache, and HTTP counters."""
+    """Aggregates registry, session, cache, and HTTP counters.
+
+    Instance counters are exact for this server's lifetime; every
+    observation is also mirrored into the process-wide registry
+    (``repro_http_*``)."""
 
     def __init__(
         self, registry: JobRegistry, started: Optional[float] = None
@@ -34,12 +72,24 @@ class ServiceMetrics:
             "responses_5xx": 0,
         }
 
-    def observe_response(self, status: int) -> None:
+    def observe_response(
+        self, status: int, duration_s: Optional[float] = None
+    ) -> None:
+        """Count one completed HTTP exchange (thread-safe).
+
+        ``duration_s``, when the server measured it, feeds the
+        ``repro_http_request_seconds`` histogram."""
         with self._lock:
             self._http["requests"] += 1
             bucket = f"responses_{status // 100}xx"
             if bucket in self._http:
                 self._http[bucket] += 1
+        _HTTP_REQUESTS.inc()
+        cls = _HTTP_CLASSES.get(status // 100)
+        if cls is not None:
+            cls.inc()
+        if duration_s is not None:
+            _HTTP_SECONDS.observe(duration_s)
 
     def identity(self) -> Dict[str, object]:
         """The static who-am-I block shared by healthz and metrics."""
@@ -54,13 +104,16 @@ class ServiceMetrics:
         }
 
     def snapshot(self) -> Dict[str, object]:
+        """The JSON ``/v1/metrics`` payload (views over the registry
+        plus service identity and store occupancy)."""
         session = self.registry.session
         out: Dict[str, object] = {"service": self.identity()}
         out["jobs"] = self.registry.stats()
         with self._lock:
             out["http"] = dict(self._http)
         # session.stats() already unifies estimator memo, config
-        # kernel cache, and sweep cache counters (PR 5)
+        # kernel cache, and sweep cache counters (PR 5; registry views
+        # since the observability layer)
         out["session"] = session.stats()
         store = session.store
         if store is not None:
@@ -74,3 +127,8 @@ class ServiceMetrics:
                 "in_flight": len(store.in_flight_runs()),
             }
         return out
+
+    def render_prom(self) -> str:
+        """Prometheus text exposition of the process-wide registry
+        (the ``/v1/metrics?format=prom`` payload)."""
+        return obs_metrics.render_prom()

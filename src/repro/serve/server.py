@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import signal
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -112,8 +113,11 @@ class ReproServer:
                     return
                 if req is None:
                     return
+                t0 = time.perf_counter()
                 status, payload, headers = self.app.handle(req)
-                self.metrics.observe_response(status)
+                self.metrics.observe_response(
+                    status, duration_s=time.perf_counter() - t0
+                )
                 keep = req.keep_alive and not self._draining
                 writer.write(
                     render(status, payload, keep_alive=keep, headers=headers)

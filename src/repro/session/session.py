@@ -42,8 +42,8 @@ from typing import (
 
 from repro.core.api import (
     KernelLike,
+    _memo_stats,
     cached_error_estimator,
-    estimator_memo_stats,
     warm_start_estimator_memo,
 )
 from repro.core.models import ErrorModel
@@ -646,8 +646,11 @@ class Session:
 
     def estimator_memo_stats(self) -> Dict[str, int]:
         """Occupancy and hit/miss counters of the shared estimator
-        memo (process-wide; shared with forked worker pools)."""
-        return estimator_memo_stats()
+        memo (process-wide; shared with forked worker pools).
+
+        A view over the process-wide metrics registry
+        (``repro_memo_*`` in :data:`repro.obs.metrics.REGISTRY`)."""
+        return _memo_stats()
 
     def cache_stats(self) -> Optional[Dict[str, object]]:
         """Sweep-cache counters, or ``None`` without a cache."""
@@ -656,14 +659,19 @@ class Session:
         )
 
     def stats(self) -> Dict[str, object]:
-        """All shared-resource telemetry in one mapping."""
-        from repro.codegen.compile import config_kernel_cache_stats
+        """All shared-resource telemetry in one mapping.
+
+        Every sub-dict is a view over the process-wide metrics
+        registry (:data:`repro.obs.metrics.REGISTRY`) — the same
+        instruments ``/v1/metrics?format=prom`` exposes when serving.
+        """
+        from repro.codegen.compile import _cache_stats
 
         out: Dict[str, object] = {
             "session_id": self.id,
             "config_fingerprint": self.config.fingerprint(),
             "estimator_memo": self.estimator_memo_stats(),
-            "config_kernel_cache": dict(config_kernel_cache_stats()),
+            "config_kernel_cache": dict(_cache_stats()),
         }
         if self._cache is not None:
             out["sweep_cache"] = self._cache.cache_stats()

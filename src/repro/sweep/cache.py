@@ -39,11 +39,30 @@ import numpy as np
 from repro.core.models import ErrorModel
 from repro.ir import nodes as N
 from repro.ir.fingerprint import ir_fingerprint
+from repro.obs import metrics as obs_metrics
 from repro.sweep.batch import BatchReport
 from repro.util.errors import InputError
 
 #: pickle protocol pinned for cross-version disk compatibility
 _PICKLE_PROTOCOL = 4
+
+# process-wide mirrors of the per-instance counters: each SweepCache
+# keeps its own exact counts (cache_stats() is instance-scoped), and
+# every event is also folded into the shared registry so one
+# /v1/metrics view covers all caches in the process
+_SC_HITS = obs_metrics.REGISTRY.counter(
+    "repro_sweep_cache_hits_total", "sweep cache hits (all instances)"
+)
+_SC_MISSES = obs_metrics.REGISTRY.counter(
+    "repro_sweep_cache_misses_total", "sweep cache misses (all instances)"
+)
+_SC_EVICTIONS = obs_metrics.REGISTRY.counter(
+    "repro_sweep_cache_evictions_total", "sweep cache disk evictions"
+)
+_SC_CORRUPT = obs_metrics.REGISTRY.counter(
+    "repro_sweep_cache_corrupt_evictions_total",
+    "corrupt sweep-cache entries evicted on read",
+)
 
 
 def _bad_element_index(seq: Sequence[object]) -> int:
@@ -231,6 +250,7 @@ class SweepCache:
             total -= size
             count -= 1
             self.evictions += 1
+            _SC_EVICTIONS.inc()
         self._disk_usage = (total, count)
 
     def _note_disk_put(self, path: Path) -> None:
@@ -261,6 +281,7 @@ class SweepCache:
         """Look up a report; counts a hit or miss (``None`` key: miss)."""
         if key is None:
             self.misses += 1
+            _SC_MISSES.inc()
             return None
         rep = self._mem.get(key)
         if (
@@ -294,6 +315,7 @@ class SweepCache:
                     # fresh result about to be recomputed
                     rep = None
                     self.corrupt_evictions += 1
+                    _SC_CORRUPT.inc()
                     try:
                         path.unlink()
                     except OSError:
@@ -308,8 +330,10 @@ class SweepCache:
                         pass
         if rep is None:
             self.misses += 1
+            _SC_MISSES.inc()
             return None
         self.hits += 1
+        _SC_HITS.inc()
         self._mem.move_to_end(key)
         out = rep.copy()
         out.from_cache = True

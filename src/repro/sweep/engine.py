@@ -35,6 +35,8 @@ import numpy as np
 from repro.core.api import KernelLike, cached_error_estimator
 from repro.core.models import ErrorModel, TaylorModel
 from repro.ir import nodes as N
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sweep.batch import BatchReport
 from repro.sweep.cache import SweepCache, make_key
 from repro.util.deprecation import warn_legacy
@@ -102,24 +104,39 @@ def run_sweep(
     legacy wrapper around it.
     """
     model = model or TaylorModel()
-    est = cached_error_estimator(
-        k, model=model, opt_level=opt_level, minimal_pushes=minimal_pushes
-    )
-    args = build_args(est.primal_ir, dict(samples), dict(fixed or {}))
-    store = _resolve_cache(cache)
-    key: Optional[str] = None
-    if store is not None:
-        key = make_key(
-            est.primal_ir, model, args,
-            opt_level=opt_level, minimal_pushes=minimal_pushes,
+    with obs_trace.span("sweep.run", kernel=_kernel_name(k)) as sp:
+        est = cached_error_estimator(
+            k, model=model, opt_level=opt_level, minimal_pushes=minimal_pushes
         )
-        hit = store.get(key)
-        if hit is not None:
-            return hit
-    report = est.execute_batch(*args)
-    if store is not None:
-        store.put(key, report)
-    return report
+        args = build_args(est.primal_ir, dict(samples), dict(fixed or {}))
+        n = max(
+            (len(a) for a in args if isinstance(a, np.ndarray)), default=1
+        )
+        sp.set(n=n)
+        store = _resolve_cache(cache)
+        key: Optional[str] = None
+        if store is not None:
+            key = make_key(
+                est.primal_ir, model, args,
+                opt_level=opt_level, minimal_pushes=minimal_pushes,
+            )
+            hit = store.get(key)
+            if hit is not None:
+                sp.set(cache="hit")
+                return hit
+        report = est.execute_batch(*args)
+        sp.set(cache="miss" if store is not None else "off")
+        obs_metrics.REGISTRY.counter(
+            "repro_sweep_points_total", "input points swept (cache misses)"
+        ).inc(n)
+        if store is not None:
+            store.put(key, report)
+        return report
+
+
+def _kernel_name(k: KernelLike) -> str:
+    name = getattr(k, "name", None)
+    return name if isinstance(name, str) else "<ir>"
 
 
 def sweep_error(

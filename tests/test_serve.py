@@ -488,6 +488,53 @@ class TestServeApp:
         assert m["store"]["runs"] == 1
         assert m["store"]["in_flight"] == 0
 
+    def test_metrics_prom_exposition(self, app):
+        from repro.serve.http import PlainText
+
+        status, payload, _ = app.handle(
+            _req("GET", "/v1/metrics?format=prom")
+        )
+        assert status == 200
+        assert isinstance(payload, PlainText)
+        assert payload.content_type.startswith("text/plain")
+        lines = payload.text.splitlines()
+        assert any(l.startswith("# TYPE repro_") for l in lines)
+        for line in lines:
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name.startswith("repro_")
+            float(value)  # every sample value parses
+
+    def test_metrics_unknown_format_rejected(self, app):
+        status, payload, _ = app.handle(
+            _req("GET", "/v1/metrics?format=xml")
+        )
+        assert status == 400
+        assert "xml" in payload["error"]
+
+    def test_submit_echoes_request_id(self, app, registry):
+        status, payload, headers = app.handle(
+            _req("POST", "/v1/jobs", _SEARCH_SPEC)
+        )
+        assert status == 201
+        rid = headers["X-Request-Id"]
+        assert rid.startswith("req-")
+        assert payload["request_id"] == rid
+        assert registry.get(payload["id"]).request_id == rid
+
+    def test_submit_honors_client_request_id(self, app):
+        req = HttpRequest(
+            "POST",
+            "/v1/jobs",
+            {"x-request-id": "req-client-0001"},
+            json.dumps(_SEARCH_SPEC).encode(),
+        )
+        status, payload, headers = app.handle(req)
+        assert status == 201
+        assert headers["X-Request-Id"] == "req-client-0001"
+        assert payload["request_id"] == "req-client-0001"
+
 
 # -- wire protocol ------------------------------------------------------------
 
