@@ -79,6 +79,10 @@ from repro.session import RunsView, Session, SessionConfig  # noqa: E402
 # the observability layer: span tracing, the process-wide metrics
 # registry, and trace profiling (see README "Observability")
 from repro import obs  # noqa: E402
+
+# deterministic fault injection (see README "Failure semantics");
+# importing it also honours the REPRO_FAULTS environment variable
+from repro import faults  # noqa: E402
 from repro.util.errors import (  # noqa: E402
     ConfigError,
     InputError,
@@ -88,7 +92,7 @@ from repro.util.errors import (  # noqa: E402
     UnknownNameError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "kernel",

@@ -93,6 +93,7 @@ def _session_for(args):
             if s
         )
         or SessionConfig().strategies,
+        fault_plan=getattr(args, "faults", None),
     )
     return Session(
         config,
@@ -477,6 +478,7 @@ def cmd_serve(args) -> int:
         seed=args.seed,
         strategies=tuple(s for s in args.strategies.split(",") if s)
         or SessionConfig().strategies,
+        fault_plan=getattr(args, "faults", None),
     )
     session = Session(config, cache=args.cache, store=args.store)
     try:
@@ -669,6 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="append span records (JSONL) to this trace file and "
              "print the per-phase profile (see the trace subcommand)",
     )
+    sp.add_argument(
+        "--faults", default=None,
+        help="fault-injection plan (inline JSON or a file path) — "
+             "deterministic chaos testing; see README failure "
+             "semantics",
+    )
     sp.set_defaults(func=cmd_search, parser=sp)
 
     # plan
@@ -809,6 +817,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, default=None,
         help="append span records (JSONL) for every job execution to "
              "this trace file",
+    )
+    sp.add_argument(
+        "--faults", default=None,
+        help="fault-injection plan (inline JSON or a file path) — "
+             "deterministic chaos testing of the serve stack",
     )
     sp.set_defaults(func=cmd_serve, parser=sp)
 

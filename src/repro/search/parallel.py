@@ -18,8 +18,25 @@ serial path:
 * pools ship as contiguous config *blocks* — one lane execution of the
   inherited config-batched kernel per block, not one compile per
   config — and lane results are independent of the block split;
-* results merge deterministically in submission order (``pool.map``
-  preserves order; evaluation indices are assigned by the parent).
+* results merge deterministically in submission order (blocks are
+  consumed in dispatch order; evaluation indices are assigned by the
+  parent).
+
+Failure containment (none of it can change results — the fallback is
+always the bit-identical serial recompute of the same block):
+
+* a worker exception, a worker that *dies* (OOM kill, injected
+  ``worker-kill`` fault), or a block that stalls past
+  ``hang_timeout_s`` (per-block heartbeat through ``imap``) reaps the
+  pool and recomputes the block serially in-process;
+* the pool then **respawns** on the next computation — up to
+  ``max_respawns`` times (counted in ``repro_worker_respawns_total``)
+  — instead of the old permanent serial fallback; only after the
+  respawn budget is exhausted does the evaluator stay serial;
+* the ``worker.exec`` fault site is probed in the *parent* per
+  dispatched block (fork-inherited counters diverge per process, so a
+  child-side check would kill every worker at once); a drawn
+  ``worker-kill`` poisons exactly one block, whose worker exits hard.
 
 On platforms without the ``fork`` start method (or with ``workers <=
 1``) the evaluator degrades to the serial path transparently.
@@ -28,8 +45,11 @@ On platforms without the ``fork`` start method (or with ``workers <=
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import List, Optional, Sequence, Tuple
 
+from repro import faults
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.search.evaluate import CandidateEvaluator, EvaluatedCandidate
 from repro.tuning.config import PrecisionConfig
@@ -38,9 +58,21 @@ from repro.tuning.config import PrecisionConfig
 #: time; compiled artifacts cannot be pickled, so initargs won't do)
 _FORK_EVALUATOR: Optional[CandidateEvaluator] = None
 
+#: default per-block heartbeat before a pool is declared hung
+_DEFAULT_HANG_TIMEOUT_S = 120.0
+
+_RESPAWNS = obs_metrics.REGISTRY.counter(
+    "repro_worker_respawns_total",
+    "worker pools rebuilt after a failure/hang",
+)
+
+
+class WorkerHangError(RuntimeError):
+    """A worker block produced no result within the hang timeout."""
+
 
 def _worker_compute_block(
-    configs: List[PrecisionConfig],
+    payload: Tuple[List[PrecisionConfig], bool],
 ) -> Tuple[List[EvaluatedCandidate], Tuple[int, int, int]]:
     """Score one contiguous block of a proposal pool in a worker.
 
@@ -54,7 +86,15 @@ def _worker_compute_block(
     Also returns the block's pool-telemetry deltas — the worker's
     counter increments die with the fork, so the parent re-applies
     them to keep ``eval_stats()`` truthful under parallelism.
+
+    ``payload`` is ``(configs, kill)``; a poisoned block (parent-side
+    ``worker.exec`` fault draw) hard-kills this worker — ``os._exit``,
+    no cleanup, no exception — the closest simulation of an OOM kill
+    the parent's hang detection exists to survive.
     """
+    configs, kill = payload
+    if kill:
+        os._exit(86)
     ev = _FORK_EVALUATOR
     assert ev is not None, "worker forked without evaluator"
     before = (ev.n_pool_runs, ev.n_pool_lanes, ev.n_pool_fallbacks)
@@ -97,15 +137,38 @@ class ParallelEvaluator(CandidateEvaluator):
     """A :class:`CandidateEvaluator` whose pool computations fan out
     over ``workers`` forked processes.
 
-    Accepts the same constructor arguments plus ``workers``.  Use as a
-    context manager (or call :meth:`close`) to reap the pool.
+    Accepts the same constructor arguments plus ``workers``,
+    ``max_respawns`` (pool rebuilds allowed after failures; beyond it
+    the evaluator stays serial) and ``hang_timeout_s`` (per-block
+    heartbeat; ``REPRO_WORKER_TIMEOUT`` overrides the default).  Use
+    as a context manager (or call :meth:`close`) to reap the pool.
     """
 
-    def __init__(self, *args, workers: int = 2, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        workers: int = 2,
+        max_respawns: int = 2,
+        hang_timeout_s: Optional[float] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.workers = max(int(workers), 0)
+        self.max_respawns = max(int(max_respawns), 0)
+        if hang_timeout_s is None:
+            env = os.environ.get("REPRO_WORKER_TIMEOUT")
+            hang_timeout_s = (
+                float(env) if env else _DEFAULT_HANG_TIMEOUT_S
+            )
+        #: per-block result deadline; <= 0 disables hang detection
+        self.hang_timeout_s = float(hang_timeout_s)
         self._pool = None
-        self._pool_failed = False
+        #: worker failures observed (exceptions, deaths, hangs)
+        self._failures = 0
+        #: pool rebuilds performed after a failure
+        self.n_respawns = 0
+        #: platform cannot fork (or pool construction failed hard)
+        self._no_fork = False
 
     # -- pool lifecycle -----------------------------------------------------
     @property
@@ -113,14 +176,19 @@ class ParallelEvaluator(CandidateEvaluator):
         """Whether worker processes are actually in use."""
         return self._pool is not None
 
+    @property
+    def exhausted(self) -> bool:
+        """Whether the respawn budget is spent (permanently serial)."""
+        return self._no_fork or self._failures > self.max_respawns
+
     def _ensure_pool(self):
         global _FORK_EVALUATOR
-        if self._pool is not None or self._pool_failed or self.workers < 2:
+        if self._pool is not None or self.workers < 2 or self.exhausted:
             return self._pool
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:
-            self._pool_failed = True  # no fork (e.g. Windows): serial
+            self._no_fork = True  # no fork (e.g. Windows): serial
             return None
         # prepare() BEFORE forking: references and the reference
         # estimator compile once in the parent and are inherited by
@@ -130,10 +198,16 @@ class ParallelEvaluator(CandidateEvaluator):
         try:
             self._pool = ctx.Pool(processes=self.workers)
         except OSError:
+            # construction itself failing (fd/process limits) is not a
+            # worker crash — treat as a platform limit, stay serial
             self._pool = None
-            self._pool_failed = True
+            self._no_fork = True
         finally:
             _FORK_EVALUATOR = None
+        if self._pool is not None and self._failures > 0:
+            # not the first spawn: this is a post-failure respawn
+            self.n_respawns += 1
+            _RESPAWNS.inc()
         return self._pool
 
     def close(self) -> None:
@@ -172,6 +246,13 @@ class ParallelEvaluator(CandidateEvaluator):
         except Exception:
             pass
 
+    # -- telemetry ----------------------------------------------------------
+    def eval_stats(self) -> dict:
+        out = super().eval_stats()
+        out["pool_respawns"] = self.n_respawns
+        out["pool_worker_failures"] = self._failures
+        return out
+
     # -- computation --------------------------------------------------------
     def _compute_many(
         self, configs: Sequence[PrecisionConfig]
@@ -184,22 +265,52 @@ class ParallelEvaluator(CandidateEvaluator):
         # shipping would pay one lane execution per config)
         blocks = _blocks(list(configs), self.workers)
         try:
+            # the worker.exec fault site is drawn here, in the parent,
+            # once per dispatched block: parent-side counters are the
+            # globally deterministic ones (each fork would inherit its
+            # own copy), and a worker-kill must poison exactly one
+            # block, not one per worker
+            payloads = []
+            for block in blocks:
+                spec = faults.check("worker.exec")
+                payloads.append(
+                    (block, spec is not None and spec.kind == "worker-kill")
+                )
             with obs_trace.span(
                 "search.parallel",
                 k=len(configs),
                 blocks=len(blocks),
                 workers=self.workers,
             ):
-                results = pool.map(
-                    _worker_compute_block, blocks, chunksize=1
+                # imap delivers per-block results in dispatch order;
+                # next(timeout) is the heartbeat that catches a dead
+                # or wedged worker — a plain pool.map would block
+                # forever on a lost task (Pool does not resubmit work
+                # a dying worker held)
+                it = pool.imap(_worker_compute_block, payloads)
+                results = []
+                timeout = (
+                    self.hang_timeout_s
+                    if self.hang_timeout_s > 0
+                    else None
                 )
+                for _ in payloads:
+                    try:
+                        results.append(it.next(timeout))
+                    except multiprocessing.TimeoutError:
+                        raise WorkerHangError(
+                            f"no worker result within "
+                            f"{self.hang_timeout_s}s (dead or hung "
+                            f"worker)"
+                        ) from None
         except Exception:
-            # a worker raised (or died): the pool may have lost
+            # a worker raised, died, or hung: the pool may have lost
             # processes or hold half-delivered results, so it is not
-            # trustworthy anymore — reap it, stay serial for the rest
-            # of the run, and recompute this block in-process so the
-            # caller still gets its results
-            self._pool_failed = True
+            # trustworthy anymore — reap it and recompute this block
+            # in-process so the caller still gets its results.  The
+            # next computation rebuilds the pool (bounded respawn);
+            # past max_respawns the evaluator stays serial.
+            self._failures += 1
             self._reap()
             return super()._compute_many(configs)
         with obs_trace.span("search.merge", blocks=len(blocks)):

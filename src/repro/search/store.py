@@ -33,10 +33,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import pickle
 import shutil
-import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -50,9 +48,13 @@ from repro.obs import trace as obs_trace
 from repro.search.evaluate import EvaluatedCandidate
 from repro.sweep.cache import digest_inputs
 from repro.tuning.config import PrecisionConfig
+from repro.util import atomio
+from repro.util.retry import DEFAULT_IO_POLICY
 from repro.util.errors import ConfigError, StoreError, UnknownNameError
 
 #: on-disk layout version; bumped on incompatible record/manifest changes
+#: (checksummed evals.pkl framing is NOT a bump: readers fall back to
+#: unframed legacy payloads, so both generations coexist in one store)
 RUN_FORMAT = 1
 
 #: pickle protocol pinned for cross-version disk compatibility
@@ -78,23 +80,16 @@ def library_version() -> str:
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (tempfile + rename).
+    """Write ``data`` to ``path`` atomically with transient retries.
 
-    A reader (or a crash) can only ever observe the old content or the
-    new content, never a torn file.  Unlike the sweep cache — where a
-    lost entry is merely a future miss — a lost checkpoint loses work,
-    so write failures propagate."""
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as f:
-            f.write(data)
-        os.replace(tmp, path)
-    except OSError:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    Thin historical alias over :func:`repro.util.atomio.atomic_write`
+    (the run store grew the first copy of the mkstemp+rename
+    discipline; the unified helper now owns it).  Unlike the sweep
+    cache — where a lost entry is merely a future miss — a lost
+    checkpoint loses work, so exhausted-retry failures propagate."""
+    atomio.atomic_write(
+        path, data, site="store.write", retry=DEFAULT_IO_POLICY
+    )
 
 
 # -- run identity -------------------------------------------------------------
@@ -227,9 +222,14 @@ class RunStore:
                             # of the deterministic evaluation order)
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], *, fsync: bool = False
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: durability policy: fsync every manifest/checkpoint write
+        #: (atomic against power loss, not just process death)
+        self.fsync = bool(fsync)
 
     # -- paths --------------------------------------------------------------
     def run_dir(self, run_id: str) -> Path:
@@ -273,7 +273,15 @@ class RunStore:
     ) -> None:
         self.run_dir(run_id).mkdir(parents=True, exist_ok=True)
         data = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
-        _atomic_write(self._manifest_path(run_id), data)
+        # manifests stay plain JSON (external tooling reads them);
+        # their corruption mode is already handled by load_manifest
+        atomio.atomic_write(
+            self._manifest_path(run_id),
+            data,
+            fsync=self.fsync,
+            site="store.write",
+            retry=DEFAULT_IO_POLICY,
+        )
 
     def load_manifest(self, run_id: str) -> Optional[Dict[str, object]]:
         """The run's manifest, or ``None`` when absent/unreadable or
@@ -300,14 +308,33 @@ class RunStore:
 
         Called after every computed batch; budgets are small (tens to a
         few hundred records), so rewriting beats the bookkeeping of an
-        append-only log while keeping the all-or-nothing guarantee."""
+        append-only log while keeping the all-or-nothing guarantee.
+        Payloads are checksum-framed so torn pages are detected on
+        resume; transient write failures retry under the shared policy.
+
+        :raises StoreError: the write still failed after the bounded
+            retries — a lost checkpoint loses work, so it surfaces as
+            the documented structured error instead of vanishing."""
         t0 = time.perf_counter()
         with obs_trace.span(
             "store.checkpoint", run_id=run_id, records=len(records)
         ):
             self.run_dir(run_id).mkdir(parents=True, exist_ok=True)
             data = pickle.dumps(list(records), protocol=_PICKLE_PROTOCOL)
-            _atomic_write(self._records_path(run_id), data)
+            try:
+                atomio.atomic_write(
+                    self._records_path(run_id),
+                    data,
+                    checksum=True,
+                    fsync=self.fsync,
+                    site="store.write",
+                    retry=DEFAULT_IO_POLICY,
+                )
+            except OSError as exc:
+                raise StoreError(
+                    f"checkpoint of run {run_id[:12]} failed after "
+                    f"retries: {exc}"
+                ) from exc
         obs_metrics.REGISTRY.counter(
             "repro_search_checkpoints_total", "run-store checkpoint writes"
         ).inc()
@@ -319,19 +346,33 @@ class RunStore:
         """Stored evaluation records, as the longest valid prefix.
 
         A corrupt or unreadable payload degrades to an empty history
-        (the run restarts from scratch rather than failing); records
-        after an index gap are dropped, preserving the prefix property
-        the bit-identical-resume contract depends on."""
+        (the run restarts from scratch rather than failing) and the
+        bad file moves to the run's ``_quarantine/`` for forensics;
+        records after an index gap are dropped, preserving the prefix
+        property the bit-identical-resume contract depends on."""
         path = self._records_path(run_id)
         if not path.exists():
             return []
         try:
-            with open(path, "rb") as f:
-                raw = pickle.load(f)
+            blob = atomio.read_bytes(
+                path,
+                checked=True,
+                site="store.read",
+                retry=DEFAULT_IO_POLICY,
+            )
+            raw = pickle.loads(blob)
+        except FileNotFoundError:
+            return []  # lost a race with remove_run/prune
         except (
-            OSError, pickle.PickleError, EOFError, AttributeError,
+            atomio.CorruptPayloadError,
+            pickle.PickleError, EOFError, AttributeError,
             ValueError,  # e.g. a truncated/garbled protocol header
         ):
+            atomio.quarantine(path, "corrupt checkpoint payload")
+            return []
+        except OSError:
+            # unreadable but not provably corrupt (retries exhausted):
+            # leave the file for the next attempt
             return []
         if not isinstance(raw, list):
             return []

@@ -7,7 +7,7 @@ by calling :meth:`ServeApp.handle` with a synthetic
 
 Endpoints (all JSON unless noted)::
 
-    GET    /v1/healthz          liveness (503 while draining)
+    GET    /v1/healthz          liveness: ok|degraded (503 draining)
     GET    /v1/metrics          service + session + cache telemetry
     GET    /v1/metrics?format=prom  Prometheus text exposition
     GET    /v1/jobs             job listing (?state= filter)
@@ -39,7 +39,7 @@ from repro.serve.jobs import (
 )
 from repro.util.errors import ConfigError, UnknownNameError
 
-#: hint clients wait this long before retrying a 429/503
+#: fallback retry hint when the registry can't provide a live one
 RETRY_AFTER_S = 2
 
 Response = Tuple[int, object, Dict[str, str]]
@@ -68,10 +68,11 @@ class ServeApp:
             status = 404 if isinstance(exc, UnknownNameError) else 400
             return status, {"error": str(exc)}, {}
         except QueueFullError as exc:
+            wait = self._retry_after()
             return (
                 429,
-                {"error": str(exc), "retry_after_s": RETRY_AFTER_S},
-                {"Retry-After": str(RETRY_AFTER_S)},
+                {"error": str(exc), "retry_after_s": wait},
+                {"Retry-After": str(wait)},
             )
         except Exception as exc:  # noqa: BLE001 - keep the server up
             return (
@@ -121,15 +122,26 @@ class ServeApp:
                 405, f"method {method} not allowed (use {'/'.join(allowed)})"
             )
 
+    def _retry_after(self) -> int:
+        """Adaptive backoff hint (queue depth × median job latency)."""
+        try:
+            return self.registry.retry_after_s()
+        except Exception:  # noqa: BLE001 - a hint must never 500
+            return RETRY_AFTER_S
+
     # -- handlers ------------------------------------------------------------
     def _healthz(self) -> Response:
         if self.is_draining():
             return (
                 503,
                 {"status": "draining"},
-                {"Retry-After": str(RETRY_AFTER_S)},
+                {"Retry-After": str(self._retry_after())},
             )
-        payload = {"status": "ok"}
+        # degraded is still 200: the service answers, but some
+        # robustness event (exhausted retries, quarantined file,
+        # journal write failure, worker respawn, watchdog abort) needs
+        # operator attention — the events are itemized in the payload
+        payload = self.metrics.health()
         payload.update(self.metrics.identity())
         return 200, payload, {}
 
@@ -145,13 +157,14 @@ class ServeApp:
 
     def _submit(self, req: HttpRequest) -> Response:
         if self.is_draining():
+            wait = self._retry_after()
             return (
                 503,
                 {
                     "error": "server is draining",
-                    "retry_after_s": RETRY_AFTER_S,
+                    "retry_after_s": wait,
                 },
-                {"Retry-After": str(RETRY_AFTER_S)},
+                {"Retry-After": str(wait)},
             )
         spec = JobSpec.from_dict(req.json())
         request_id = (
@@ -184,14 +197,15 @@ class ServeApp:
                 {},
             )
         if job.state in (QUEUED, RUNNING):
+            wait = self._retry_after()
             return (
                 202,
                 {
                     "id": job.id,
                     "state": job.state,
-                    "retry_after_s": RETRY_AFTER_S,
+                    "retry_after_s": wait,
                 },
-                {"Retry-After": str(RETRY_AFTER_S)},
+                {"Retry-After": str(wait)},
             )
         return (
             409,

@@ -30,16 +30,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.search.store import _atomic_write
+from repro.util import atomio
+from repro.util.retry import DEFAULT_IO_POLICY
 from repro.util.errors import ConfigError, ReproError, UnknownNameError
 
 _JOB_SECONDS = obs_metrics.REGISTRY.histogram(
@@ -287,9 +289,10 @@ class JobJournal:
     The journal is what survives a hard kill: it holds each job's spec
     and last observed state (plus the result payload once finished), so
     a restarted registry can requeue unfinished work and keep answering
-    for jobs that completed in a previous life.  Write discipline
-    matches the run store: ``mkstemp`` + ``os.replace``, so a reader or
-    a crash only ever sees a whole record.
+    for jobs that completed in a previous life.  Records are written
+    through :mod:`repro.util.atomio` — atomic rename, checksummed
+    frame, transient-``OSError`` retries — and corrupt records found on
+    :meth:`load` are quarantined, never silently trusted or deleted.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
@@ -303,20 +306,38 @@ class JobJournal:
         payload = job.to_dict()
         payload["result"] = job.result
         data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
-        _atomic_write(self.path_of(job.id), data)
+        atomio.atomic_write(
+            self.path_of(job.id),
+            data,
+            checksum=True,
+            site="journal.append",
+            retry=DEFAULT_IO_POLICY,
+        )
 
     def load(self) -> List[Dict[str, object]]:
         """Every readable record, oldest submission first.
 
-        Corrupt or foreign files are skipped — a journal that lost a
-        record degrades to not knowing about that job, never to a
-        server that refuses to start."""
+        Records that fail their checksum or don't parse are moved to
+        ``_quarantine/`` and skipped — a journal that lost a record
+        degrades to not knowing about that job, never to a server that
+        refuses to start (and never to one that deletes the evidence).
+        Unframed records from pre-checksum journals still load."""
         out: List[Dict[str, object]] = []
         for path in sorted(self.directory.glob("*.json")):
             try:
-                rec = json.loads(path.read_text())
-            except (OSError, ValueError):
+                blob = atomio.read_bytes(
+                    path, checked=True, site="journal.read"
+                )
+                rec = json.loads(blob.decode("utf-8"))
+            except (
+                atomio.CorruptPayloadError,
+                UnicodeDecodeError,
+                ValueError,
+            ):
+                atomio.quarantine(path, "corrupt journal record")
                 continue
+            except OSError:
+                continue  # unreadable, but not provably corrupt
             if isinstance(rec, dict) and isinstance(rec.get("spec"), dict):
                 out.append(rec)
         out.sort(key=lambda r: r.get("submitted") or 0.0)
@@ -386,6 +407,9 @@ class JobRegistry:
         self._closed = False
         #: test seam: called with the job right after it turns RUNNING
         self._pre_run_hook = None
+        #: job ids the watchdog already requeued once (one second
+        #: chance per id — a job that hangs twice stays FAILED)
+        self._watchdog_requeued: Set[str] = set()
         self.counters: Dict[str, int] = {
             "submitted": 0,
             "deduped": 0,
@@ -395,6 +419,9 @@ class JobRegistry:
             "failed": 0,
             "cancelled": 0,
             "timeouts": 0,
+            "journal_failures": 0,
+            "watchdog_aborts": 0,
+            "watchdog_requeues": 0,
         }
 
     def _count(self, key: str, n: int = 1) -> None:
@@ -410,6 +437,21 @@ class JobRegistry:
         obs_metrics.REGISTRY.counter(
             f"repro_jobs_{key}_total", f"jobs {key}"
         ).inc(n)
+
+    def _journal_record(self, job: Job) -> None:
+        """Record a transition, degrading on journal failure.
+
+        A journal write that still fails after its retries costs
+        durability for that one transition (a restart may re-run the
+        job — safe: job results are deterministic and stores are
+        content-addressed), not availability: the job proceeds, the
+        failure is counted, and ``/v1/healthz`` turns ``degraded``."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.record(job)
+        except OSError:
+            self._count("journal_failures")
 
     # -- submission ----------------------------------------------------------
     def _scenario(self, spec: JobSpec):
@@ -514,8 +556,7 @@ class JobRegistry:
                 )
             self._jobs[job.id] = job
             self._count("submitted")
-            if self.journal is not None:
-                self.journal.record(job)
+            self._journal_record(job)
             job.future = self._executor.submit(self._run, job)
             return job, True
 
@@ -539,6 +580,18 @@ class JobRegistry:
             return sum(
                 1 for j in self._jobs.values() if j.state == QUEUED
             )
+
+    def retry_after_s(self) -> int:
+        """Adaptive ``Retry-After`` hint from live load.
+
+        Estimates when a slot frees up: queue position over worker
+        count, scaled by the median observed job duration (2 s before
+        any job has finished).  Clamped to ``[1, 60]`` so a burst of
+        slow jobs never tells clients to go away for hours."""
+        snap = _JOB_SECONDS.snapshot()
+        median = snap["p50"] if snap["count"] else 2.0
+        waves = (self.queue_depth() + 1) / max(1, self.workers)
+        return int(min(60, max(1, math.ceil(waves * median))))
 
     def progress(self, job: Job) -> Optional[Dict[str, object]]:
         """Live search progress from the run store's checkpoints."""
@@ -603,8 +656,7 @@ class JobRegistry:
             self._count(key)
             if job.started is not None and job.finished is not None:
                 _JOB_SECONDS.observe(job.finished - job.started)
-            if self.journal is not None:
-                self.journal.record(job)
+            self._journal_record(job)
 
     def _run(self, job: Job) -> None:
         with self._lock:
@@ -622,8 +674,7 @@ class JobRegistry:
             )
             if timeout is not None:
                 self._deadlines[job.id] = job.started + float(timeout)
-            if self.journal is not None:
-                self.journal.record(job)
+            self._journal_record(job)
         hook = self._pre_run_hook
         if hook is not None:
             hook(job)
@@ -728,6 +779,62 @@ class JobRegistry:
             **self._search_overrides(spec),
         )
         return {**base, **result.to_dict()}
+
+    # -- watchdog ------------------------------------------------------------
+    def watchdog_sweep(
+        self, *, grace_s: float = 5.0, requeue: bool = True
+    ) -> int:
+        """Fail RUNNING jobs stuck past their deadline; returns the
+        number aborted.
+
+        The deadline is normally enforced cooperatively (the search
+        driver's ``on_batch`` hook), but a job wedged *inside* one
+        batch — a hung worker pool, a stuck filesystem — never reaches
+        the next check.  The watchdog is the backstop: once a job is
+        ``grace_s`` past its deadline it is marked FAILED (its worker
+        thread is poisoned via the cancel event and its eventual
+        result discarded by ``_finish``'s already-FINISHED guard).
+
+        Aborted *search* jobs are requeued once per job id: their
+        checkpointed prefix makes the re-run a warm resume, and even if
+        the wedged thread later revives, both writers emit atomic
+        whole-file checkpoints of prefixes of the same deterministic
+        evaluation order — concurrent completion is benign.
+        """
+        now = time.time()
+        aborted: List[Job] = []
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state != RUNNING:
+                    continue
+                deadline = self._deadlines.get(job.id)
+                if deadline is None or now <= deadline + grace_s:
+                    continue
+                job.cancel_event.set()
+                self._count("watchdog_aborts")
+                self._finish(
+                    job,
+                    FAILED,
+                    error=(
+                        "watchdog: stuck past deadline by more than "
+                        f"{grace_s:g}s (hung batch?)"
+                    ),
+                )
+                aborted.append(job)
+        for job in aborted:
+            if (
+                not requeue
+                or job.spec.kind != "search"
+                or job.id in self._watchdog_requeued
+            ):
+                continue
+            self._watchdog_requeued.add(job.id)
+            try:
+                self.submit(job.spec, force=True)
+            except ReproError:
+                continue  # registry closing or scenario gone
+            self._count("watchdog_requeues")
+        return len(aborted)
 
     # -- restart recovery ----------------------------------------------------
     def recover(self) -> int:

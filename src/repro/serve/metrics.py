@@ -51,6 +51,37 @@ _HTTP_SECONDS = obs_metrics.REGISTRY.histogram(
     "repro_http_request_seconds", "HTTP request handling latency"
 )
 
+#: process-wide robustness counters surfaced in ``/v1/metrics`` and
+#: watched by ``health()``; get-or-create, so ordering against the
+#: subsystems that own them doesn't matter
+ROBUSTNESS_COUNTERS = (
+    "repro_faults_injected_total",
+    "repro_retries_total",
+    "repro_retry_exhausted_total",
+    "repro_quarantined_total",
+    "repro_worker_respawns_total",
+    "repro_sweep_cache_read_failures_total",
+    "repro_sweep_cache_write_failures_total",
+    "repro_jobs_journal_failures_total",
+    "repro_jobs_watchdog_aborts_total",
+    "repro_jobs_watchdog_requeues_total",
+)
+
+#: the subset whose growth flips health to ``degraded``: events the
+#: service did NOT fully absorb.  Retries that succeeded and faults
+#: that were injected-then-survived are normal operation; exhausted
+#: retries, quarantined files, lost journal writes, worker respawns
+#: and watchdog action all mean something real was lost or rebuilt.
+DEGRADING_COUNTERS = (
+    "repro_retry_exhausted_total",
+    "repro_quarantined_total",
+    "repro_worker_respawns_total",
+    "repro_sweep_cache_read_failures_total",
+    "repro_sweep_cache_write_failures_total",
+    "repro_jobs_journal_failures_total",
+    "repro_jobs_watchdog_aborts_total",
+)
+
 
 class ServiceMetrics:
     """Aggregates registry, session, cache, and HTTP counters.
@@ -71,6 +102,43 @@ class ServiceMetrics:
             "responses_4xx": 0,
             "responses_5xx": 0,
         }
+        # robustness counters are process-wide and may carry increments
+        # from earlier servers/sessions in this process; health is
+        # judged on growth since *this* server started
+        self._robustness_baseline: Dict[str, int] = {
+            name: obs_metrics.REGISTRY.counter(name).value
+            for name in ROBUSTNESS_COUNTERS
+        }
+
+    def robustness(self) -> Dict[str, int]:
+        """Robustness counter deltas since this server started."""
+        return {
+            name: obs_metrics.REGISTRY.counter(name).value
+            - self._robustness_baseline[name]
+            for name in ROBUSTNESS_COUNTERS
+        }
+
+    def health(self) -> Dict[str, object]:
+        """The liveness verdict: ``ok`` or ``degraded`` (+ evidence).
+
+        ``degraded`` means a robustness event this server could not
+        fully absorb happened on its watch — an exhausted retry, a
+        quarantined file, a journal write lost, a worker pool rebuilt,
+        a watchdog abort.  Absorbed retries and injected-but-survived
+        faults do not degrade health: surviving those is the design.
+        """
+        deltas = self.robustness()
+        events = {
+            name: deltas[name]
+            for name in DEGRADING_COUNTERS
+            if deltas[name] > 0
+        }
+        out: Dict[str, object] = {
+            "status": "degraded" if events else "ok"
+        }
+        if events:
+            out["degraded_events"] = events
+        return out
 
     def observe_response(
         self, status: int, duration_s: Optional[float] = None
@@ -111,6 +179,10 @@ class ServiceMetrics:
         out["jobs"] = self.registry.stats()
         with self._lock:
             out["http"] = dict(self._http)
+        out["robustness"] = {
+            "health": self.health()["status"],
+            "counters": self.robustness(),
+        }
         # session.stats() already unifies estimator memo, config
         # kernel cache, and sweep cache counters (PR 5; registry views
         # since the observability layer)

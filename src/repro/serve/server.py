@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro import faults
 from repro.serve.app import ServeApp
 from repro.serve.http import HttpError, read_request, render
 from repro.serve.jobs import JobJournal, JobRegistry
@@ -56,6 +57,7 @@ class ReproServer:
         state_dir: Optional[object] = None,
         resume: bool = True,
         drain_timeout_s: float = 30.0,
+        watchdog_interval_s: float = 1.0,
     ) -> None:
         if session.store is None:
             raise ConfigError(
@@ -67,6 +69,8 @@ class ReproServer:
         self.host = host
         self.port = int(port)
         self.drain_timeout_s = float(drain_timeout_s)
+        #: deadline-sweep cadence; <= 0 disables the watchdog task
+        self.watchdog_interval_s = float(watchdog_interval_s)
         if state_dir is None:
             # "_serve" is not run-id-shaped, so store pruning/listing
             # never mistakes it for a run directory
@@ -97,6 +101,10 @@ class ReproServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         try:
+            # connection-accept fault site: an injected OSError here
+            # models accept/handshake-level failures (fd exhaustion,
+            # resets) — the connection drops, the server keeps serving
+            faults.check("http.accept")
             while True:
                 try:
                     req = await read_request(reader)
@@ -127,6 +135,8 @@ class ReproServer:
                     return
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to clean up
+        except OSError:
+            pass  # accept-level failure (incl. injected): drop the conn
         finally:
             writer.close()
             try:
@@ -173,12 +183,29 @@ class ReproServer:
                 registered.append(signum)
             except (NotImplementedError, RuntimeError):
                 pass  # platform without loop signal support
+        watchdog = (
+            asyncio.create_task(self._watchdog())
+            if self.watchdog_interval_s > 0
+            else None
+        )
         try:
             await self._stopped.wait()
         finally:
+            if watchdog is not None:
+                watchdog.cancel()
             for signum in registered:
                 loop.remove_signal_handler(signum)
             await self._shutdown()
+
+    async def _watchdog(self) -> None:
+        """Periodically fail (and once-requeue) jobs wedged past their
+        deadline — the backstop for work stuck *inside* a batch, where
+        the cooperative ``on_batch`` deadline check never runs."""
+        while True:
+            await asyncio.sleep(self.watchdog_interval_s)
+            # off-loop: the sweep takes the registry lock, which worker
+            # threads also hold while finishing jobs
+            await asyncio.to_thread(self.registry.watchdog_sweep)
 
     async def _shutdown(self) -> None:
         self._draining = True

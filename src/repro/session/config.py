@@ -68,6 +68,11 @@ class SessionConfig:
     cache_dir: Optional[str] = None
     #: run-store directory (``None``: searches are not persisted)
     store_dir: Optional[str] = None
+    #: fault-injection plan — inline JSON or a file path, resolved by
+    #: :meth:`repro.faults.FaultPlan.load` (``None``: faults disabled)
+    fault_plan: Optional[str] = None
+    #: fsync store/cache writes (durability against power loss)
+    fsync: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.demote_to, DType):
@@ -132,6 +137,14 @@ class SessionConfig:
             object.__setattr__(
                 self, "aggregate", tuple(self.aggregate)
             )
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, str
+        ):
+            raise ConfigError(
+                "fault_plan must be inline JSON or a file path, "
+                f"got {self.fault_plan!r}"
+            )
+        object.__setattr__(self, "fsync", bool(self.fsync))
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:

@@ -105,19 +105,26 @@ class Session:
                 f"config must be a SessionConfig, "
                 f"got {type(self.config).__name__}"
             )
+        if self.config.fault_plan is not None:
+            # chaos mode: activate the process-wide fault registry from
+            # the config's plan (inline JSON or a file path); raises
+            # ConfigError on a malformed plan, before any work runs
+            from repro import faults
+
+            faults.enable(faults.FaultPlan.load(self.config.fault_plan))
         if cache is None:
             cache = self.config.cache_dir
         self._cache: Optional[SweepCache] = (
             cache
             if isinstance(cache, SweepCache) or cache is None
-            else SweepCache(directory=cache)
+            else SweepCache(directory=cache, fsync=self.config.fsync)
         )
         if store is None:
             store = self.config.store_dir
         self._store: Optional[RunStore] = (
             store
             if isinstance(store, RunStore) or store is None
-            else RunStore(store)
+            else RunStore(store, fsync=self.config.fsync)
         )
         self.model = model
         self.cost_model = cost_model

@@ -29,7 +29,6 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -41,6 +40,8 @@ from repro.ir import nodes as N
 from repro.ir.fingerprint import ir_fingerprint
 from repro.obs import metrics as obs_metrics
 from repro.sweep.batch import BatchReport
+from repro.util import atomio
+from repro.util.retry import DEFAULT_IO_POLICY
 from repro.util.errors import InputError
 
 #: pickle protocol pinned for cross-version disk compatibility
@@ -61,7 +62,15 @@ _SC_EVICTIONS = obs_metrics.REGISTRY.counter(
 )
 _SC_CORRUPT = obs_metrics.REGISTRY.counter(
     "repro_sweep_cache_corrupt_evictions_total",
-    "corrupt sweep-cache entries evicted on read",
+    "corrupt sweep-cache entries quarantined on read",
+)
+_SC_READ_FAILURES = obs_metrics.REGISTRY.counter(
+    "repro_sweep_cache_read_failures_total",
+    "disk-tier reads that failed after retries (degraded to miss)",
+)
+_SC_WRITE_FAILURES = obs_metrics.REGISTRY.counter(
+    "repro_sweep_cache_write_failures_total",
+    "disk-tier writes that failed after retries (entry not persisted)",
 )
 
 
@@ -172,6 +181,7 @@ class SweepCache:
         memory_entries: int = 128,
         max_disk_bytes: Optional[int] = None,
         max_disk_entries: Optional[int] = None,
+        fsync: bool = False,
     ) -> None:
         if directory is None:
             directory = os.environ.get("REPRO_SWEEP_CACHE") or None
@@ -184,12 +194,16 @@ class SweepCache:
         self.memory_entries = memory_entries
         self.max_disk_bytes = max_disk_bytes
         self.max_disk_entries = max_disk_entries
+        self.fsync = bool(fsync)
         self._mem: "OrderedDict[str, BatchReport]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        #: corrupt/truncated disk entries dropped on read
+        #: corrupt/truncated disk entries quarantined on read
         self.corrupt_evictions = 0
+        #: disk reads/writes that failed after retries (degraded)
+        self.read_failures = 0
+        self.write_failures = 0
         #: running (bytes, entries) estimate of the disk tier; None
         #: until the first authoritative scan.  Kept incrementally so
         #: puts under the caps never rescan the directory; overwrites
@@ -303,23 +317,35 @@ class SweepCache:
             path = self._path(key)
             if path.exists():
                 try:
-                    with open(path, "rb") as f:
-                        rep = BatchReport.from_dict(pickle.load(f))
+                    blob = atomio.read_bytes(
+                        path,
+                        checked=True,
+                        site="cache.read",
+                        retry=DEFAULT_IO_POLICY,
+                    )
+                    rep = BatchReport.from_dict(pickle.loads(blob))
+                except FileNotFoundError:
+                    rep = None  # lost a race with an eviction: a miss
                 except (
-                    OSError, pickle.PickleError, KeyError, EOFError,
+                    atomio.CorruptPayloadError,
+                    pickle.PickleError, KeyError, EOFError,
                     ValueError,  # truncated/garbled protocol header
                 ):
                     # corrupt/truncated entry (e.g. a crash mid-write
-                    # outside this cache's atomic protocol): treat as a
-                    # miss and evict the file so it cannot shadow the
-                    # fresh result about to be recomputed
+                    # outside this cache's atomic protocol): treat as
+                    # a miss and *quarantine* the file — it cannot
+                    # shadow the fresh result about to be recomputed,
+                    # and the evidence survives for forensics
                     rep = None
                     self.corrupt_evictions += 1
                     _SC_CORRUPT.inc()
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
+                    atomio.quarantine(path, "corrupt sweep-cache entry")
+                except OSError:
+                    # unreadable after bounded retries: degrade to a
+                    # recompute (a cache must never fail its caller)
+                    rep = None
+                    self.read_failures += 1
+                    _SC_READ_FAILURES.inc()
                 if rep is not None:
                     self._remember(key, rep)
                     try:
@@ -346,22 +372,27 @@ class SweepCache:
         self._remember(key, report.copy())
         if self.directory is not None:
             path = self._path(key)
-            # atomic-ish write: concurrent sweeps must never observe a
-            # torn pickle
-            fd, tmp = tempfile.mkstemp(
-                dir=str(self.directory), suffix=".tmp"
+            data = pickle.dumps(
+                report.to_dict(), protocol=_PICKLE_PROTOCOL
             )
             try:
-                with os.fdopen(fd, "wb") as f:
-                    pickle.dump(
-                        report.to_dict(), f, protocol=_PICKLE_PROTOCOL
-                    )
-                os.replace(tmp, path)
+                # atomic + checksummed: concurrent sweeps must never
+                # observe a torn pickle, and a torn page that survives
+                # the rename is caught by the read-side verification
+                atomio.atomic_write(
+                    path,
+                    data,
+                    checksum=True,
+                    fsync=self.fsync,
+                    site="cache.write",
+                    retry=DEFAULT_IO_POLICY,
+                )
             except OSError:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
+                # a cache write failure is not an error for the
+                # caller (the result is still returned) — just a
+                # future miss, counted for the degradation signal
+                self.write_failures += 1
+                _SC_WRITE_FAILURES.inc()
             else:
                 self._note_disk_put(path)
 
@@ -380,6 +411,8 @@ class SweepCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "corrupt_evictions": self.corrupt_evictions,
+            "read_failures": self.read_failures,
+            "write_failures": self.write_failures,
             "memory_entries": len(self._mem),
             "disk_entries": len(entries),
             "disk_bytes": sum(size for _, _, size in entries),

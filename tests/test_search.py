@@ -51,7 +51,7 @@ def _points(n=48, seeds=(5, 6)):
     return out
 
 
-def _poisoned_block(configs):
+def _poisoned_block(payload):
     """Module-level so the pool can pickle it into forked workers."""
     raise RuntimeError("poisoned worker block")
 
@@ -353,10 +353,13 @@ class TestParallel:
         ev.close()
         ev.close()
 
-    def test_worker_exception_recovers_serially(self, monkeypatch):
-        """Regression: a worker exception during pool.map must not
-        propagate and must not leave a broken pool behind — the block
-        is recomputed serially and later evaluations keep working."""
+    def test_worker_exception_recovers_serially_then_respawns(
+        self, monkeypatch
+    ):
+        """Regression: a worker exception must not propagate — the
+        block is recomputed serially bit-identically, and the pool
+        *respawns* on the next evaluation instead of the old permanent
+        serial fallback."""
         import repro.search.parallel as par
 
         configs = [
@@ -369,20 +372,53 @@ class TestParallel:
         monkeypatch.setattr(par, "_worker_compute_block", _poisoned_block)
         try:
             got = ev.evaluate_many(configs, "x")
-            assert ev._pool_failed
+            assert ev._failures == 1 and not ev.exhausted
             assert ev._pool is None and not ev.parallel
             for a, b in zip(expected, got):
                 assert a.key == b.key
                 assert a.error == b.error  # bitwise
                 assert a.cycles == b.cycles
                 assert a.point_errors == b.point_errors
-            # the evaluator stays serviceable, permanently serial
+            # the pool respawns for the next evaluation and works again
+            monkeypatch.undo()
             more = ev.evaluate_many(
                 [PrecisionConfig.demote(["data", "t"]),
                  PrecisionConfig.demote(["s", "h"])],
                 "x",
             )
-            assert len(more) == 2 and not ev.parallel
+            assert len(more) == 2
+            assert ev.parallel and ev.n_respawns == 1
+            assert ev.eval_stats()["pool_respawns"] == 1
+        finally:
+            ev.close()
+
+    def test_respawn_budget_exhausts_to_permanent_serial(self, monkeypatch):
+        """Past ``max_respawns`` failures the evaluator stays serial
+        instead of thrashing spawn/crash cycles."""
+        import repro.search.parallel as par
+
+        ev = ParallelEvaluator(
+            ps_kernel, _points(), workers=2, max_respawns=1
+        )
+        monkeypatch.setattr(par, "_worker_compute_block", _poisoned_block)
+        # distinct configs per call: the evaluator memoizes scored
+        # configs, so reusing a pair would never reach the pool again
+        pairs = [
+            [PrecisionConfig.demote(["t"]), PrecisionConfig.demote(["s"])],
+            [PrecisionConfig.demote(["h"]), PrecisionConfig.demote(["data"])],
+            [PrecisionConfig.demote(["t", "s"]),
+             PrecisionConfig.demote(["s", "h"])],
+        ]
+        try:
+            ev.evaluate_many(pairs[0], "x")   # failure 1 (initial pool)
+            assert not ev.exhausted
+            ev.evaluate_many(pairs[1], "x")   # failure 2 (respawn used)
+            assert ev._failures == 2 and ev.n_respawns == 1
+            assert ev.exhausted
+            # budget spent: no further pool is built, serial still works
+            out = ev.evaluate_many(pairs[2], "x")
+            assert len(out) == 2 and not ev.parallel
+            assert ev._failures == 2 and ev.n_respawns == 1
         finally:
             ev.close()
 
