@@ -5,7 +5,6 @@ Benchmarks the error-estimation run with sensitivity tracing enabled
 sensitivity of r/p/Ap decays, yielding a proper loop-split point.
 """
 
-import numpy as np
 
 from repro.experiments.tables import hpccg_sensitivity
 

@@ -9,7 +9,7 @@ statistics (node count, estimated bytes) used by the figure benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 

@@ -1,0 +1,58 @@
+"""repro.analyze — static precision analysis over the IR.
+
+Four layers, each usable alone:
+
+* :mod:`repro.analyze.dataflow` — the forward/backward dataflow
+  framework (def-use/use-def chains, reaching definitions, liveness,
+  loop-invariant detection; loops via fixpoint iteration);
+* :mod:`repro.analyze.ranges` — interval/range analysis propagating
+  input domains to per-variable value ranges (overflow/underflow
+  feasibility, division blowup, cancellation sites);
+* :mod:`repro.analyze.sensitivity` — static first-order
+  error-amplification bounds along def-use paths and zero-evaluation
+  demotion-error estimates;
+* :mod:`repro.analyze.lint` — the lint engine with stable ``RA1xx``
+  (safety) / ``RA2xx`` (hygiene) diagnostic codes.
+
+:func:`analyze_kernel` runs the whole pipeline and returns an
+:class:`AnalysisReport`; :func:`prune_candidates` applies its
+pinned/demotion-safe sets to a search candidate space.  See the README
+"Static analysis" section for semantics and the pruning contract.
+"""
+
+from repro.analyze.dataflow import Dataflow, analyze_dataflow
+from repro.analyze.lint import Diagnostic, build_diagnostics, render_text
+from repro.analyze.ranges import (
+    Interval,
+    RangeResult,
+    analyze_ranges,
+    derive_domains,
+)
+from repro.analyze.report import (
+    AnalysisReport,
+    PIN_MARGIN,
+    analyze_kernel,
+    prune_candidates,
+)
+from repro.analyze.sensitivity import (
+    SensitivityResult,
+    analyze_sensitivity,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Dataflow",
+    "Diagnostic",
+    "Interval",
+    "PIN_MARGIN",
+    "RangeResult",
+    "SensitivityResult",
+    "analyze_dataflow",
+    "analyze_kernel",
+    "analyze_ranges",
+    "analyze_sensitivity",
+    "build_diagnostics",
+    "derive_domains",
+    "prune_candidates",
+    "render_text",
+]

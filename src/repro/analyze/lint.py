@@ -1,0 +1,275 @@
+"""Kernel lint: stable diagnostic codes over the analysis facts.
+
+Two families:
+
+* **RA1xx — numerical safety** (severity ``warning``): facts about
+  value ranges and error amplification that make a precision demotion
+  statically dangerous;
+* **RA2xx — hygiene** (severity ``info``): dataflow facts that make
+  the kernel slower or harder to tune without being wrong.
+
+Codes are part of the public contract (tests golden-file them; CI and
+editors match on them) — never renumber, only append.
+
+==========  =============================================================
+Code        Meaning
+==========  =============================================================
+``RA101``   value range exceeds f16 finite range (demotion would overflow)
+``RA102``   value range exceeds f32 finite range (demotion would overflow)
+``RA103``   value range entirely f16-subnormal (demotion flushes to zero)
+``RA104``   division by an interval containing (or hugging) zero
+``RA105``   catastrophic cancellation (same-signed overlapping operands)
+``RA106``   intrinsic domain violation possible (``sqrt``/``log`` of
+            non-positive range)
+``RA107``   amplifying recurrence: first-order error growth saturated
+``RA201``   dead store (value never read)
+``RA202``   unused parameter
+``RA203``   loop-invariant recomputation
+``RA204``   unused local (declared, never read)
+==========  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analyze.dataflow import Dataflow, stmt_writes
+from repro.analyze.ranges import (
+    FINITE_MAX,
+    RangeResult,
+    SMALLEST_NORMAL,
+    _json_float,
+)
+from repro.analyze.sensitivity import SensitivityResult
+from repro.ir import nodes as N
+from repro.ir.typecheck import collect_var_dtypes
+from repro.ir.types import DType
+
+#: severity per code family
+SEVERITIES = {"RA1": "warning", "RA2": "info"}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding with a stable code."""
+
+    code: str
+    var: Optional[str]
+    #: source line in the original Python function, when known
+    loc: Optional[int]
+    message: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def severity(self) -> str:
+        return SEVERITIES.get(self.code[:3], "info")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "var": self.var,
+            "loc": self.loc,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+    def render(self, kernel: str = "") -> str:
+        where = f":{self.loc}" if self.loc is not None else ""
+        subject = f" [{self.var}]" if self.var else ""
+        prefix = f"{kernel}{where}" if kernel else (where or "-")
+        return (
+            f"{prefix}: {self.code} {self.severity}{subject}: "
+            f"{self.message}"
+        )
+
+
+def _sort_key(d: Diagnostic) -> tuple:
+    return (d.code, d.var or "", d.loc if d.loc is not None else -1)
+
+
+def _is_register(var: str) -> bool:
+    return var.startswith("_")
+
+
+def build_diagnostics(
+    fn: N.Function,
+    df: Dataflow,
+    rr: RangeResult,
+    sens: SensitivityResult,
+) -> List[Diagnostic]:
+    """All lint findings for ``fn``, deterministically ordered."""
+    out: List[Diagnostic] = []
+    dtypes = collect_var_dtypes(fn)
+    float_vars = sorted(
+        v for v, dt in dtypes.items() if dt.is_float
+    )
+
+    # -- RA101/RA102/RA103: exponent-range feasibility ----------------------
+    for var in float_vars:
+        if _is_register(var):
+            continue
+        iv = rr.ranges.get(var)
+        if iv is None or not iv.is_finite:
+            continue
+        if iv.mag > FINITE_MAX[DType.F16]:
+            code = (
+                "RA102"
+                if iv.mag > FINITE_MAX[DType.F32]
+                else "RA101"
+            )
+            target = "f32" if code == "RA102" else "f16"
+            out.append(
+                Diagnostic(
+                    code=code,
+                    var=var,
+                    loc=_def_loc(df, var),
+                    message=(
+                        f"value range [{_fmt(iv.lo)}, {_fmt(iv.hi)}] "
+                        f"exceeds the {target} finite range — "
+                        f"demotion to {target} would overflow"
+                    ),
+                    data={"range": iv.to_dict(), "target": target},
+                )
+            )
+        elif 0.0 < iv.mag < SMALLEST_NORMAL[DType.F16] and iv.min_mag > 0.0:
+            out.append(
+                Diagnostic(
+                    code="RA103",
+                    var=var,
+                    loc=_def_loc(df, var),
+                    message=(
+                        f"value range [{_fmt(iv.lo)}, {_fmt(iv.hi)}] is "
+                        "entirely subnormal at f16 — demotion flushes "
+                        "significant digits"
+                    ),
+                    data={"range": iv.to_dict(), "target": "f16"},
+                )
+            )
+
+    # -- RA104/RA105/RA106: site hazards from range propagation -------------
+    _EVENT_CODES = {
+        "div_blowup": (
+            "RA104",
+            "division by an interval containing or approaching zero "
+            "amplifies rounding error without bound",
+        ),
+        "cancellation": (
+            "RA105",
+            "subtraction of same-signed overlapping ranges can cancel "
+            "all significant digits",
+        ),
+        "domain": (
+            "RA106",
+            "intrinsic argument range extends outside the function's "
+            "domain",
+        ),
+    }
+    for ev in rr.events:
+        code, message = _EVENT_CODES[ev.kind]
+        out.append(
+            Diagnostic(
+                code=code,
+                var=ev.var,
+                loc=ev.loc,
+                message=message,
+                data={"stmt": ev.stmt, **ev.detail},
+            )
+        )
+
+    # -- RA107: amplifying recurrences ---------------------------------------
+    for var in sorted(sens.capped):
+        if _is_register(var):
+            continue
+        out.append(
+            Diagnostic(
+                code="RA107",
+                var=var,
+                loc=_def_loc(df, var),
+                message=(
+                    "first-order error amplification saturated — the "
+                    "variable sits on an amplifying recurrence; "
+                    "rounding error may grow without bound"
+                ),
+                data={"amp": _json_float(sens.amp.get(var, 0.0))},
+            )
+        )
+
+    # -- RA2xx: hygiene -------------------------------------------------------
+    for idx in df.dead_stores:
+        s = df.stmts[idx]
+        wr = stmt_writes(s)
+        if wr is None or _is_register(wr[0]):
+            continue
+        out.append(
+            Diagnostic(
+                code="RA201",
+                var=wr[0],
+                loc=s.loc,
+                message="stored value is never read (dead store)",
+                data={"stmt": idx},
+            )
+        )
+    for var in sorted(df.unused_params):
+        out.append(
+            Diagnostic(
+                code="RA202",
+                var=var,
+                loc=None,
+                message="parameter is never used",
+                data={},
+            )
+        )
+    for stmt_idx, loop_idx in df.loop_invariant:
+        s = df.stmts[stmt_idx]
+        wr = stmt_writes(s)
+        var = wr[0] if wr else None
+        if var is not None and _is_register(var):
+            continue
+        out.append(
+            Diagnostic(
+                code="RA203",
+                var=var,
+                loc=s.loc,
+                message=(
+                    "loop-invariant computation re-executed every "
+                    "iteration — hoist it out of the loop"
+                ),
+                data={"stmt": stmt_idx, "loop": loop_idx},
+            )
+        )
+    for var in sorted(df.unused_locals):
+        if _is_register(var):
+            continue
+        out.append(
+            Diagnostic(
+                code="RA204",
+                var=var,
+                loc=_def_loc(df, var),
+                message="local is declared but never read",
+                data={},
+            )
+        )
+
+    return sorted(out, key=_sort_key)
+
+
+def _def_loc(df: Dataflow, var: str) -> Optional[int]:
+    for site in df.defs.get(var, ()):
+        if site.loc is not None:
+            return site.loc
+    return None
+
+
+def _fmt(x: float) -> str:
+    return f"{x:.6g}"
+
+
+def render_text(
+    diagnostics: List[Diagnostic], kernel: str = ""
+) -> str:
+    """Human-readable one-line-per-finding report."""
+    if not diagnostics:
+        return f"{kernel or 'kernel'}: no findings"
+    return "\n".join(d.render(kernel) for d in diagnostics)

@@ -1,0 +1,348 @@
+"""Static sensitivity/amplification analysis.
+
+Composes per-operation first-order condition-number bounds along
+def-use paths to estimate, for every variable ``v``, how much a
+rounding perturbation introduced at ``v`` is amplified by the time it
+reaches the kernel's outputs (the return value and any array
+parameters, which are passed by reference).
+
+The analysis is the static sibling of the dynamic ADAPT contribution
+model (:class:`repro.core.models.AdaptModel`): where ADAPT *measures*
+adjoints on concrete inputs, this pass *bounds* them from the interval
+ranges, giving a zero-evaluation demotion-error estimate
+
+    ``E[v] = eps(demote_to) * mag(range(v)) * amp(v) * sqrt(writes(v))``
+
+— eps-relative rounding per write, amplified along the worst def-use
+path, with the per-write errors composed under the standard stochastic
+(random-walk) rounding model: accumulated roundoff grows like the
+square root of the number of writes, not linearly (linear growth is
+the adversarial worst case and over-pins accumulators by orders of
+magnitude).  The estimates feed the lint engine (RA1xx codes) and the
+conservative pre-search pruner (:mod:`repro.analyze.report`).
+
+Estimates are deliberately *optimistic* on denominators (they use the
+largest divisor magnitude, not the smallest): the pruner pins a
+variable to f64 only when even the optimistic estimate blows the error
+budget by a wide margin, so optimism translates into pruning less, not
+into unsound fronts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analyze.dataflow import Dataflow
+from repro.analyze.ranges import Interval, RangeResult, eval_expr_range
+from repro.ir import nodes as N
+from repro.ir.types import DType, MACHINE_EPS
+
+#: amplification factors saturate here; a variable that hits the cap
+#: sits on an amplifying recurrence (error grows without bound in the
+#: first-order model) and is flagged RA107
+AMP_CAP = 1e30
+#: fixpoint iterations for the backward max-join propagation
+_FIXPOINT_CAP = 80
+#: amplifications at or above this are downstream of a saturated cycle
+#: (a capped value times a sub-unit coefficient): too contaminated to
+#: turn into a demotion-error estimate
+_AMP_SUSPECT = 1e15
+#: execution-count estimates saturate here (matches the exec-count cap
+#: in :mod:`repro.analyze.ranges`)
+_WRITES_CAP = 1e12
+
+
+@dataclass
+class SensitivityResult:
+    """Static sensitivity facts for one function."""
+
+    #: worst-path amplification from a perturbation at ``v`` to the
+    #: kernel outputs; 0.0 means no def-use path reaches an output
+    amp: Dict[str, float]
+    #: estimated number of times ``v`` is written per call (trip-count
+    #: products over its def sites), capped at 1e12
+    writes: Dict[str, float]
+    #: static demotion-error estimate per variable per target dtype
+    #: (``{"f32": ..., "f16": ...}``); absent when the range, amp, or
+    #: write count is unbounded (nothing can be claimed statically)
+    err_estimate: Dict[str, Dict[str, float]]
+    #: variables whose amplification saturated at :data:`AMP_CAP`
+    capped: Set[str] = field(default_factory=set)
+
+
+def _mag(iv: Optional[Interval]) -> float:
+    return iv.mag if iv is not None else math.inf
+
+
+def _clamp(x: float) -> float:
+    if math.isnan(x):
+        return AMP_CAP
+    return min(abs(x), AMP_CAP)
+
+
+class _DerivBounds:
+    """Bounds on ``|d expr / d var|`` under summary value ranges.
+
+    Multiple occurrences of the same variable sum (triangle
+    inequality); intrinsic derivative factors come from the table
+    below, falling back to 1.0 for unknown calls (optimistic).
+    """
+
+    def __init__(self, ranges: Mapping[str, Interval]) -> None:
+        self.ranges = ranges
+        self._range_memo: Dict[int, Interval] = {}
+
+    def range_of(self, e: N.Expr) -> Interval:
+        iv = self._range_memo.get(id(e))
+        if iv is None:
+            iv = eval_expr_range(e, self.ranges)
+            self._range_memo[id(e)] = iv
+        return iv
+
+    def bound(self, e: N.Expr, var: str) -> float:
+        """Bound on ``|d e / d var|`` (0.0 when ``var`` unused)."""
+        return self._d(e, var)
+
+    def _d(self, e: N.Expr, u: str) -> float:
+        if isinstance(e, N.Const):
+            return 0.0
+        if isinstance(e, N.Name):
+            return 1.0 if e.id == u else 0.0
+        if isinstance(e, N.Index):
+            return 1.0 if e.base == u else 0.0
+        if isinstance(e, N.Cast):
+            return self._d(e.operand, u)
+        if isinstance(e, N.UnaryOp):
+            if e.op == "-":
+                return self._d(e.operand, u)
+            return 0.0  # logical not
+        if isinstance(e, N.BinOp):
+            return self._binop(e, u)
+        if isinstance(e, N.Call):
+            return self._call(e, u)
+        return 0.0
+
+    def _binop(self, e: N.BinOp, u: str) -> float:
+        if e.op in N.CMPOPS or e.op in N.BOOLOPS:
+            return 0.0
+        da = self._d(e.left, u)
+        db = self._d(e.right, u)
+        if e.op in ("+", "-"):
+            return _clamp(da + db)
+        if e.op == "*":
+            if da == 0.0 and db == 0.0:
+                return 0.0
+            ma = _mag(self.range_of(e.left))
+            mb = _mag(self.range_of(e.right))
+            return _clamp(da * _clamp(mb) + db * _clamp(ma))
+        if e.op == "/":
+            if da == 0.0 and db == 0.0:
+                return 0.0
+            ma = _mag(self.range_of(e.left))
+            mb = _mag(self.range_of(e.right))
+            # optimistic denominator: the largest divisor magnitude
+            if mb == 0.0:
+                return AMP_CAP
+            if math.isinf(mb):
+                return 0.0
+            return _clamp(da / mb + db * _clamp(ma) / (mb * mb))
+        # integer ops (// %) are piecewise constant
+        return 0.0
+
+    def _call(self, e: N.Call, u: str) -> float:
+        dargs = [self._d(a, u) for a in e.args]
+        if not any(dargs):
+            return 0.0
+        name = e.fn
+        if name.startswith("fast_"):
+            name = name[len("fast_"):]
+        factors = self._call_factors(name, e.args)
+        total = 0.0
+        for d, f in zip(dargs, factors):
+            total += d * f
+        return _clamp(total)
+
+    def _call_factors(self, name: str, args: List[N.Expr]) -> List[float]:
+        """Per-argument derivative-magnitude factors for an intrinsic."""
+        one = [1.0] * len(args)
+        if name in ("sin", "cos", "erf", "erfc", "atan", "tanh",
+                    "fabs", "fmax", "fmin", "copysign", "asin", "acos"):
+            return one
+        if name in ("floor", "ceil", "step_ge"):
+            return [0.0] * len(args)
+        if name == "user_err":
+            return [1.0] + [0.0] * (len(args) - 1)
+        a0 = self.range_of(args[0]) if args else None
+        m0 = _mag(a0)
+        if name in ("exp", "exp2"):
+            # d exp(x)/dx = exp(x): monotone, bounded by the *upper*
+            # endpoint (an argument range deep in the negatives has a
+            # tiny derivative, not a huge one)
+            hi = a0.hi if a0 is not None else math.inf
+            scale = math.log(2.0) if name == "exp2" else 1.0
+            try:
+                f = scale * math.exp(min(hi * scale, 700.0))
+            except OverflowError:
+                f = AMP_CAP
+            return [_clamp(f)]
+        if name in ("sinh", "cosh"):
+            try:
+                f = math.exp(min(m0, 700.0))
+            except OverflowError:
+                f = AMP_CAP
+            return [_clamp(f)]
+        if name == "tan":
+            return [AMP_CAP]
+        if name in ("log", "log2"):
+            # d log(x)/dx = 1/x; optimistic: largest |x|
+            if m0 == 0.0 or math.isinf(m0):
+                return [AMP_CAP if m0 == 0.0 else 0.0]
+            return [_clamp(1.0 / m0)]
+        if name == "sqrt":
+            if m0 == 0.0 or math.isinf(m0):
+                return [AMP_CAP if m0 == 0.0 else 0.0]
+            return [_clamp(0.5 / math.sqrt(m0))]
+        if name == "pow" and len(args) == 2:
+            m1 = _mag(self.range_of(args[1]))
+            if math.isinf(m0) or math.isinf(m1):
+                return [AMP_CAP, AMP_CAP]
+            try:
+                powmag = max(m0, 1.0) ** m1
+            except OverflowError:
+                powmag = AMP_CAP
+            d_base = _clamp(m1 * max(m0, 1.0) ** max(m1 - 1.0, 0.0))
+            d_exp = _clamp(powmag * math.log(max(m0, 1.0) + 1.0))
+            return [d_base, d_exp]
+        return one  # unknown intrinsic: optimistic unit factor
+
+
+def analyze_sensitivity(
+    fn: N.Function,
+    df: Dataflow,
+    rr: RangeResult,
+) -> SensitivityResult:
+    """Static amplification/write-count/error estimates for ``fn``."""
+    bounds = _DerivBounds(rr.ranges)
+    array_params = {
+        p.name for p in fn.params if p.type.is_array
+    }
+
+    # -- seeds: direct output exposure --------------------------------------
+    amp: Dict[str, float] = {}
+
+    def seed(var: str, value: float) -> None:
+        if value > amp.get(var, 0.0):
+            amp[var] = min(value, AMP_CAP)
+
+    for p in array_params:
+        seed(p, 1.0)  # arrays are outputs: final values escape as-is
+    for s in df.stmts:
+        if isinstance(s, N.Return):
+            for u in _expr_vars(s.value):
+                seed(u, bounds.bound(s.value, u))
+        elif isinstance(s, N.ReturnTuple):
+            for v in s.values:
+                for u in _expr_vars(v):
+                    seed(u, bounds.bound(v, u))
+
+    # -- def-site edges: u --coeff--> w for each def "w := e(u, ...)" -------
+    edges: List[Tuple[str, str, float]] = []  # (u, w, coeff)
+    for var, sites in df.defs.items():
+        for site in sites:
+            # param sites use negative indices (PARAM_SITE - position)
+            if site.index < 0 or site.kind in ("loop", "pop"):
+                continue
+            s = df.stmts[site.index]
+            rhs = _def_rhs(s)
+            if rhs is None:
+                continue
+            for u in _expr_vars(rhs):
+                coeff = bounds.bound(rhs, u)
+                if coeff > 0.0:
+                    edges.append((u, var, coeff))
+            if (
+                isinstance(s, N.Assign)
+                and isinstance(s.target, N.Index)
+            ):
+                # a store into w overwrites one element; prior values
+                # of w still flow (other elements): identity self-edge
+                edges.append((var, var, 1.0))
+
+    # -- backward max-join fixpoint -----------------------------------------
+    capped: Set[str] = set()
+    for _ in range(_FIXPOINT_CAP):
+        changed = False
+        for u, w, coeff in edges:
+            aw = amp.get(w, 0.0)
+            if aw == 0.0:
+                continue
+            cand = min(coeff * aw, AMP_CAP)
+            if cand > amp.get(u, 0.0) * (1.0 + 1e-12):
+                amp[u] = cand
+                changed = True
+        if not changed:
+            break
+    else:
+        # still growing after the cap: every variable whose value rose
+        # on the last sweeps sits on an amplifying cycle — saturate
+        for u, w, coeff in edges:
+            aw = amp.get(w, 0.0)
+            if aw > 0.0 and min(coeff * aw, AMP_CAP) > amp.get(u, 0.0):
+                amp[u] = AMP_CAP
+    for v, a in amp.items():
+        if a >= AMP_CAP:
+            capped.add(v)
+
+    # -- write counts --------------------------------------------------------
+    writes: Dict[str, float] = {}
+    for var, sites in df.defs.items():
+        total = 0.0
+        for site in sites:
+            if site.index < 0:
+                continue
+            total += rr.exec_counts.get(site.index, 1.0)
+        if total > 0.0:
+            writes[var] = min(total, _WRITES_CAP)
+
+    # -- demotion-error estimates -------------------------------------------
+    err: Dict[str, Dict[str, float]] = {}
+    for var in set(amp) | set(writes):
+        iv = rr.ranges.get(var)
+        if iv is None or not iv.is_finite:
+            continue
+        a = amp.get(var, 0.0)
+        w = writes.get(var, 0.0)
+        if a >= _AMP_SUSPECT or w >= _WRITES_CAP or w == 0.0:
+            continue
+        per_dtype: Dict[str, float] = {}
+        for dt in (DType.F16, DType.F32):
+            per_dtype[dt.value] = (
+                MACHINE_EPS[dt] * iv.mag * a * math.sqrt(w)
+            )
+        err[var] = per_dtype
+
+    return SensitivityResult(
+        amp=amp, writes=writes, err_estimate=err, capped=capped
+    )
+
+
+def _def_rhs(s: N.Stmt) -> Optional[N.Expr]:
+    if isinstance(s, N.VarDecl):
+        return s.init
+    if isinstance(s, N.Assign):
+        return s.value
+    return None
+
+
+def _expr_vars(e: N.Expr) -> Set[str]:
+    from repro.ir.visitor import walk_expr
+
+    out: Set[str] = set()
+    for sub in walk_expr(e):
+        if isinstance(sub, N.Name):
+            out.add(sub.id)
+        elif isinstance(sub, N.Index):
+            out.add(sub.base)
+    return out

@@ -9,6 +9,7 @@ command  what it does
 estimate one-point FP error estimate of an app kernel
 sweep    batched error estimate over the app's input distribution
 tune     greedy / distribution-robust mixed-precision tuning
+analyze  static precision analysis: ranges, sensitivity, kernel lint
 search   cost-aware Pareto precision search (durable with --store)
 plan     multi-scenario search plans through the orchestrator
 runs     run-store management: list / compare / prune / diff
@@ -21,6 +22,7 @@ Examples::
     python -m repro estimate --kernel blackscholes
     python -m repro sweep --kernel simpsons --aggregate p95
     python -m repro tune --kernel blackscholes --threshold 1e-6 --robust
+    python -m repro analyze simpsons --json
     python -m repro search --kernel kmeans --budget 32 --store runs/
     python -m repro search --kernel blackscholes --trace run.trace.jsonl
     python -m repro plan --all --store runs/ --resume
@@ -281,6 +283,44 @@ def cmd_tune(args) -> int:
             "ranking": [[v, e] for v, e in result.ranking],
         },
     )
+    return 0
+
+
+# -- analyze ------------------------------------------------------------------
+
+
+def cmd_analyze(args) -> int:
+    scenarios = _scenarios()
+    if args.list or not args.kernel:
+        _print_scenarios()
+        return 0 if args.list else 2
+    if args.kernel not in scenarios:
+        print(
+            f"unknown kernel {args.kernel!r} "
+            f"(available: {sorted(scenarios)})",
+            file=sys.stderr,
+        )
+        return 2
+    sess = _session_for(args)
+    kwargs: Dict[str, object] = {}
+    if args.demote_to is not None:
+        from repro.ir.types import DType
+
+        kwargs["demote_to"] = DType(args.demote_to)
+    report = sess.analyze(
+        args.kernel, threshold=args.threshold, **kwargs
+    )
+    if args.json == "-":
+        # bare --json: the report is the output — keep stdout pure
+        # JSON so it pipes into jq and the golden-schema tests
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(report.render())
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -621,6 +661,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="robust-mode aggregation (default max = worst case)",
     )
     sp.set_defaults(func=cmd_tune, parser=sp)
+
+    # analyze
+    sp = sub.add_parser(
+        "analyze",
+        help="static precision analysis: value ranges, sensitivity "
+             "bounds, and kernel lint (RA1xx/RA2xx)",
+    )
+    sp.add_argument(
+        "kernel", nargs="?", default=None,
+        help="app scenario to analyze (see --list)",
+    )
+    sp.add_argument(
+        "--list", action="store_true",
+        help="list available app scenarios",
+    )
+    sp.add_argument(
+        "--threshold", type=float, default=None,
+        help="error budget for estimate-based pinning "
+             "(default: scenario threshold)",
+    )
+    sp.add_argument(
+        "--demote-to", dest="demote_to", choices=("f16", "f32"),
+        default=None,
+        help="demotion target the feasibility checks test against "
+             "(default f32)",
+    )
+    sp.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the full report as JSON — to PATH, or to stdout "
+             "when no path is given",
+    )
+    sp.set_defaults(func=cmd_analyze, parser=sp)
 
     # search
     sp = sub.add_parser(

@@ -28,7 +28,7 @@ from repro.interp.cost_model import (
     store_cost,
 )
 from repro.ir import nodes as N
-from repro.ir.types import ArrayType, DType
+from repro.ir.types import DType
 from repro.ir.visitor import walk_stmts
 
 

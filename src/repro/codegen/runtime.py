@@ -15,7 +15,6 @@ modes exist:
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, Optional, Set
 
 import numpy as np

@@ -26,7 +26,6 @@ from repro.core.report import ErrorReport, GradientResult
 from repro.core.reverse import ReverseModeTransformer
 from repro.frontend.registry import Kernel
 from repro.ir import nodes as N
-from repro.ir.types import ArrayType
 from repro.util.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover

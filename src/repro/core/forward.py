@@ -124,7 +124,6 @@ class ForwardModeTransformer:
         # seed marker: replaced at execution time via a dedicated param
         body.append(N.VarDecl("_seed_done", DType.B1, b.const(True)))
         body.extend(self._transform_body(core))
-        ret_dt = fn.ret_dtype or DType.F64
         body.append(
             N.ReturnTuple([b.clone(ret.value), jvp(ret.value)])
         )

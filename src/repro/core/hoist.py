@@ -10,7 +10,7 @@ overwritten variable for tape (Push/Pop) purposes.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.ir import builder as b
 from repro.ir import nodes as N

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from repro.core.pullback import adjoint_name
 from repro.ir import builder as b
 from repro.ir import nodes as N
 from repro.ir.types import DType, machine_eps

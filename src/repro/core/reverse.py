@@ -329,7 +329,6 @@ class ReverseModeTransformer:
     # -- control flow --------------------------------------------------------
     def _transform_if(self, s: N.If) -> Tuple[List[N.Stmt], List[N.Stmt]]:
         c = self.ctx.new_temp("_c", DType.B1)
-        cref = b.name(c, DType.B1)
         fwd_then, bwd_then = self._transform_body(s.then)
         fwd_orelse, bwd_orelse = self._transform_body(s.orelse)
         # NB: the branch bool is pushed AFTER the branch body executes so

@@ -12,7 +12,7 @@ in EXPERIMENTS.md); pass ``full=True`` for the larger sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import arclength, blackscholes, hpccg, kmeans, simpsons

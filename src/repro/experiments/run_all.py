@@ -80,10 +80,13 @@ def _print_fig9(csv_dir: Optional[str]) -> None:
 
 
 def _dump(csv_dir: str, name: str, headers, rows) -> None:
+    from repro.util import atomio
+
     os.makedirs(csv_dir, exist_ok=True)
     path = os.path.join(csv_dir, name)
-    with open(path, "w", encoding="utf-8") as f:
-        f.write(to_csv(headers, rows))
+    atomio.atomic_write(
+        path, to_csv(headers, rows).encode("utf-8"), site="csv.write"
+    )
     print(f"  [csv written: {path}]")
 
 

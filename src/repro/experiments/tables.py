@@ -7,8 +7,7 @@ EXPERIMENTS.md next to the paper's values.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,10 +16,8 @@ from repro.codegen.compile import compile_primal, compile_raw
 from repro.core.api import ErrorEstimator
 from repro.core.models import AdaptModel, ApproxModel
 from repro.experiments.figures import figure_improvements, run_figure
-from repro.interp.cost_model import DEFAULT_COST_MODEL
 from repro.tuning import (
     PrecisionConfig,
-    estimate_split_speedup,
     find_split_iteration,
     iteration_sensitivity,
     validate_config,

@@ -36,7 +36,6 @@ from repro.ir.types import (
     ScalarType,
     Type,
     parse_annotation,
-    promote,
 )
 from repro.util.errors import FrontendError
 

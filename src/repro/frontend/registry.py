@@ -11,13 +11,10 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Optional
 
-import numpy as np
-
 from repro.frontend.parser import parse_kernel
 from repro.ir import nodes as N
 from repro.ir.printer import format_function
 from repro.ir.validate import validate_function
-from repro.util.errors import FrontendError
 
 _REGISTRY: Dict[str, "Kernel"] = {}
 _REGISTRY_LOCK = threading.Lock()

@@ -19,12 +19,11 @@ Costs are relative cycles; only ratios matter for the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from repro.frontend.intrinsics import INTRINSICS
 from repro.ir import nodes as N
 from repro.ir.types import DType
-from repro.ir.typecheck import collect_var_dtypes
 
 
 def _per_dtype(f64: float, f32: float, f16: float) -> Dict[DType, float]:

@@ -17,7 +17,6 @@ validation runs use it at small problem sizes.  Optional hooks:
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np

@@ -4,6 +4,17 @@ Run after the frontend and after every transformation pass (in tests and
 in debug mode) to catch malformed trees early: undeclared names, dtype
 holes, breaks outside loops, returns in the middle of a body, stray
 adjoint-only nodes in primal functions, and so on.
+
+Two checks target *authored-kernel* mistakes rather than transform
+bugs and raise :class:`~repro.util.errors.IRConfigError` (also a
+``ConfigError``) so user-facing surfaces treat them as invalid input:
+
+* **duplicate parameters** — two parameters sharing a name;
+* **use before definition** — reading a scalar that was declared
+  without an initializer and has no assignment anywhere earlier in the
+  program text (a definite bug at runtime; assignments inside earlier
+  branches or loops count as defining, so the check never flags a
+  merely path-dependent definition).
 """
 
 from __future__ import annotations
@@ -12,8 +23,8 @@ from typing import List, Set
 
 from repro.ir import nodes as N
 from repro.ir.types import ArrayType
-from repro.ir.visitor import iter_child_exprs, walk_expr
-from repro.util.errors import ValidationError
+from repro.ir.visitor import walk_expr
+from repro.util.errors import IRConfigError, ValidationError
 
 
 def validate_function(fn: N.Function, allow_adjoint_nodes: bool = False) -> None:
@@ -32,17 +43,23 @@ class _Validator:
         self.allow_adjoint = allow_adjoint
         self.scalars: Set[str] = set()
         self.arrays: Set[str] = set()
+        #: scalars with a value on every path reaching the current
+        #: statement *textually* — params, initialized declarations,
+        #: and any earlier assignment (branch- and loop-insensitive,
+        #: so only definite use-before-definition is flagged)
+        self.defined: Set[str] = set()
         for p in fn.params:
             if isinstance(p.type, ArrayType):
                 self.arrays.add(p.name)
             else:
                 self.scalars.add(p.name)
+                self.defined.add(p.name)
 
     def run(self) -> None:
         seen = set()
         for p in self.fn.params:
             if p.name in seen:
-                raise ValidationError(
+                raise IRConfigError(
                     f"{self.fn.name}: duplicate parameter {p.name!r}"
                 )
             seen.add(p.name)
@@ -73,14 +90,18 @@ class _Validator:
                 )
             if s.init is not None:
                 self._check_expr(s.init)
+                self.defined.add(s.name)
             self.scalars.add(s.name)
         elif isinstance(s, N.Assign):
-            self._check_lvalue(s.target)
             self._check_expr(s.value)
+            self._check_lvalue(s.target)
+            if isinstance(s.target, N.Name):
+                self.defined.add(s.target.id)
         elif isinstance(s, N.For):
             for e in (s.lo, s.hi, s.step):
                 self._check_expr(e)
             self.scalars.add(s.var)
+            self.defined.add(s.var)
             self._check_body(s.body, in_loop=True, toplevel=False)
         elif isinstance(s, N.While):
             self._check_expr(s.cond)
@@ -108,10 +129,15 @@ class _Validator:
             self._check_expr(s.value)
         elif isinstance(s, N.Push):
             self._require_adjoint("Push")
-            self._check_expr(s.value)
+            # a save-before-overwrite push legitimately reads a scalar
+            # that has no value yet (the matching pop restores it), so
+            # the use-before-definition check does not apply here
+            self._check_expr(s.value, allow_undefined=True)
         elif isinstance(s, N.Pop):
             self._require_adjoint("Pop")
             self._check_lvalue(s.target)
+            if isinstance(s.target, N.Name):
+                self.defined.add(s.target.id)
         elif isinstance(s, N.PopDiscard):
             self._require_adjoint("PopDiscard")
         elif isinstance(s, N.TraceAppend):
@@ -149,13 +175,21 @@ class _Validator:
                 f"{self.fn.name}: invalid lvalue {type(lv).__name__}"
             )
 
-    def _check_expr(self, e: N.Expr) -> None:
+    def _check_expr(
+        self, e: N.Expr, allow_undefined: bool = False
+    ) -> None:
         for node in walk_expr(e):
             if isinstance(node, N.Name):
                 if node.id not in self.scalars:
                     raise ValidationError(
                         f"{self.fn.name}: use of undeclared scalar "
                         f"{node.id!r}"
+                    )
+                if not allow_undefined and node.id not in self.defined:
+                    raise IRConfigError(
+                        f"{self.fn.name}: use of {node.id!r} before "
+                        "definition (declared without initializer, "
+                        "no assignment reaches this read)"
                     )
             elif isinstance(node, N.Index):
                 if node.base not in self.arrays:

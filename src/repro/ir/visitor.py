@@ -13,7 +13,7 @@ Optimization passes and the AD transformation build on these.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 from repro.ir import nodes as N
 

@@ -14,7 +14,7 @@ across loops and branches.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.ir import builder as b
 from repro.ir import nodes as N

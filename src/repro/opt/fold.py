@@ -16,13 +16,11 @@ partials produce long ``_t * 1.0`` chains that fold away.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.fp.precision import round_to
 from repro.ir import builder as b
 from repro.ir import nodes as N
-from repro.ir.types import DType
 from repro.ir.visitor import Transformer
 
 

@@ -45,7 +45,6 @@ from typing import (
     Sequence,
     Set,
     Tuple,
-    Union,
 )
 
 import numpy as np
@@ -295,11 +294,12 @@ def _search_components(
     cost_model: CostModel,
     approx: Optional[Set[str]],
     error_metric: str,
+    analysis: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     """Run-key components as :func:`run_search` computes them — shared
     by the driver and :func:`search_run_id` so the two can never
     disagree about a run's identity."""
-    return run_key_components(
+    components = run_key_components(
         fn,
         points=points,
         threshold=float(threshold),
@@ -316,6 +316,16 @@ def _search_components(
         cost_model=cost_model,
         approx=approx,
     )
+    if analysis is not None:
+        # pruning changes which candidates the strategies see, so the
+        # analysis conclusions join the run identity; with analysis
+        # off (None) the key set — and every run id — is bit-identical
+        # to a pre-analysis release
+        components["analysis"] = {
+            "digest": str(analysis["digest"]),
+            "pruned": sorted(analysis.get("pruned") or ()),
+        }
+    return components
 
 
 def search_run_id(
@@ -334,6 +344,7 @@ def search_run_id(
     approx: Optional[Set[str]] = None,
     seed: int = 0,
     error_metric: str = "worst",
+    analysis: Optional[Mapping[str, object]] = None,
 ) -> str:
     """The content-addressed run id :func:`run_search` would use for
     these parameters — without running anything.
@@ -349,6 +360,7 @@ def search_run_id(
             _as_ir(k), points, threshold, candidates, samples, fixed,
             demote_to, strategies, budget, seed, aggregate,
             estimate_model, cost_model, approx, error_metric,
+            analysis=analysis,
         )
     )
 
@@ -417,6 +429,7 @@ def run_search(
     label: Optional[str] = None,
     checkpoint_every: int = 1,
     on_batch: Optional[Callable[[int], None]] = None,
+    analysis: Optional[Mapping[str, object]] = None,
 ) -> SearchResult:
     """Multi-objective precision search over (error, modelled cycles).
 
@@ -476,6 +489,14 @@ def run_search(
         later ``resume=True`` run continues bit-identically.  This is
         the cancellation/deadline surface of the job server
         (:mod:`repro.serve`).
+    :param analysis: static-analysis conclusions from
+        :func:`repro.analyze.analyze_kernel` — a mapping with the
+        report ``digest`` and the ``pruned`` source-variable names.
+        Pruned names are excluded from the *derived* candidate set
+        (explicit ``candidates`` are pre-pruned by the session), the
+        conclusions join the run identity, and the manifest records
+        them as provenance.  ``None`` (the default) is bit-identical
+        to a pre-analysis release.
     """
     fn = _as_ir(k)
     if points and not isinstance(points[0], (tuple, list)):
@@ -495,7 +516,7 @@ def run_search(
         components = _search_components(
             fn, points, threshold, candidates, samples, fixed,
             demote_to, names, budget, seed, aggregate, estimate_model,
-            cost_model, approx, error_metric,
+            cost_model, approx, error_metric, analysis=analysis,
         )
         run_id = run_id_of(components)
         if resume:
@@ -527,7 +548,7 @@ def run_search(
             # manifest and truncate any stale records up front
             manifest = run_store.new_manifest(
                 run_id, components, kernel=fn.name,
-                label=label or fn.name,
+                label=label or fn.name, analysis=analysis,
             )
             run_store.save_manifest(run_id, manifest)
             run_store.checkpoint(run_id, [])
@@ -608,6 +629,15 @@ def run_search(
                     )
                 if candidates is None:
                     cand = _derive_candidates(registers)
+                    if analysis is not None:
+                        pruned = set(analysis.get("pruned") or ())
+                        kept = tuple(
+                            c for c in cand if c not in pruned
+                        )
+                        # never prune to an empty candidate space — a
+                        # space that small is cheap to search anyway
+                        if kept:
+                            cand = kept
                 else:
                     cand = tuple(candidates)
                 contributions = {

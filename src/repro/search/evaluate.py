@@ -22,7 +22,7 @@ order — the substrate the Pareto front is built from.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Dict,
     List,
@@ -31,7 +31,6 @@ from typing import (
     Sequence,
     Set,
     Tuple,
-    Union,
 )
 
 import numpy as np
@@ -43,7 +42,6 @@ from repro.interp.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.ir import nodes as N
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.ir.types import DType
 from repro.sweep.aggregate import AggregatorSpec, resolve_aggregator
 from repro.sweep.engine import CacheLike, run_sweep
 from repro.tuning.config import PrecisionConfig, apply_precision

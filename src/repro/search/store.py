@@ -251,6 +251,7 @@ class RunStore:
         components: Mapping[str, object],
         kernel: str,
         label: str,
+        analysis: Optional[Mapping[str, object]] = None,
     ) -> Dict[str, object]:
         return {
             "format": RUN_FORMAT,
@@ -266,6 +267,9 @@ class RunStore:
             "n_evaluations": 0,
             "baseline_key": None,
             "front": None,
+            # static-analysis provenance: the analyze report digest and
+            # the pruned candidate names, when pre-search pruning ran
+            "analysis": dict(analysis) if analysis is not None else None,
         }
 
     def save_manifest(

@@ -25,12 +25,11 @@ when tracing is enabled, joining HTTP traffic to trace files.
 from __future__ import annotations
 
 import uuid
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.serve.http import HttpError, HttpRequest, PlainText
 from repro.serve.jobs import (
     COMPLETED,
-    FINISHED,
     JobRegistry,
     JobSpec,
     QueueFullError,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.util.errors import ReproError

@@ -1,7 +1,7 @@
 """Job model of the tuning service: specs, lifecycle, journal, registry.
 
 A **job** is one unit of client-requested work — an estimate, sweep,
-tune, or search over a named app scenario.  The design leans on the
+tune, static analysis, or search over a named app scenario.  The design leans on the
 properties the rest of the library already guarantees:
 
 * job ids are **content hashes** of the (validated, normalized) job
@@ -49,7 +49,7 @@ _JOB_SECONDS = obs_metrics.REGISTRY.histogram(
 )
 
 #: job kinds, mirroring the Session workflow methods
-KINDS = ("estimate", "sweep", "tune", "search")
+KINDS = ("estimate", "sweep", "tune", "analyze", "search")
 
 #: lifecycle states
 QUEUED = "queued"
@@ -119,7 +119,7 @@ class JobSpec:
                 f"kernel must be an app scenario name, got {self.kernel!r}"
             )
         for name, kinds in (
-            ("threshold", ("tune", "search")),
+            ("threshold", ("tune", "analyze", "search")),
             ("budget", ("search",)),
             ("strategies", ("search",)),
             ("aggregate", ("sweep", "tune")),
@@ -769,6 +769,16 @@ class JobRegistry:
                 "estimated_error": result.estimated_error,
                 "ranking": [[v, e] for v, e in result.ranking],
             }
+        if spec.kind == "analyze":
+            # static analysis: no execution, no sweep — the report is
+            # the result payload (schema of AnalysisReport.to_dict)
+            threshold = (
+                spec.threshold
+                if spec.threshold is not None
+                else scen.threshold
+            )
+            report = sess.analyze(spec.kernel, threshold=threshold)
+            return {**base, **report.to_dict()}
         # search: durable, resumable, cancellable between batches —
         # resolved by scenario name through the same pipeline as the
         # submission-time run id

@@ -73,6 +73,12 @@ class SessionConfig:
     fault_plan: Optional[str] = None
     #: fsync store/cache writes (durability against power loss)
     fsync: bool = False
+    #: run the static precision analysis (:mod:`repro.analyze`) before
+    #: searches and tunes: statically pinned / demotion-safe variables
+    #: are pruned from the candidate space and the greedy ladder is
+    #: ordered most-sensitive-last.  Off by default — with ``False``
+    #: every result is bit-identical to a pre-analysis session
+    analyze: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.demote_to, DType):
@@ -145,6 +151,7 @@ class SessionConfig:
                 f"got {self.fault_plan!r}"
             )
         object.__setattr__(self, "fsync", bool(self.fsync))
+        object.__setattr__(self, "analyze", bool(self.analyze))
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:

@@ -260,7 +260,10 @@ class Session:
           greedy core runs.
 
         Sweeps go through the session cache; estimators through the
-        shared memo.
+        shared memo.  With ``config.analyze`` on, the static analysis
+        supplies per-variable amplification bounds that refine the
+        greedy ladder order (contribution ties demote the
+        most-sensitive variable last).
         """
         if robust is None:
             if args is not None and samples is not None:
@@ -270,6 +273,20 @@ class Session:
                     "at args) to pick the mode explicitly"
                 )
             robust = samples is not None
+        sensitivity: Optional[Dict[str, float]] = None
+        if self.config.analyze:
+            from repro.analyze import analyze_kernel
+
+            sensitivity = dict(
+                analyze_kernel(
+                    k,
+                    points=[args] if args is not None else None,
+                    samples=samples,
+                    fixed=fixed,
+                    threshold=threshold,
+                    demote_to=_pick(demote_to, self.config.demote_to),
+                ).amp
+            )
         if robust:
             if samples is None:
                 raise ConfigError(
@@ -290,6 +307,7 @@ class Session:
                 cache=self._cache,
                 opt_level=self.config.opt_level,
                 minimal_pushes=self.config.minimal_pushes,
+                sensitivity=sensitivity,
             )
         else:
             if args is None:
@@ -318,9 +336,92 @@ class Session:
                 demote_to=_pick(demote_to, self.config.demote_to),
                 opt_level=self.config.opt_level,
                 minimal_pushes=self.config.minimal_pushes,
+                sensitivity=sensitivity,
             )
         result.provenance = self._provenance("tune")
         return result
+
+    # -- analyze -------------------------------------------------------------
+    def _resolve_target(
+        self, k, points, threshold, candidates, samples, fixed,
+        budget, label
+    ):
+        """Resolve an app-scenario name or
+        :class:`~repro.search.scenario.SearchScenario` target into its
+        kernel plus the scenario-defaulted inputs (shared by
+        :meth:`analyze` and the search family)."""
+        from repro.search.scenario import SearchScenario
+
+        if isinstance(k, str):
+            from repro.search.orchestrator import app_scenarios
+
+            scenarios = app_scenarios()
+            if k not in scenarios:
+                raise UnknownNameError(
+                    f"unknown app scenario {k!r} "
+                    f"(available: {sorted(scenarios)})"
+                )
+            k = scenarios[k].search_scenario()
+        if isinstance(k, SearchScenario):
+            scen = k
+            if points is None:
+                points = scen.points
+            if threshold is None:
+                threshold = scen.threshold
+            if candidates is None:
+                candidates = scen.candidates
+            if samples is _UNSET:
+                samples = scen.samples
+            if fixed is _UNSET:
+                fixed = scen.fixed
+            if budget is _UNSET:
+                budget = scen.budget
+            if label is None:
+                label = scen.name
+            k = scen.kernel
+        return k, points, threshold, candidates, samples, fixed, \
+            budget, label
+
+    def analyze(
+        self,
+        k,
+        threshold: Optional[float] = None,
+        *,
+        points: Optional[Sequence[Sequence[object]]] = None,
+        samples: object = _UNSET,
+        fixed: object = _UNSET,
+        domains: Optional[Mapping[str, Sequence[float]]] = None,
+        demote_to: object = _UNSET,
+    ):
+        """Static precision analysis of a kernel (no execution).
+
+        ``k`` is a kernel, an IR function, a
+        :class:`~repro.search.scenario.SearchScenario`, or the name of
+        an app scenario; scenario targets contribute their points,
+        samples, fixed values, and threshold.  Returns an
+        :class:`~repro.analyze.AnalysisReport` with session provenance
+        — the same report :meth:`search` consults for candidate
+        pruning when ``config.analyze`` is on.
+        """
+        from repro.analyze import analyze_kernel
+
+        k, points, threshold, _, samples, fixed, _, _ = (
+            self._resolve_target(
+                k, points, threshold, None, samples, fixed, _UNSET,
+                None,
+            )
+        )
+        report = analyze_kernel(
+            k,
+            points=points,
+            samples=None if samples is _UNSET else samples,
+            fixed=None if fixed is _UNSET else fixed,
+            domains=domains,
+            threshold=threshold,
+            demote_to=_pick(demote_to, self.config.demote_to),
+        )
+        report.provenance = self._provenance("analyze")
+        return report
 
     # -- search --------------------------------------------------------------
     def _resolve_search(
@@ -351,42 +452,44 @@ class Session:
         """Resolve scenario/app-name targets and session defaults into
         the full :func:`repro.search.api.run_search` keyword set —
         shared by :meth:`search` and :meth:`search_run_id` so the run
-        a search executes is exactly the run the id predicts."""
-        from repro.search.scenario import SearchScenario
+        a search executes is exactly the run the id predicts.
 
-        if isinstance(k, str):
-            from repro.search.orchestrator import app_scenarios
-
-            scenarios = app_scenarios()
-            if k not in scenarios:
-                raise UnknownNameError(
-                    f"unknown app scenario {k!r} "
-                    f"(available: {sorted(scenarios)})"
-                )
-            k = scenarios[k].search_scenario()
-        if isinstance(k, SearchScenario):
-            scen = k
-            if points is None:
-                points = scen.points
-            if threshold is None:
-                threshold = scen.threshold
-            if candidates is None:
-                candidates = scen.candidates
-            if samples is _UNSET:
-                samples = scen.samples
-            if fixed is _UNSET:
-                fixed = scen.fixed
-            if budget is _UNSET:
-                budget = scen.budget
-            if label is None:
-                label = scen.name
-            k = scen.kernel
+        With ``config.analyze`` on, the static analysis runs here:
+        pinned / demotion-safe variables are pruned from the candidate
+        space and the analysis conclusions join the run identity —
+        both methods therefore agree on the pruned run's id."""
+        k, points, threshold, candidates, samples, fixed, budget, \
+            label = self._resolve_target(
+                k, points, threshold, candidates, samples, fixed,
+                budget, label,
+            )
         if points is None or threshold is None:
             raise ConfigError(
                 "search requires points= and threshold= (or a "
                 "SearchScenario / app scenario name)"
             )
+        analysis: Optional[Dict[str, object]] = None
+        if self.config.analyze:
+            from repro.analyze import analyze_kernel, prune_candidates
+
+            report = analyze_kernel(
+                k,
+                points=points,
+                samples=None if samples is _UNSET else samples,
+                fixed=None if fixed is _UNSET else fixed,
+                threshold=threshold,
+                demote_to=_pick(demote_to, self.config.demote_to),
+            )
+            if candidates is not None:
+                candidates, _ = prune_candidates(report, candidates)
+            analysis = {
+                "digest": report.digest(),
+                "pruned": sorted(
+                    set(report.pinned) | set(report.safe)
+                ),
+            }
         return dict(
+            analysis=analysis,
             k=k,
             points=points,
             threshold=threshold,

@@ -69,12 +69,19 @@ def greedy_select(
     contrib: Dict[str, float],
     threshold: float,
     candidates: Optional[Sequence[str]] = None,
+    sensitivity: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[Tuple[str, float]], List[str], float]:
     """The greedy demotion core shared by point and sweep tuning.
 
     Filters analysis artifacts, restricts to ``candidates`` when given,
     ranks ascending by contribution, and demotes while the accumulated
     estimate stays within ``threshold``.
+
+    ``sensitivity`` (static per-variable amplification bounds from
+    :mod:`repro.analyze`) refines the ladder order: contribution ties
+    are broken least-amplifying-first, so the most-sensitive variables
+    are demoted last.  Without it the historical ordering is preserved
+    exactly (bit-identical results).
 
     :returns: ``(ranking, chosen, accumulated_error)``.
     """
@@ -84,7 +91,15 @@ def greedy_select(
         if v not in _EXCLUDED
         and (candidates is None or v in candidates)
     }
-    ranking = sorted(filtered.items(), key=lambda kv: kv[1])
+    if sensitivity is None:
+        ranking = sorted(filtered.items(), key=lambda kv: kv[1])
+    else:
+        ranking = sorted(
+            filtered.items(),
+            key=lambda kv: (
+                kv[1], sensitivity.get(kv[0], 0.0), kv[0]
+            ),
+        )
     chosen: List[str] = []
     acc = 0.0
     for var, err in ranking:
@@ -103,6 +118,7 @@ def run_greedy_tune(
     demote_to: DType = DType.F32,
     opt_level: int = 2,
     minimal_pushes: bool = True,
+    sensitivity: Optional[Dict[str, float]] = None,
 ) -> TuningResult:
     """The single-point greedy tuner proper — see
     :meth:`repro.session.Session.tune`.
@@ -116,7 +132,8 @@ def run_greedy_tune(
     )
     report = est.execute(*args)
     ranking, chosen, acc = greedy_select(
-        report.per_variable, threshold, candidates
+        report.per_variable, threshold, candidates,
+        sensitivity=sensitivity,
     )
     return TuningResult(
         config=PrecisionConfig.demote(chosen, to=demote_to),

@@ -21,7 +21,7 @@ the actual per-sample sums.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -48,6 +48,7 @@ def run_robust_tune(
     cache: CacheLike = None,
     opt_level: int = 2,
     minimal_pushes: bool = True,
+    sensitivity: Optional[Dict[str, float]] = None,
 ) -> TuningResult:
     """The distribution-robust tuner proper — see
     :meth:`repro.session.Session.tune`.
@@ -64,7 +65,9 @@ def run_robust_tune(
     contrib = {
         v: agg(np.asarray(a)) for v, a in batch.per_variable.items()
     }
-    ranking, chosen, _ = greedy_select(contrib, threshold, candidates)
+    ranking, chosen, _ = greedy_select(
+        contrib, threshold, candidates, sensitivity=sensitivity
+    )
     if chosen:
         per_sample = np.sum(
             [np.asarray(batch.per_variable[v]) for v in chosen], axis=0

@@ -59,7 +59,9 @@ class ValidationError(ReproError):
     """Structural validation of an IR function failed.
 
     Indicates a malformed IR tree — usually a bug in a transformation pass
-    rather than a user error.
+    rather than a user error.  User-facing surfaces report definite
+    input mistakes (duplicate parameters, use before definition) as
+    :class:`IRConfigError`, which is also a :class:`ConfigError`.
     """
 
 
@@ -84,6 +86,18 @@ class ConfigError(ReproError, ValueError):
     specs), plan validation, and :class:`repro.session.SessionConfig`
     construction.  Also a :class:`ValueError` for backwards
     compatibility.
+    """
+
+
+class IRConfigError(ValidationError, ConfigError):
+    """An IR validation failure that is a user input mistake.
+
+    Duplicate parameters and use-before-definition are errors in the
+    *authored* kernel, not transformation bugs: deriving from both
+    :class:`ValidationError` and :class:`ConfigError` keeps existing
+    ``except ValidationError`` callers working while user-facing
+    surfaces (CLI exit codes, serve HTTP status) treat them as
+    invalid configuration.
     """
 
 

@@ -30,7 +30,7 @@ import errno
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, TypeVar
+from typing import Callable, TypeVar
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace

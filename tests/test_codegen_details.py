@@ -11,13 +11,11 @@ from repro.codegen.pygen import generate_source
 from repro.codegen.runtime import direct_bindings, dispatch_bindings
 from repro.frontend import kernel
 from repro.interp.cost_model import (
-    CostModel,
     DEFAULT_COST_MODEL,
     expr_cost,
     static_function_cost,
 )
 from repro.ir import builder as b
-from repro.ir import nodes as N
 from repro.ir.types import DType
 from repro.util.errors import ExecutionError
 

@@ -10,7 +10,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro
-from repro.core.estimation import delta_register
 from repro.frontend import kernel
 from repro.fp.precision import round_f32
 from repro.tuning import PrecisionConfig, apply_precision

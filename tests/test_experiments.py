@@ -1,12 +1,10 @@
 """Experiment-harness tests: measurement plumbing, figure sweeps at toy
 sizes, table builders, and rendering."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.apps import hpccg
 from repro.experiments import tables
 from repro.experiments.figures import (
     FIGURES,

@@ -390,8 +390,6 @@ class TestStoreDegradation:
         return RunStore(tmp_path / "runs")
 
     def test_corrupt_checkpoint_quarantined_not_trusted(self, tmp_path):
-        from repro.search.orchestrator import app_scenarios
-
         store = self._store(tmp_path)
         from repro.search import search
         from repro.apps import kmeans

@@ -1,6 +1,5 @@
 """Forward mode, hoisting, pullback, and typecheck internals."""
 
-import math
 
 import numpy as np
 import pytest

@@ -7,7 +7,7 @@ import pytest
 
 from repro.frontend import kernel
 from repro.ir import nodes as N
-from repro.ir.types import ArrayType, DType
+from repro.ir.types import DType
 from repro.util.errors import FrontendError
 
 

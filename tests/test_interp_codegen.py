@@ -135,7 +135,7 @@ class TestCounting:
         interp = Interpreter(
             ic_arrays.ir, cost_model=DEFAULT_COST_MODEL
         )
-        v = interp.run([3, np.ones(3), np.zeros(3)])
+        interp.run([3, np.ones(3), np.zeros(3)])
         cf = compile_raw(ic_arrays.ir, counting=True)
         _, extras = cf(3, np.ones(3), np.zeros(3))
         # loop bookkeeping is charged slightly differently; costs agree

@@ -14,9 +14,8 @@ from repro.codegen.compile import compile_primal
 from repro.frontend import kernel
 from repro.ir import builder as b
 from repro.ir import nodes as N
-from repro.ir.printer import format_expr
 from repro.ir.types import DType, ScalarType
-from repro.opt import cse_function, dce_function, fold_function, optimize
+from repro.opt import dce_function, fold_function, optimize
 
 xs = st.floats(min_value=-50.0, max_value=50.0)
 

@@ -9,7 +9,6 @@ import pytest
 import repro
 from repro.frontend import get_kernel, kernel
 from repro.frontend.intrinsics import INTRINSICS, get_intrinsic, intrinsic_names
-from repro.fp.precision import round_f32
 from repro.tuning import PrecisionConfig, apply_precision
 from repro.codegen.compile import compile_primal
 

@@ -4,7 +4,6 @@ including a real SIGKILL), warm restores, and multi-scenario plans."""
 
 import json
 import os
-import pickle
 import signal
 import subprocess
 import sys

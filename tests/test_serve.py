@@ -18,7 +18,6 @@ from pathlib import Path
 import pytest
 
 from repro.serve import (
-    Job,
     JobJournal,
     JobRegistry,
     JobSpec,
@@ -467,7 +466,7 @@ class TestServeApp:
             )
             assert status == 200
             gate.set()
-            done = _wait(_finished(reg, submitted["id"]))
+            _wait(_finished(reg, submitted["id"]))
             status, _, _ = app.handle(
                 _req("DELETE", f"/v1/jobs/{submitted['id']}")
             )
@@ -498,7 +497,7 @@ class TestServeApp:
         assert isinstance(payload, PlainText)
         assert payload.content_type.startswith("text/plain")
         lines = payload.text.splitlines()
-        assert any(l.startswith("# TYPE repro_") for l in lines)
+        assert any(ln.startswith("# TYPE repro_") for ln in lines)
         for line in lines:
             if not line or line.startswith("#"):
                 continue

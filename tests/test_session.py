@@ -5,7 +5,6 @@ provenance stamping, the plan/runs facades, the deprecation contract,
 and the error-hierarchy mapping."""
 
 import json
-import warnings
 
 import numpy as np
 import pytest
@@ -26,7 +25,6 @@ from repro.core.api import clear_estimator_memo, estimator_memo_stats
 from repro.core.models import AdaptModel
 from repro.frontend import kernel
 from repro.ir.types import DType
-from repro.search.store import RunStore
 from repro.sweep import SweepCache, random_sweep
 from repro.sweep.cache import digest_inputs
 

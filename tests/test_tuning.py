@@ -2,14 +2,10 @@
 threshold search, configuration validation, and the loop-split
 (perforation) analysis."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-import repro
 from repro.frontend import kernel
 from repro.ir.types import ArrayType, DType
 from repro.ir.visitor import walk_stmts

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Repo-specific lint: enforce the atomic-I/O consolidation forever.
+
+Every durable write in the library goes through
+:mod:`repro.util.atomio` (atomic rename, optional checksum framing and
+fsync, fault-injection sites, retry policies).  This script AST-walks
+the tree and fails CI when code reintroduces the primitives that
+module exists to own:
+
+==========  =============================================================
+Code        Rule
+==========  =============================================================
+``RL001``   raw ``open(..., "w"/"wb"/"a"/"x"/...)`` / ``Path.open``
+            write modes outside ``util/atomio.py`` — torn files on
+            crash; use ``atomio.atomic_write``
+``RL002``   ``os.replace`` outside ``util/atomio.py`` — the rename half
+            of the atomic-write protocol must not be re-implemented
+``RL003``   ``tempfile`` import inside ``src/`` outside sanctioned
+            modules — scratch files belong to ``atomio`` (tests and
+            benchmarks may use ``TemporaryDirectory`` freely)
+==========  =============================================================
+
+Pure stdlib on purpose: the lint CI job runs it before any dependency
+is installed, and it must never rot when third-party linters change.
+
+Usage::
+
+    python tools/lint_repo.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+#: the one module allowed to use all three primitives
+ATOMIO = Path("src") / "repro" / "util" / "atomio.py"
+
+#: directories scanned for Python sources
+SCAN_DIRS = ("src", "tests", "benchmarks", "tools")
+
+#: RL003 applies only under these roots — tests/benchmarks/tools use
+#: ``tempfile.TemporaryDirectory`` as scratch space, which is fine; the
+#: library proper must not create temporary files outside atomio
+TEMPFILE_SCOPE = ("src",)
+
+#: ``open()`` mode strings that create or mutate a file
+_WRITE_CHARS = frozenset("wax+")
+
+
+Finding = Tuple[Path, int, str, str]
+
+
+def _mode_of(call: ast.Call) -> Optional[str]:
+    """The literal mode argument of an ``open``-style call, if any."""
+    if len(call.args) >= 2:
+        arg = call.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str
+            ):
+                return kw.value.value
+            return None
+    return None
+
+
+def _is_write_mode(mode: Optional[str]) -> bool:
+    return mode is not None and bool(_WRITE_CHARS & set(mode))
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    """Dotted-ish name of the called function (``open``, ``os.replace``,
+    ``something.open``), or ``None`` for computed callees."""
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        base = fn.value
+        if isinstance(base, ast.Name):
+            return f"{base.id}.{fn.attr}"
+        return f"?.{fn.attr}"
+    return None
+
+
+def lint_file(path: Path, rel: Path) -> List[Finding]:
+    try:
+        tree = ast.parse(
+            path.read_text(encoding="utf-8"), filename=str(path)
+        )
+    except SyntaxError as exc:
+        return [(rel, exc.lineno or 0, "RL000", f"syntax error: {exc}")]
+    findings: List[Finding] = []
+    in_tempfile_scope = rel.parts[:1] in {
+        (d,) for d in TEMPFILE_SCOPE
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _callee_name(node)
+            if name is None:
+                continue
+            if (
+                name == "open" or name.endswith(".open")
+            ) and _is_write_mode(_mode_of(node)):
+                findings.append(
+                    (
+                        rel,
+                        node.lineno,
+                        "RL001",
+                        f"raw {name}(..., "
+                        f"{_mode_of(node)!r}) write — use "
+                        "repro.util.atomio.atomic_write",
+                    )
+                )
+            elif name == "os.replace":
+                findings.append(
+                    (
+                        rel,
+                        node.lineno,
+                        "RL002",
+                        "os.replace outside atomio — the atomic-write "
+                        "protocol lives in repro.util.atomio",
+                    )
+                )
+        elif in_tempfile_scope and isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "tempfile":
+                    findings.append(
+                        (
+                            rel,
+                            node.lineno,
+                            "RL003",
+                            "tempfile import in library code — "
+                            "scratch files belong to repro.util.atomio",
+                        )
+                    )
+        elif in_tempfile_scope and isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[0] == "tempfile":
+                findings.append(
+                    (
+                        rel,
+                        node.lineno,
+                        "RL003",
+                        "tempfile import in library code — "
+                        "scratch files belong to repro.util.atomio",
+                    )
+                )
+    return findings
+
+
+def iter_sources(root: Path) -> Iterator[Path]:
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        yield from sorted(base.rglob("*.py"))
+
+
+def lint_repo(root: Path) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in iter_sources(root):
+        rel = path.relative_to(root)
+        if rel == ATOMIO:
+            continue
+        findings.extend(lint_file(path, rel))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root to scan (default: this script's repo)",
+    )
+    args = ap.parse_args(argv)
+    findings = lint_repo(args.root)
+    for rel, line, code, message in findings:
+        print(f"{rel}:{line}: {code} {message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint_repo: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
