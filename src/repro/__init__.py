@@ -83,6 +83,10 @@ from repro import obs  # noqa: E402
 # deterministic fault injection (see README "Failure semantics");
 # importing it also honours the REPRO_FAULTS environment variable
 from repro import faults  # noqa: E402
+
+# distributed sharded search: lease-claiming worker fleets, store
+# union-merge, winner-front election (see README "Distributed search")
+from repro import dist  # noqa: E402
 from repro.util.errors import (  # noqa: E402
     ConfigError,
     InputError,
@@ -92,7 +96,7 @@ from repro.util.errors import (  # noqa: E402
     UnknownNameError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "kernel",
@@ -135,6 +139,7 @@ __all__ = [
     "RunStore",
     "SearchOrchestrator",
     "obs",
+    "dist",
     "ReproError",
     "InputError",
     "ConfigError",

@@ -461,17 +461,32 @@ def cmd_runs(args) -> int:
             "--max-age-days/--max-runs/--incomplete/--dry-run/"
             "--min-age-hours require --prune"
         )
-    if not Path(args.store).is_dir():
+    if args.merge is None and not Path(args.store).is_dir():
         # RunStore() would mkdir — a read-only management command must
         # surface the typo'd path instead of materializing it
+        # (--merge is the exception: merging into a fresh store is a
+        # legitimate way to build one)
         print(
             f"error: run store {args.store!r} does not exist",
             file=sys.stderr,
         )
         return 2
+    if args.merge is not None:
+        missing = [s for s in args.merge if not Path(s).is_dir()]
+        if missing:
+            print(
+                f"error: merge source store(s) do not exist: "
+                f"{missing}",
+                file=sys.stderr,
+            )
+            return 2
     view = RunsView(RunStore(args.store))
     try:
-        if args.diff is not None:
+        if args.merge is not None:
+            report = view.merge(args.merge)
+            print(view.format_merge(report))
+            _write_json(args, report.to_dict())
+        elif args.diff is not None:
             diff = view.diff(*args.diff)
             print(view.format_diff(diff))
             _write_json(args, diff)
@@ -500,6 +515,58 @@ def cmd_runs(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+# -- dist ---------------------------------------------------------------------
+
+
+def cmd_dist(args) -> int:
+    """Bare ``repro dist`` (no action): usage error."""
+    args.parser.print_help()
+    return 2
+
+
+def cmd_dist_run(args) -> int:
+    from repro.session import Session, SessionConfig
+
+    if args.plan is None and not args.all:
+        args.parser.error("dist run requires --plan FILE or --all")
+    if args.plan is not None and args.all:
+        args.parser.error("--plan and --all are mutually exclusive")
+    config_kwargs: Dict[str, object] = {
+        "seed": args.seed,
+        # parallelism is across entries (the fleet), not inside one
+        # search — each claimed entry evaluates serially
+        "workers": 0,
+        "strategies": tuple(
+            s for s in args.strategies.split(",") if s
+        )
+        or SessionConfig().strategies,
+        "fault_plan": args.faults,
+    }
+    if args.ttl is not None:
+        config_kwargs["lease_ttl_s"] = args.ttl
+    sess = Session(
+        SessionConfig(**config_kwargs),  # type: ignore[arg-type]
+        cache=args.cache,
+        store=args.store,
+    )
+    defaults: Dict[str, object] = {}
+    if args.budget is not None:
+        defaults["budget"] = args.budget
+    if args.threshold is not None:
+        defaults["threshold"] = args.threshold
+    result = sess.fleet(
+        plan_file=args.plan,
+        all_apps=args.all,
+        defaults=defaults,
+        workers=args.workers,
+        shards=args.shards,
+        deadline_s=args.deadline,
+    )
+    print(result.report())
+    _write_json(args, result.to_dict())
+    return 0 if result.completed else 1
 
 
 # -- serve --------------------------------------------------------------------
@@ -805,6 +872,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--diff", nargs=2, metavar=("RUN_A", "RUN_B"), default=None,
         help="diff the Pareto fronts of two stored runs",
     )
+    action.add_argument(
+        "--merge", nargs="+", metavar="SRC", default=None,
+        help="union-merge runs from the given source store(s) into "
+             "--store (dedup by content-addressed run id; records are "
+             "checksum-verified; merged manifests gain shard "
+             "provenance)",
+    )
     sp.add_argument(
         "--max-age-days", type=float, default=None,
         help="prune: drop runs older than this many days",
@@ -829,6 +903,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--json", type=Path, default=None)
     sp.set_defaults(func=cmd_runs, parser=sp)
+
+    # dist
+    sp = sub.add_parser(
+        "dist",
+        help="distributed sharded search: lease-claiming worker fleet",
+    )
+    dist_sub = sp.add_subparsers(dest="dist_cmd", metavar="ACTION")
+    sp.set_defaults(func=cmd_dist, parser=sp)
+    dp = dist_sub.add_parser(
+        "run",
+        help="execute a (sharded) plan with N claiming worker "
+             "processes over one shared run store",
+    )
+    dp.add_argument(
+        "--plan", type=Path, default=None,
+        help="JSON plan file (entries + defaults)",
+    )
+    dp.add_argument(
+        "--all", action="store_true",
+        help="run every app scenario as one plan",
+    )
+    dp.add_argument("--store", required=True, help="run-store directory")
+    dp.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes claiming entries (default 2)",
+    )
+    dp.add_argument(
+        "--shards", type=int, default=1,
+        help="expand each entry into N seed-varied shard runs "
+             "(default 1: no sharding)",
+    )
+    dp.add_argument(
+        "--ttl", type=float, default=None,
+        help="lease time-to-live in seconds before a silent worker's "
+             "entry can be stolen (default 30)",
+    )
+    dp.add_argument(
+        "--deadline", type=float, default=None,
+        help="fleet wall-clock budget in seconds (default: unbounded)",
+    )
+    dp.add_argument("--budget", type=int, default=None)
+    dp.add_argument("--threshold", type=float, default=None)
+    dp.add_argument("--seed", type=int, default=0)
+    dp.add_argument(
+        "--strategies", default="",
+        help="session default strategy line-up (comma-separated)",
+    )
+    dp.add_argument("--cache", default=None)
+    dp.add_argument(
+        "--faults", default=None,
+        help="fault-injection plan enabled inside every worker "
+             "(inline JSON or a file path)",
+    )
+    dp.add_argument("--json", type=Path, default=None)
+    dp.set_defaults(func=cmd_dist_run, parser=dp)
 
     # serve
     sp = sub.add_parser(

@@ -1,0 +1,40 @@
+"""Distributed sharded search: lease claims, store merge, worker fleet.
+
+The content-addressed :class:`~repro.search.store.RunStore` (run ids
+and record keys are content hashes) makes evaluation records mergeable
+by construction — union-merge over run directories is conflict-free.
+This package is the layer that exploits it:
+
+* :mod:`repro.dist.lease` — a coordinator-free claim protocol over
+  plan entries: atomic lease files with TTL expiry, heartbeat renewal
+  and steal-after-expiry, so any number of processes can pull
+  ``PlanEntry`` work from one plan;
+* :mod:`repro.dist.store_merge` — union-dedup merge of run stores
+  with record-level content verification and shard provenance stamped
+  into merged manifests;
+* :mod:`repro.dist.fleet` — a single-host multi-process worker fleet
+  (``python -m repro dist run --plan P --workers N``): workers claim
+  entries, fold per-shard seeds into the run key, checkpoint through
+  the existing store contract, and survive ``SIGKILL`` (the lease
+  expires, another worker resumes from the checkpoint prefix), ending
+  in a winner-front election over the per-shard Pareto fronts.
+
+Leases minimize duplicate work; they do not gate correctness.  The
+store is content-addressed and checkpoints are atomic prefixes of a
+deterministic evaluation order, so the rare double-execution a lost
+lease permits converges on bit-identical records.
+"""
+
+from repro.dist.lease import Lease, LeaseLostError, LeaseManager
+from repro.dist.store_merge import MergeReport, merge_stores
+from repro.dist.fleet import FleetResult, run_fleet
+
+__all__ = [
+    "Lease",
+    "LeaseLostError",
+    "LeaseManager",
+    "MergeReport",
+    "merge_stores",
+    "FleetResult",
+    "run_fleet",
+]

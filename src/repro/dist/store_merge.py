@@ -1,0 +1,268 @@
+"""Union-dedup merge of run stores, with verification and provenance.
+
+Run ids are content hashes over everything that determines a run's
+results, and evaluation records are keyed by candidate content — so
+two stores never disagree about what a run id *means*, and merging is
+a union with dedup rather than a reconciliation problem.  The only
+judgment calls are freshness (a completed run beats a partial one; a
+longer checkpoint prefix beats a shorter one — prefixes of the same
+deterministic order never conflict) and hygiene (records re-verify
+through the checksummed :mod:`repro.util.atomio` framing plus a
+structural round-trip before they are imported; corrupt sources are
+skipped, never propagated).
+
+Merged manifests carry **shard provenance**: a ``shards`` list of
+``{host, pid, seed, source}`` entries naming every process/store that
+contributed, which :meth:`RunStore.resolve_run_id` surfaces in
+ambiguity errors so merged stores stay debuggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.search.store import RunStore, StoreLike, candidate_of
+from repro.util.errors import ConfigError
+
+__all__ = ["MergeReport", "merge_stores"]
+
+_MERGED = obs_metrics.REGISTRY.counter(
+    "repro_dist_merged_runs_total",
+    "runs imported or updated by store merges",
+)
+_SKIPPED = obs_metrics.REGISTRY.counter(
+    "repro_dist_merge_skipped_total",
+    "source runs skipped by merges (corrupt or conflicting)",
+)
+
+
+@dataclass
+class MergeReport:
+    """What one merge did, per run and in aggregate."""
+
+    dest: str
+    sources: List[str]
+    imported: int = 0
+    updated: int = 0
+    unchanged: int = 0
+    skipped_corrupt: int = 0
+    conflicts: int = 0
+    runs: List[Dict[str, object]] = field(default_factory=list)
+
+    def note(self, action: str, run_id: str, source: str, **extra: object) -> None:
+        row: Dict[str, object] = {
+            "run_id": run_id,
+            "action": action,
+            "source": source,
+        }
+        row.update(extra)
+        self.runs.append(row)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dest": self.dest,
+            "sources": list(self.sources),
+            "imported": self.imported,
+            "updated": self.updated,
+            "unchanged": self.unchanged,
+            "skipped_corrupt": self.skipped_corrupt,
+            "conflicts": self.conflicts,
+            "runs": list(self.runs),
+        }
+
+
+def _as_store(store: StoreLike) -> RunStore:
+    if isinstance(store, RunStore):
+        return store
+    if store is None:
+        raise ConfigError("merge requires a store path")
+    return RunStore(store)
+
+
+def _provenance_entries(
+    manifest: Mapping[str, object], source: str
+) -> List[Dict[str, object]]:
+    """The shard entries a manifest contributes to a merged one."""
+    shards = manifest.get("shards")
+    if isinstance(shards, list) and shards:
+        return [dict(s) for s in shards if isinstance(s, Mapping)]
+    key = manifest.get("key")
+    origin = manifest.get("origin")
+    entry: Dict[str, object] = {
+        "host": origin.get("host") if isinstance(origin, Mapping) else None,
+        "pid": origin.get("pid") if isinstance(origin, Mapping) else None,
+        "seed": key.get("seed") if isinstance(key, Mapping) else None,
+        "source": source,
+    }
+    return [entry]
+
+
+def _union_shards(
+    *entry_lists: Sequence[Mapping[str, object]],
+) -> List[Dict[str, object]]:
+    seen = set()
+    out: List[Dict[str, object]] = []
+    for entries in entry_lists:
+        for e in entries:
+            fp = tuple(sorted((str(k), str(v)) for k, v in e.items()))
+            if fp in seen:
+                continue
+            seen.add(fp)
+            out.append(dict(e))
+    out.sort(key=lambda e: sorted((str(k), str(v)) for k, v in e.items()))
+    return out
+
+
+def _verified_records(
+    src: RunStore, manifest: Mapping[str, object], verify: bool
+) -> Optional[List[Dict[str, object]]]:
+    """The source run's records, or ``None`` when unsafe to import.
+
+    ``load_records`` already enforces the checksum frame and the index
+    -prefix property; ``verify=True`` additionally round-trips every
+    record through :func:`candidate_of` (structural content check) and
+    refuses completed runs whose record count no longer matches their
+    manifest — either means the source run dir is damaged.
+    """
+    run_id = str(manifest.get("run_id"))
+    records = src.load_records(run_id)
+    if not verify:
+        return records
+    for rec in records:
+        try:
+            candidate_of(rec)
+        except Exception:
+            return None
+    if manifest.get("completed"):
+        declared = int(manifest.get("n_evaluations", 0))  # type: ignore[arg-type]
+        if declared != len(records):
+            return None
+    return records
+
+
+def merge_stores(
+    dest: StoreLike,
+    sources: Sequence[StoreLike],
+    *,
+    verify: bool = True,
+) -> MergeReport:
+    """Union-merge every run in ``sources`` into ``dest``.
+
+    Dedup is by content-addressed run id.  Per run: absent in the
+    destination → imported wholesale; present but incomplete → the
+    completed (or longer-prefix) version wins; both completed → kept
+    as-is, with a disagreement in declared results counted as a
+    ``conflict`` (the destination is never clobbered).  Every imported
+    or updated manifest gains ``shards`` provenance naming the
+    contributing origins.  Sources are read-only throughout.
+    """
+    dst = _as_store(dest)
+    srcs = [_as_store(s) for s in sources]
+    if not srcs:
+        raise ConfigError("merge requires at least one source store")
+    dst_root = dst.root.resolve()
+    for s in srcs:
+        if s.root.resolve() == dst_root:
+            raise ConfigError(
+                f"merge source {s.root} is the destination store"
+            )
+    report = MergeReport(
+        dest=str(dst.root), sources=[str(s.root) for s in srcs]
+    )
+    with obs_trace.span(
+        "dist.merge", dest=str(dst.root), sources=len(srcs)
+    ):
+        for src in srcs:
+            _merge_one_source(dst, src, report, verify)
+    return report
+
+
+def _merge_one_source(
+    dst: RunStore, src: RunStore, report: MergeReport, verify: bool
+) -> None:
+    source = str(src.root)
+    manifests = sorted(
+        src.list_runs(), key=lambda m: str(m.get("run_id"))
+    )
+    for manifest in manifests:
+        run_id = str(manifest.get("run_id"))
+        records = _verified_records(src, manifest, verify)
+        if records is None:
+            report.skipped_corrupt += 1
+            _SKIPPED.inc()
+            report.note(
+                "skipped_corrupt", run_id, source,
+                reason="records failed content verification",
+            )
+            continue
+        provenance = _provenance_entries(manifest, source)
+        existing = dst.load_manifest(run_id)
+        if existing is None:
+            merged = dict(manifest)
+            merged["shards"] = _union_shards(provenance)
+            dst.save_manifest(run_id, merged)
+            if records:
+                dst.checkpoint(run_id, records)
+            report.imported += 1
+            _MERGED.inc()
+            report.note(
+                "imported", run_id, source, n_records=len(records)
+            )
+            continue
+        if existing.get("completed"):
+            if manifest.get("completed") and (
+                existing.get("n_evaluations")
+                != manifest.get("n_evaluations")
+                or existing.get("front") != manifest.get("front")
+            ):
+                # two *completed* runs under one content-addressed id
+                # must agree; a mismatch means one side is damaged.
+                # Keep the destination, flag it loudly.
+                report.conflicts += 1
+                _SKIPPED.inc()
+                report.note(
+                    "conflict", run_id, source,
+                    reason="completed runs disagree on results",
+                )
+                continue
+            report.unchanged += 1
+            report.note("unchanged", run_id, source)
+            continue
+        # destination holds a partial run: completed source wins;
+        # otherwise the longer checkpoint prefix does (prefixes of the
+        # same deterministic order, so "longer" strictly supersedes)
+        dst_records = dst.load_records(run_id)
+        if manifest.get("completed"):
+            merged = dict(manifest)
+            merged["shards"] = _union_shards(
+                _provenance_entries(existing, str(dst.root)), provenance
+            )
+            dst.save_manifest(run_id, merged)
+            dst.checkpoint(run_id, records)
+            report.updated += 1
+            _MERGED.inc()
+            report.note(
+                "updated", run_id, source,
+                reason="source completed",
+                n_records=len(records),
+            )
+        elif len(records) > len(dst_records):
+            merged = dict(existing)
+            merged["shards"] = _union_shards(
+                _provenance_entries(existing, str(dst.root)), provenance
+            )
+            dst.save_manifest(run_id, merged)
+            dst.checkpoint(run_id, records)
+            report.updated += 1
+            _MERGED.inc()
+            report.note(
+                "updated", run_id, source,
+                reason="longer checkpoint prefix",
+                n_records=len(records),
+            )
+        else:
+            report.unchanged += 1
+            report.note("unchanged", run_id, source)

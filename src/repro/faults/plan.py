@@ -45,6 +45,8 @@ KNOWN_SITES = (
     "journal.read",
     "worker.exec",
     "http.accept",
+    "lease.acquire",
+    "lease.renew",
 )
 
 _DEFAULT_ERRNO = {

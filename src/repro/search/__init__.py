@@ -55,9 +55,10 @@ from repro.search.orchestrator import (
     PlanEntry,
     PlanRun,
     SearchOrchestrator,
+    shard_entries,
 )
 from repro.search.parallel import ParallelEvaluator
-from repro.search.pareto import ParetoFront, dominates
+from repro.search.pareto import FrontPoint, ParetoFront, dominates, union_fronts
 from repro.search.scenario import SearchScenario
 from repro.search.store import RunStore
 from repro.search.strategies import (
@@ -73,6 +74,7 @@ __all__ = [
     "CandidateEvaluator",
     "DEFAULT_STRATEGIES",
     "EvaluatedCandidate",
+    "FrontPoint",
     "ParallelEvaluator",
     "ParetoFront",
     "PlanEntry",
@@ -90,4 +92,6 @@ __all__ = [
     "register_strategy",
     "search_run_id",
     "search",
+    "shard_entries",
+    "union_fronts",
 ]

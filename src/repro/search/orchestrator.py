@@ -121,6 +121,41 @@ class PlanEntry:
         return out
 
 
+def shard_entries(
+    entries: Sequence["PlanEntry"],
+    shards: int,
+    *,
+    default_seed: int = 0,
+) -> List["PlanEntry"]:
+    """Expand each entry into ``shards`` seed-varied copies.
+
+    Shard ``s`` overrides ``seed = base_seed + s`` where ``base_seed``
+    is the entry's own seed override (falling back to
+    ``default_seed``).  The seed is part of the content-addressed run
+    key, so shard runs get distinct run ids: a fleet can execute them
+    concurrently, and their stores union-merge without collisions.
+    The expansion is deterministic — a serial
+    :class:`SearchOrchestrator` over the same sharded entries is the
+    bit-identical reference for any fleet execution of them.
+    """
+    if int(shards) < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards!r}")
+    out: List[PlanEntry] = []
+    for entry in entries:
+        base_seed = int(entry.overrides.get("seed", default_seed))  # type: ignore[arg-type]
+        for s in range(int(shards)):
+            overrides = dict(entry.overrides)
+            overrides["seed"] = base_seed + s
+            out.append(
+                PlanEntry(
+                    scenario=entry.scenario,
+                    overrides=overrides,
+                    scenario_args=dict(entry.scenario_args),
+                )
+            )
+    return out
+
+
 @dataclass
 class PlanRun:
     """Outcome of one plan entry."""

@@ -11,7 +11,18 @@ provenance (which strategy proposed it, at which evaluation index).
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.search.evaluate import EvaluatedCandidate
@@ -123,3 +134,86 @@ class ParetoFront:
                 f"{p.config.describe()}"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FrontPoint:
+    """A stored front point rehydrated from manifests (not a live
+    :class:`~repro.search.evaluate.EvaluatedCandidate`).
+
+    Winner-front election (:func:`union_fronts`) operates on the
+    ``{key, error, cycles}`` dicts run manifests persist, plus shard
+    provenance saying which run contributed the point.  The class
+    quacks enough like an evaluated candidate — ``error``, ``cycles``,
+    ``key``, ``strategy``, ``index``, ``speedup_or_none``,
+    ``config.describe()`` — for :class:`ParetoFront` and its
+    renderings to work unchanged.
+    """
+
+    key: str
+    error: float
+    cycles: float
+    strategy: str = "merged"
+    index: int = -1
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def speedup_or_none(self) -> Optional[float]:
+        return None  # manifests do not persist reference cycles
+
+    @property
+    def config(self) -> "FrontPoint":
+        return self  # describe() shim for ParetoFront.__str__
+
+    def describe(self) -> str:
+        run = str(self.provenance.get("run_id", ""))[:12]
+        return f"{self.key} <{run or 'unknown-run'}>"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "error": self.error,
+            "cycles": self.cycles,
+            "strategy": self.strategy,
+            "index": self.index,
+            "provenance": dict(self.provenance),
+        }
+
+
+def union_fronts(
+    shards: Iterable[
+        Tuple[
+            Optional[Sequence[Mapping[str, object]]],
+            Mapping[str, object],
+        ]
+    ],
+) -> ParetoFront:
+    """Elect the winner front from per-shard stored fronts.
+
+    ``shards`` yields ``(points, provenance)`` pairs, where ``points``
+    are manifest-format ``{key, error, cycles}`` mappings and
+    ``provenance`` identifies the contributing shard (at minimum its
+    ``run_id``).  The union is dominance-pruned through the ordinary
+    :class:`ParetoFront` insertion rules; candidates are sorted by
+    ``(run_id, key)`` before insertion so the first-arrival tie rule
+    is stable no matter which order the shards finished in.
+    """
+    staged: List[FrontPoint] = []
+    for points, provenance in shards:
+        prov = dict(provenance or {})
+        for p in points or ():
+            staged.append(
+                FrontPoint(
+                    key=str(p["key"]),
+                    error=float(p["error"]),  # type: ignore[arg-type]
+                    cycles=float(p["cycles"]),  # type: ignore[arg-type]
+                    provenance=prov,
+                )
+            )
+    staged.sort(
+        key=lambda fp: (str(fp.provenance.get("run_id", "")), fp.key)
+    )
+    front = ParetoFront()
+    for fp in staged:
+        front.add(fp)  # type: ignore[arg-type]
+    return front

@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 import shutil
+import socket
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -59,6 +61,21 @@ RUN_FORMAT = 1
 
 #: pickle protocol pinned for cross-version disk compatibility
 _PICKLE_PROTOCOL = 4
+
+#: lease files for the distributed claim protocol (repro.dist.lease)
+#: live in this subdirectory of the store root
+LEASES_DIRNAME = "_leases"
+
+#: fleet worker summaries (repro.dist.fleet) land here
+DIST_DIRNAME = "_dist"
+
+#: store-root subdirectories that are infrastructure, never run dirs —
+#: listings, merges and the prune orphan scan must all skip them
+RESERVED_DIRNAMES = (
+    LEASES_DIRNAME,
+    DIST_DIRNAME,
+    atomio.QUARANTINE_DIR,
+)
 
 StoreLike = Union[None, str, Path, "RunStore"]
 
@@ -170,6 +187,28 @@ def _looks_like_run_dir(name: str) -> bool:
     return len(name) == 32 and all(c in "0123456789abcdef" for c in name)
 
 
+def _describe_provenance(manifest: Optional[Mapping[str, object]]) -> str:
+    """One-line shard provenance for a manifest (ambiguity listings)."""
+    if not isinstance(manifest, Mapping):
+        return "(no readable manifest)"
+    key = manifest.get("key")
+    seed = key.get("seed") if isinstance(key, Mapping) else None
+    origin = manifest.get("origin")
+    parts = [
+        str(manifest.get("label") or manifest.get("kernel") or "?"),
+        f"seed={seed}",
+    ]
+    if isinstance(origin, Mapping):
+        parts.append(f"origin={origin.get('host')}:{origin.get('pid')}")
+    shards = manifest.get("shards")
+    if isinstance(shards, Sequence) and not isinstance(shards, str):
+        parts.append(f"merged-from={len(shards)} shard(s)")
+    parts.append(
+        "completed" if manifest.get("completed") else "in-flight"
+    )
+    return " ".join(parts)
+
+
 # -- evaluation record (de)serialization --------------------------------------
 
 
@@ -267,6 +306,13 @@ class RunStore:
             "n_evaluations": 0,
             "baseline_key": None,
             "front": None,
+            # shard provenance: which process created the run, and —
+            # after a store merge — which shards contributed to it
+            "origin": {
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+            },
+            "shards": None,
             # static-analysis provenance: the analyze report digest and
             # the pruned candidate names, when pre-search pruning ran
             "analysis": dict(analysis) if analysis is not None else None,
@@ -454,9 +500,19 @@ class RunStore:
                 f"no stored run matches {prefix!r} in {self.root}"
             )
         if len(matches) > 1:
+            # merged stores hold shard runs whose ids share long
+            # prefixes with their siblings' labels; list each
+            # candidate with its shard provenance so the caller can
+            # pick the right one without spelunking manifests
+            by_id = {str(m.get("run_id", "")): m for m in manifests}
+            lines = []
+            for rid in matches:
+                lines.append(
+                    f"  {rid[:12]}  {_describe_provenance(by_id.get(rid))}"
+                )
             raise UnknownNameError(
-                f"run id prefix {prefix!r} is ambiguous: "
-                f"{[m[:12] for m in matches]}"
+                f"run id prefix {prefix!r} is ambiguous between "
+                f"{len(matches)} runs:\n" + "\n".join(lines)
             )
         return matches[0]
 
@@ -534,6 +590,41 @@ class RunStore:
             return False
         shutil.rmtree(run_dir, ignore_errors=True)
         return True
+
+    def leases_dir(self) -> Path:
+        """Directory the distributed claim protocol keeps leases in."""
+        return self.root / LEASES_DIRNAME
+
+    def _leased_run_dirs(self) -> set:
+        """Run-dir names (``run_id[:32]``) under a live lease.
+
+        Lazy-imports :mod:`repro.dist.lease` at call time (the dist
+        layer imports this module, so a top-level import would cycle).
+        """
+        if not self.leases_dir().is_dir():
+            return set()
+        from repro.dist.lease import LeaseManager
+
+        return {
+            key[:32]
+            for key in LeaseManager(self.leases_dir()).active_keys()
+        }
+
+    def merge(
+        self,
+        src_stores: Sequence[StoreLike],
+        *,
+        verify: bool = True,
+    ):
+        """Union-merge runs from ``src_stores`` into this store.
+
+        Thin facade over :func:`repro.dist.store_merge.merge_stores`
+        (see there for the dedup/verification/provenance semantics);
+        returns its :class:`~repro.dist.store_merge.MergeReport`.
+        """
+        from repro.dist.store_merge import merge_stores
+
+        return merge_stores(self, src_stores, verify=verify)
 
     def _run_dir_mtime(self, run_dir: Path) -> float:
         """Latest mtime across a run directory's files (0.0 if gone)."""
@@ -614,8 +705,15 @@ class RunStore:
                 victim_ids.add(rid)
                 victims.append(m)
 
+        # runs another worker holds a live lease on (repro.dist) are
+        # in-flight shard work, however stale their files look — the
+        # lease heartbeat, not the file mtime, is their liveness signal
+        leased = self._leased_run_dirs()
+
         if incomplete:
             for m in manifests:
+                if str(m["run_id"])[:32] in leased:
+                    continue
                 if not m.get("completed") and (
                     self._run_dir_mtime(
                         self.run_dir(str(m["run_id"]))
@@ -634,6 +732,10 @@ class RunStore:
             }
             for sub in sorted(self.root.iterdir()):
                 if not sub.is_dir() or str(sub) in known_dirs:
+                    continue
+                if sub.name in RESERVED_DIRNAMES or sub.name in leased:
+                    # lease/quarantine/fleet infrastructure and
+                    # live-leased shard runs are never orphans
                     continue
                 manifest_path = sub / "manifest.json"
                 if manifest_path.exists():
@@ -665,6 +767,8 @@ class RunStore:
         if max_age_days is not None:
             cutoff = time.time() - float(max_age_days) * 86400.0
             for m in manifests:
+                if str(m["run_id"])[:32] in leased:
+                    continue
                 if float(m.get("created", 0.0)) < cutoff:
                     condemn(m)
         if max_runs is not None:
@@ -674,6 +778,8 @@ class RunStore:
                 if str(m.get("run_id")) not in victim_ids
             ]
             for m in survivors[int(max_runs):]:
+                if str(m["run_id"])[:32] in leased:
+                    continue
                 condemn(m)
         if not dry_run:
             for m in victims:

@@ -107,6 +107,12 @@ class JobSpec:
     aggregate: Optional[str] = None
     #: per-job wall-clock deadline in seconds (``None``: server default)
     timeout_s: Optional[float] = None
+    #: fan a search out into N seed-varied shard runs executed by the
+    #: distributed worker fleet (search; ``None``: no fan-out)
+    shards: Optional[int] = None
+    #: fleet worker processes for a sharded search (search;
+    #: ``None`` with ``shards`` set: 2)
+    fleet_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -123,6 +129,8 @@ class JobSpec:
             ("budget", ("search",)),
             ("strategies", ("search",)),
             ("aggregate", ("sweep", "tune")),
+            ("shards", ("search",)),
+            ("fleet_workers", ("search",)),
         ):
             if getattr(self, name) is not None and self.kind not in kinds:
                 # silently dropping a knob would run a different job
@@ -186,6 +194,20 @@ class JobSpec:
             if not self.timeout_s > 0:
                 raise ConfigError(
                     f"timeout_s must be > 0, got {self.timeout_s!r}"
+                )
+        for name in ("shards", "fleet_workers"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            try:
+                object.__setattr__(self, name, int(value))
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"{name} must be an integer, got {value!r}"
+                ) from None
+            if getattr(self, name) < 1:
+                raise ConfigError(
+                    f"{name} must be >= 1, got {value!r}"
                 )
 
     # -- serialization -------------------------------------------------------
@@ -489,11 +511,20 @@ class JobRegistry:
 
                 resolve_aggregator(spec.aggregate)
         if spec.kind == "search":
+            # a sharded search spends ``budget`` per shard — cap the
+            # aggregate, not the per-shard slice
             effective = spec.budget if spec.budget else scen.budget
+            effective *= spec.shards or 1
             if self.max_budget is not None and effective > self.max_budget:
                 raise ConfigError(
                     f"budget {effective} exceeds the server cap "
                     f"{self.max_budget}"
+                )
+            if (
+                spec.shards or spec.fleet_workers
+            ) and self.session.store is None:
+                raise ConfigError(
+                    "sharded search requires the server run store"
                 )
 
     def _search_overrides(self, spec: JobSpec) -> Dict[str, object]:
@@ -782,6 +813,8 @@ class JobRegistry:
         # search: durable, resumable, cancellable between batches —
         # resolved by scenario name through the same pipeline as the
         # submission-time run id
+        if spec.shards or spec.fleet_workers:
+            return {**base, **self._execute_fleet(job, spec)}
         result = sess.search(
             spec.kernel,
             resume=sess.store is not None,
@@ -789,6 +822,38 @@ class JobRegistry:
             **self._search_overrides(spec),
         )
         return {**base, **result.to_dict()}
+
+    def _execute_fleet(self, job: Job, spec: JobSpec) -> Dict[str, object]:
+        """Fan a search job out across the distributed worker fleet.
+
+        Shard runs land in the server's own store, so a re-submitted
+        job resumes from the shard checkpoints and the elected front is
+        bit-identical to a serial execution of the same shards.
+        """
+        from repro.dist.fleet import run_fleet
+        from repro.search.orchestrator import PlanEntry
+
+        sess = self.session
+        if sess.store is None:
+            raise ConfigError("sharded search requires the server run store")
+        entry = PlanEntry(
+            scenario=spec.kernel, overrides=self._search_overrides(spec)
+        )
+        fleet = run_fleet(
+            [entry],
+            sess.store,
+            workers=spec.fleet_workers or 2,
+            shards=spec.shards or 1,
+            session_config=sess.config,
+            deadline_s=spec.timeout_s or self.default_timeout_s,
+        )
+        if not fleet.completed:
+            done = sum(1 for e in fleet.entries if e.get("completed"))
+            raise ReproError(
+                f"fleet search left {len(fleet.entries) - done}"
+                f"/{len(fleet.entries)} shard run(s) incomplete"
+            )
+        return fleet.to_dict()
 
     # -- watchdog ------------------------------------------------------------
     def watchdog_sweep(

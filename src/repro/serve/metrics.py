@@ -67,6 +67,24 @@ ROBUSTNESS_COUNTERS = (
     "repro_jobs_watchdog_requeues_total",
 )
 
+#: process-wide distributed-execution counters (``repro.dist``):
+#: lease claim traffic, fleet activity, and store merges.  Surfaced as
+#: the ``dist`` section of ``/v1/metrics`` (and, like every registry
+#: counter, in the Prometheus rendering).  Get-or-create, so a server
+#: that never runs a fleet still reports zeros.
+DIST_COUNTERS = (
+    "repro_dist_claims_total",
+    "repro_dist_claim_conflicts_total",
+    "repro_dist_lease_steals_total",
+    "repro_dist_lease_renewals_total",
+    "repro_dist_leases_lost_total",
+    "repro_dist_entries_completed_total",
+    "repro_dist_workers_spawned_total",
+    "repro_dist_fleet_runs_total",
+    "repro_dist_merged_runs_total",
+    "repro_dist_merge_skipped_total",
+)
+
 #: the subset whose growth flips health to ``degraded``: events the
 #: service did NOT fully absorb.  Retries that succeeded and faults
 #: that were injected-then-survived are normal operation; exhausted
@@ -182,6 +200,10 @@ class ServiceMetrics:
         out["robustness"] = {
             "health": self.health()["status"],
             "counters": self.robustness(),
+        }
+        out["dist"] = {
+            name: obs_metrics.REGISTRY.counter(name).value
+            for name in DIST_COUNTERS
         }
         # session.stats() already unifies estimator memo, config
         # kernel cache, and sweep cache counters (PR 5; registry views

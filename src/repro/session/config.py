@@ -73,6 +73,10 @@ class SessionConfig:
     fault_plan: Optional[str] = None
     #: fsync store/cache writes (durability against power loss)
     fsync: bool = False
+    #: distributed-claim lease time-to-live (seconds): how long a
+    #: fleet worker may go without a checkpoint heartbeat before its
+    #: entry is stolen (:mod:`repro.dist.lease`)
+    lease_ttl_s: float = 30.0
     #: run the static precision analysis (:mod:`repro.analyze`) before
     #: searches and tunes: statically pinned / demotion-safe variables
     #: are pruned from the candidate space and the greedy ladder is
@@ -152,6 +156,18 @@ class SessionConfig:
             )
         object.__setattr__(self, "fsync", bool(self.fsync))
         object.__setattr__(self, "analyze", bool(self.analyze))
+        try:
+            object.__setattr__(
+                self, "lease_ttl_s", float(self.lease_ttl_s)
+            )
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"lease_ttl_s must be a number, got {self.lease_ttl_s!r}"
+            ) from None
+        if self.lease_ttl_s <= 0:
+            raise ConfigError(
+                f"lease_ttl_s must be > 0, got {self.lease_ttl_s!r}"
+            )
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:

@@ -68,6 +68,10 @@ class RunsView:
         """Front diff of two runs (see :meth:`RunStore.diff_fronts`)."""
         return self.store.diff_fronts(run_a, run_b)
 
+    def merge(self, sources: Sequence[object], *, verify: bool = True):
+        """Union-merge source stores in (see :meth:`RunStore.merge`)."""
+        return self.store.merge(sources, verify=verify)
+
     # -- renderings ----------------------------------------------------------
     def format_list(
         self, manifests: Optional[List[Dict[str, object]]] = None
@@ -138,6 +142,27 @@ class RunsView:
                 f"  {str(m.get('run_id', ''))[:12]:12s} "
                 f"{str(m.get('label', ''))[:14]:14s} {state:10s} "
                 f"age {_age(m.get('created'))}"
+            )
+        return "\n".join(lines)
+
+    def format_merge(self, report) -> str:
+        """Render a :class:`~repro.dist.store_merge.MergeReport`."""
+        lines = [
+            f"merged {len(report.sources)} store(s) into "
+            f"{report.dest}: {report.imported} imported, "
+            f"{report.updated} updated, {report.unchanged} unchanged, "
+            f"{report.skipped_corrupt} skipped (corrupt), "
+            f"{report.conflicts} conflict(s)"
+        ]
+        for row in report.runs:
+            if row.get("action") == "unchanged":
+                continue
+            detail = row.get("reason") or ""
+            lines.append(
+                f"  {str(row.get('run_id', ''))[:12]:12s} "
+                f"{str(row.get('action')):15s} "
+                f"from {row.get('source')}"
+                + (f"  ({detail})" if detail else "")
             )
         return "\n".join(lines)
 

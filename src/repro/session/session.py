@@ -724,6 +724,74 @@ class Session:
             session=self,
         )
 
+    # -- distributed execution ----------------------------------------------
+    def fleet(
+        self,
+        entries: Optional[Sequence[object]] = None,
+        *,
+        plan_file: Union[None, str, Path] = None,
+        all_apps: bool = False,
+        defaults: Optional[Mapping[str, object]] = None,
+        store: object = _UNSET,
+        workers: int = 2,
+        shards: int = 1,
+        ttl_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        worker_env: Optional[Mapping[int, Mapping[str, str]]] = None,
+    ):
+        """Run a search plan across a multi-process worker fleet.
+
+        Entries/defaults/store resolve exactly like :meth:`plan` (the
+        fleet over the same sharded entries is bit-identical to that
+        serial orchestrator); ``workers`` processes claim entries via
+        the lease protocol, ``shards`` expands each entry with
+        per-shard seeds first.  Returns the
+        :class:`~repro.dist.fleet.FleetResult` with the elected winner
+        front.  See :mod:`repro.dist`.
+        """
+        orch = self.plan(
+            entries,
+            plan_file=plan_file,
+            all_apps=all_apps,
+            defaults=defaults,
+            store=store,
+        )
+        from repro.dist.fleet import run_fleet
+
+        return run_fleet(
+            orch.entries,
+            orch.store,
+            workers=workers,
+            shards=shards,
+            defaults=orch.defaults,
+            session_config=self.config,
+            ttl_s=ttl_s,
+            deadline_s=deadline_s,
+            worker_env=worker_env,
+        )
+
+    def merge_runs(
+        self,
+        sources: Sequence[object],
+        *,
+        store: object = _UNSET,
+        verify: bool = True,
+    ):
+        """Union-merge runs from ``sources`` into the session store.
+
+        Facade over :func:`repro.dist.store_merge.merge_stores`;
+        returns its :class:`~repro.dist.store_merge.MergeReport`.
+        """
+        run_store = _pick(store, self._store)
+        if run_store is None:
+            raise ConfigError(
+                "merge_runs() requires a run store — construct the "
+                "session with store= (or SessionConfig.store_dir)"
+            )
+        from repro.dist.store_merge import merge_stores
+
+        return merge_stores(run_store, sources, verify=verify)
+
     # -- runs ----------------------------------------------------------------
     def runs(self, store: object = _UNSET) -> RunsView:
         """List / compare / prune / diff the stored runs."""

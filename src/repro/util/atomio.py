@@ -46,6 +46,7 @@ __all__ = [
     "frame",
     "unframe",
     "atomic_write",
+    "publish_exclusive",
     "read_bytes",
     "quarantine",
     "QUARANTINE_DIR",
@@ -175,6 +176,56 @@ def atomic_write(
         _write()
     else:
         retry_call(_write, policy=retry, op=site or "atomic_write")
+
+
+def publish_exclusive(
+    path: Union[str, Path],
+    data: bytes,
+    *,
+    checksum: bool = False,
+    fsync: bool = False,
+    site: Optional[str] = None,
+) -> bool:
+    """Atomically create ``path`` with ``data`` iff it does not exist.
+
+    The compare-and-swap half of the lease protocol: the payload is
+    written to a tempfile and published with ``os.link``, which fails
+    with ``EEXIST`` when ``path`` already exists — so when N processes
+    race to create the same file, exactly one wins.  Returns ``True``
+    on publish, ``False`` when the path already existed (the caller
+    lost the race).  Unlike :func:`atomic_write` this never replaces
+    existing content.
+
+    ``site`` probes fault injection like :func:`atomic_write` does:
+    raising kinds propagate, and a ``torn`` fault truncates the
+    payload while still publishing — leaving a corrupt file the
+    read side must detect and treat as reclaimable.
+    """
+    path = Path(path)
+    payload = frame(data) if checksum else data
+    body = payload
+    spec = faults.check(site) if site is not None else None
+    if spec is not None and spec.kind == "torn":
+        body = payload[: len(payload) // 2]
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(body)
+            if fsync:
+                f.flush()
+                os.fsync(f.fileno())
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        if fsync:
+            _fsync_dir(path.parent)
+        return True
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
 
 def read_bytes(
